@@ -1,0 +1,262 @@
+//! The shared interface every baseline implements, plus the token embedder
+//! they all build on.
+//!
+//! Baselines differ in architecture (GRU vs Transformer) and self-supervised
+//! task (reconstruction, MLM, discrimination, mutual information), but all
+//! map a trajectory view to a pooled `(1, d)` representation inside a live
+//! autodiff graph — that is the [`BaselineEncoder`] contract, and the
+//! generic fine-tuning heads in [`crate::heads`] work against it.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use start_nn::graph::{Graph, NodeId};
+use start_nn::layers::{sinusoidal_positional_encoding, Embedding};
+use start_nn::params::{Init, ParamId, ParamStore};
+use start_nn::Array;
+use start_traj::{day_of_week_index, minute_index, TrajView, Trajectory};
+
+/// A pre-trainable trajectory encoder baseline.
+pub trait BaselineEncoder: Sync {
+    fn name(&self) -> &'static str;
+    fn dim(&self) -> usize;
+    fn store(&self) -> &ParamStore;
+    fn store_mut(&mut self) -> &mut ParamStore;
+    fn max_len(&self) -> usize;
+
+    /// Pooled `(1, d)` representation of a view inside graph `g`.
+    fn pool(&self, g: &mut Graph, view: &TrajView, rng: &mut StdRng) -> NodeId;
+
+    /// Batch inference: embed trajectories (eval mode, chunked graphs).
+    fn encode(&self, trajectories: &[Trajectory]) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::with_capacity(trajectories.len());
+        for chunk in trajectories.chunks(64) {
+            let mut g = Graph::new(self.store(), false);
+            for t in chunk {
+                let view = clamp_view(TrajView::identity(t), self.max_len());
+                let p = self.pool(&mut g, &view, &mut rng);
+                out.push(g.value(p).row(0).to_vec());
+            }
+        }
+        out
+    }
+}
+
+/// Truncate a view to `max_len` tokens (prefix).
+pub fn clamp_view(mut view: TrajView, max_len: usize) -> TrajView {
+    if view.len() > max_len {
+        view.roads.truncate(max_len);
+        view.times.truncate(max_len);
+        view.masked.truncate(max_len);
+    }
+    view
+}
+
+/// A view revealing only the departure time (ETA fine-tuning, §IV-D2).
+pub fn departure_only_view(traj: &Trajectory) -> TrajView {
+    let mut v = TrajView::identity(traj);
+    let dep = traj.departure();
+    v.times = vec![dep; v.len()];
+    v
+}
+
+/// Token embedder shared by all baselines: road embedding (+ optional
+/// minute/day embeddings for Trembr) + sinusoidal positions + optional
+/// `[CLS]` and `[MASK]` specials.
+pub struct SeqEmbedder {
+    road_emb: Embedding,
+    minute_emb: Option<Embedding>,
+    day_emb: Option<Embedding>,
+    mask_token: ParamId,
+    cls_token: Option<ParamId>,
+    pe: Array,
+    dim: usize,
+}
+
+impl SeqEmbedder {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        num_roads: usize,
+        dim: usize,
+        max_len: usize,
+        use_time: bool,
+        use_cls: bool,
+    ) -> Self {
+        let road_emb = Embedding::new(store, rng, &format!("{name}.road_emb"), num_roads, dim);
+        let minute_emb = use_time
+            .then(|| Embedding::new(store, rng, &format!("{name}.minute_emb"), 1441, dim));
+        let day_emb =
+            use_time.then(|| Embedding::new(store, rng, &format!("{name}.day_emb"), 8, dim));
+        let mask_token =
+            store.param(format!("{name}.mask_tok"), 1, dim, Init::Normal(0.02), rng);
+        let cls_token = use_cls
+            .then(|| store.param(format!("{name}.cls_tok"), 1, dim, Init::Normal(0.02), rng));
+        let pe = sinusoidal_positional_encoding(max_len + 1, dim);
+        Self { road_emb, minute_emb, day_emb, mask_token, cls_token, pe, dim }
+    }
+
+    /// Overwrite the road-embedding table (node2vec initialization for PIM
+    /// and Toast).
+    pub fn init_road_table(&self, store: &mut ParamStore, data: &[f32]) {
+        let table = store.get_mut(self.road_emb.table_id());
+        assert_eq!(table.len(), data.len(), "road table size mismatch");
+        table.data_mut().copy_from_slice(data);
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn has_cls(&self) -> bool {
+        self.cls_token.is_some()
+    }
+
+    /// Embed a view: returns `(T, d)` (or `(T+1, d)` with `[CLS]` first).
+    pub fn forward(&self, g: &mut Graph, view: &TrajView, rng: &mut StdRng) -> NodeId {
+        let t = view.len();
+        assert!(t > 0, "empty view");
+        let d = self.dim;
+
+        let ids: Vec<u32> = view.roads.iter().map(|r| r.0).collect();
+        let table = g.param(self.road_emb.table_id());
+        let gathered = g.gather_rows(table, Arc::new(ids));
+        let mut x = if view.masked.iter().any(|&m| m) {
+            let keep = g.input(Array::from_vec(
+                t,
+                1,
+                view.masked.iter().map(|&m| if m { 0.0 } else { 1.0 }).collect(),
+            ));
+            let drop = g.input(Array::from_vec(
+                t,
+                1,
+                view.masked.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect(),
+            ));
+            let kept = g.mul_col(gathered, keep);
+            let mask_tok = g.param(self.mask_token);
+            let mask_rows = g.gather_rows(mask_tok, Arc::new(vec![0u32; t]));
+            let masked_rows = g.mul_col(mask_rows, drop);
+            g.add(kept, masked_rows)
+        } else {
+            gathered
+        };
+
+        if let (Some(me), Some(de)) = (&self.minute_emb, &self.day_emb) {
+            let minutes: Vec<u32> = view
+                .times
+                .iter()
+                .zip(&view.masked)
+                .map(|(&ts, &m)| if m { 0 } else { minute_index(ts) })
+                .collect();
+            let days: Vec<u32> = view
+                .times
+                .iter()
+                .zip(&view.masked)
+                .map(|(&ts, &m)| if m { 0 } else { day_of_week_index(ts) })
+                .collect();
+            let memb = me.forward(g, &minutes);
+            let demb = de.forward(g, &days);
+            x = g.add(x, memb);
+            x = g.add(x, demb);
+        }
+        let pe = g.input(Array::from_fn(t, d, |r, c| self.pe.get(r + 1, c)));
+        x = g.add(x, pe);
+
+        let mut full = if let Some(cls) = self.cls_token {
+            let cls = g.param(cls);
+            let cls_pe = g.input(Array::from_fn(1, d, |_, c| self.pe.get(0, c)));
+            let cls = g.add(cls, cls_pe);
+            g.concat_rows(&[cls, x])
+        } else {
+            x
+        };
+        if view.embed_dropout > 0.0 {
+            full = g.dropout(full, view.embed_dropout, rng);
+        }
+        full
+    }
+}
+
+/// Shared pre-training loop parameters for all baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineTrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub max_steps_per_epoch: Option<usize>,
+    pub grad_clip: f32,
+    pub seed: u64,
+}
+
+impl Default for BaselineTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 2,
+            batch_size: 16,
+            lr: 2e-4,
+            max_steps_per_epoch: None,
+            grad_clip: 5.0,
+            seed: 77,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use start_roadnet::SegmentId;
+    use start_traj::TravelMode;
+
+    fn traj(len: usize) -> Trajectory {
+        Trajectory {
+            roads: (0..len as u32).map(SegmentId).collect(),
+            times: (0..len as i64).map(|i| i * 45).collect(),
+            driver: 0,
+            occupied: false,
+            mode: TravelMode::CarTaxi,
+            arrival: len as i64 * 45,
+        }
+    }
+
+    #[test]
+    fn embedder_shapes_with_and_without_cls() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let with_cls = SeqEmbedder::new(&mut store, &mut rng, "a", 50, 16, 64, true, true);
+        let without = SeqEmbedder::new(&mut store, &mut rng, "b", 50, 16, 64, false, false);
+        let t = traj(10);
+        let view = TrajView::identity(&t);
+        let mut g = Graph::new(&store, false);
+        let xa = with_cls.forward(&mut g, &view, &mut rng);
+        let xb = without.forward(&mut g, &view, &mut rng);
+        assert_eq!(g.shape(xa), (11, 16));
+        assert_eq!(g.shape(xb), (10, 16));
+    }
+
+    #[test]
+    fn masked_tokens_replace_road_vectors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let emb = SeqEmbedder::new(&mut store, &mut rng, "m", 50, 16, 64, false, false);
+        let t = traj(6);
+        let plain = TrajView::identity(&t);
+        let mut masked = TrajView::identity(&t);
+        masked.masked[2] = true;
+        let mut g = Graph::new(&store, false);
+        let xp = emb.forward(&mut g, &plain, &mut rng);
+        let xm = emb.forward(&mut g, &masked, &mut rng);
+        assert_ne!(g.value(xp).row(2), g.value(xm).row(2));
+        assert_eq!(g.value(xp).row(3), g.value(xm).row(3));
+    }
+
+    #[test]
+    fn departure_view_levels_times() {
+        let t = traj(5);
+        let v = departure_only_view(&t);
+        assert!(v.times.iter().all(|&x| x == t.departure()));
+    }
+}

@@ -1,0 +1,180 @@
+//! Generic downstream heads for baselines: the same fine-tuning protocol the
+//! paper applies to every model (§IV-C1 "the baselines have the same
+//! settings as START").
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use start_nn::graph::Graph;
+use start_nn::layers::Linear;
+use start_nn::params::GradStore;
+use start_nn::{AdamW, AdamWConfig, Array, WarmupCosine};
+use start_traj::{TrajView, Trajectory};
+
+use crate::encoder::{clamp_view, departure_only_view, BaselineEncoder, BaselineTrainConfig};
+
+/// Regression head over a baseline encoder.
+pub struct GenericEtaHead {
+    fc: Linear,
+    pub target_mean: f32,
+    pub target_std: f32,
+}
+
+/// Fine-tune any baseline for travel time estimation (Eq. 16 protocol).
+pub fn fine_tune_eta<E: BaselineEncoder>(
+    enc: &mut E,
+    train: &[Trajectory],
+    cfg: &BaselineTrainConfig,
+) -> GenericEtaHead {
+    assert!(!train.is_empty());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = enc.dim();
+    let fc = {
+        let store = enc.store_mut();
+        Linear::new(store, &mut rng, "eta_head", dim, 1, true)
+    };
+    let times: Vec<f32> = train.iter().map(Trajectory::travel_time_secs).collect();
+    let mean = times.iter().sum::<f32>() / times.len() as f32;
+    let std = (times.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>() / times.len() as f32)
+        .sqrt()
+        .max(1.0);
+
+    let steps_per_epoch = {
+        let full = (train.len() / cfg.batch_size).max(1);
+        cfg.max_steps_per_epoch.map_or(full, |m| m.min(full)).max(1)
+    };
+    let total = (steps_per_epoch * cfg.epochs) as u64;
+    let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
+    let mut optimizer =
+        AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
+
+    let mut indices: Vec<usize> = (0..train.len()).collect();
+    let mut step = 0u64;
+    for _ in 0..cfg.epochs {
+        indices.shuffle(&mut rng);
+        for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
+            let mut grads = GradStore::new(enc.store());
+            {
+                let mut g = Graph::new(enc.store(), true);
+                let mut pooled = Vec::with_capacity(batch.len());
+                let mut targets = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    let view = clamp_view(departure_only_view(&train[i]), enc.max_len());
+                    pooled.push(enc.pool(&mut g, &view, &mut rng));
+                    targets.push((train[i].travel_time_secs() - mean) / std);
+                }
+                let stacked = g.concat_rows(&pooled);
+                let preds = fc.forward(&mut g, stacked);
+                let loss = g.mse_loss(preds, Array::from_vec(batch.len(), 1, targets));
+                g.backward(loss, &mut grads);
+            }
+            grads.clip_global_norm(cfg.grad_clip);
+            optimizer.step(enc.store_mut(), &grads, schedule.lr(step));
+            step += 1;
+        }
+    }
+    GenericEtaHead { fc, target_mean: mean, target_std: std }
+}
+
+/// Predict travel times in seconds.
+pub fn predict_eta<E: BaselineEncoder>(
+    enc: &E,
+    head: &GenericEtaHead,
+    trajectories: &[Trajectory],
+) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut out = Vec::with_capacity(trajectories.len());
+    for chunk in trajectories.chunks(64) {
+        let mut g = Graph::new(enc.store(), false);
+        for t in chunk {
+            let view = clamp_view(departure_only_view(t), enc.max_len());
+            let p = enc.pool(&mut g, &view, &mut rng);
+            let pred = head.fc.forward(&mut g, p);
+            out.push(g.value(pred).item() * head.target_std + head.target_mean);
+        }
+    }
+    out
+}
+
+/// Classification head over a baseline encoder.
+pub struct GenericClassifierHead {
+    fc: Linear,
+    pub num_classes: usize,
+}
+
+/// Fine-tune any baseline for trajectory classification (Eq. 17 protocol).
+pub fn fine_tune_classifier<E: BaselineEncoder>(
+    enc: &mut E,
+    train: &[Trajectory],
+    labels: &[usize],
+    num_classes: usize,
+    cfg: &BaselineTrainConfig,
+) -> GenericClassifierHead {
+    assert_eq!(train.len(), labels.len());
+    assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = enc.dim();
+    let fc = {
+        let store = enc.store_mut();
+        Linear::new(store, &mut rng, "cls_head", dim, num_classes, true)
+    };
+    let steps_per_epoch = {
+        let full = (train.len() / cfg.batch_size).max(1);
+        cfg.max_steps_per_epoch.map_or(full, |m| m.min(full)).max(1)
+    };
+    let total = (steps_per_epoch * cfg.epochs) as u64;
+    let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
+    let mut optimizer =
+        AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
+
+    let mut indices: Vec<usize> = (0..train.len()).collect();
+    let mut step = 0u64;
+    for _ in 0..cfg.epochs {
+        indices.shuffle(&mut rng);
+        for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
+            let mut grads = GradStore::new(enc.store());
+            {
+                let mut g = Graph::new(enc.store(), true);
+                let mut pooled = Vec::with_capacity(batch.len());
+                let mut targets = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    let view = clamp_view(TrajView::identity(&train[i]), enc.max_len());
+                    pooled.push(enc.pool(&mut g, &view, &mut rng));
+                    targets.push(labels[i] as u32);
+                }
+                let stacked = g.concat_rows(&pooled);
+                let logits = fc.forward(&mut g, stacked);
+                let loss = g.cross_entropy_rows(logits, Arc::new(targets));
+                g.backward(loss, &mut grads);
+            }
+            grads.clip_global_norm(cfg.grad_clip);
+            optimizer.step(enc.store_mut(), &grads, schedule.lr(step));
+            step += 1;
+        }
+    }
+    GenericClassifierHead { fc, num_classes }
+}
+
+/// Predict class probabilities.
+pub fn predict_classes<E: BaselineEncoder>(
+    enc: &E,
+    head: &GenericClassifierHead,
+    trajectories: &[Trajectory],
+) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut out = Vec::with_capacity(trajectories.len());
+    for chunk in trajectories.chunks(64) {
+        let mut g = Graph::new(enc.store(), false);
+        for t in chunk {
+            let view = clamp_view(TrajView::identity(t), enc.max_len());
+            let p = enc.pool(&mut g, &view, &mut rng);
+            let logits = head.fc.forward(&mut g, p);
+            let probs = g.softmax_rows(logits);
+            out.push(g.value(probs).row(0).to_vec());
+        }
+    }
+    out
+}

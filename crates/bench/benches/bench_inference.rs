@@ -1,0 +1,37 @@
+//! Criterion bench for Fig 10(a): trajectory-embedding throughput of START
+//! vs representative baselines (self-attention vs RNN cost profile).
+//!
+//! Run: `cargo bench -p start-bench --bench bench_inference`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use start_bench::{bj_mini, ModelKind, Runner, Scale};
+use start_traj::Trajectory;
+
+fn bench_inference(c: &mut Criterion) {
+    let scale = Scale { bj_trajectories: 900, ..Scale::quick() };
+    let ds = bj_mini(&scale);
+    let n2v = start_bench::dataset_node2vec(&ds, scale.dim);
+    let pool: Vec<Trajectory> = ds.split.trajectories.iter().take(64).cloned().collect();
+
+    let mut group = c.benchmark_group("embed_64_trajectories");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pool.len() as u64));
+    // One per architecture family: START (GAT+transformer+interval), pure
+    // transformer (Toast), RNN seq2seq (Trembr), RNN + node2vec (PIM).
+    for kind in [
+        ModelKind::start(&scale),
+        ModelKind::Toast,
+        ModelKind::Trembr,
+        ModelKind::Pim,
+    ] {
+        let runner = Runner::build(&kind, &ds, &scale, Some(&n2v));
+        group.bench_with_input(BenchmarkId::from_parameter(runner.name()), &pool, |b, pool| {
+            b.iter(|| runner.encode(pool));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

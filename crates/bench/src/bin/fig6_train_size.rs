@@ -1,0 +1,76 @@
+//! Figure 6: performance as the training-set size varies — pre-trained START
+//! vs the No-Pre-train (purely supervised) variant, on ETA MAPE and
+//! classification accuracy.
+//!
+//! Run: `cargo run -p start-bench --release --bin fig6_train_size`
+
+use start_bench::{bj_mini, ModelKind, Runner, Scale, Table};
+use start_eval::metrics::{accuracy, mape};
+use start_traj::Trajectory;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("START reproduction — Figure 6 (scale: {})\n", scale.name);
+    let ds = bj_mini(&scale);
+    let test: Vec<Trajectory> = ds.test().iter().take(scale.eval_subset).cloned().collect();
+    let eta_truth: Vec<f32> = test.iter().map(Trajectory::travel_time_secs).collect();
+    let cls_truth: Vec<usize> = test.iter().map(|t| t.occupied as usize).collect();
+
+    let full = ds.train().len();
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let mut table = Table::new(
+        "Fig 6: performance when train size varies (BJ-mini)",
+        &["train size", "ETA MAPE (pretrain)", "ETA MAPE (no pretrain)", "ACC (pretrain)", "ACC (no pretrain)"],
+    );
+
+    for frac in fractions {
+        let n = ((full as f64 * frac) as usize).max(scale.batch_size * 2);
+        let train = &ds.train()[..n.min(full)];
+        let labels: Vec<usize> = train.iter().map(|t| t.occupied as usize).collect();
+
+        let mut row = vec![n.to_string()];
+        let mut eta_cells = Vec::new();
+        let mut acc_cells = Vec::new();
+        for pretrained in [true, false] {
+            let mut runner = Runner::build(&ModelKind::start(&scale), &ds, &scale, None);
+            if pretrained {
+                // Pre-training also sees only the reduced split, as in Fig. 6.
+                let sub = reduced_dataset(&ds, n.min(full));
+                runner.pretrain(&sub, &scale);
+            }
+            let snapshot = runner.snapshot();
+            let preds = runner.eta(train, &test, &scale);
+            eta_cells.push(format!("{:.2}", mape(&eta_truth, &preds)));
+            runner.restore(&snapshot);
+            let probs = runner.classify(train, &labels, 2, &test, &scale);
+            acc_cells.push(format!("{:.3}", accuracy(&cls_truth, &probs)));
+            eprintln!("  [n={n} pretrain={pretrained}] done");
+        }
+        row.extend(eta_cells);
+        row.extend(acc_cells);
+        table.row(row);
+    }
+    table.print();
+    println!("Shape checks vs the paper: both improve with more data; the pre-trained model wins\nat every size, with the largest margin at the smallest size.");
+}
+
+/// A copy of the dataset whose training split is truncated to `n`
+/// trajectories (eval/test untouched).
+fn reduced_dataset(ds: &start_traj::TrajDataset, n: usize) -> start_traj::TrajDataset {
+    let mut trajectories: Vec<Trajectory> = ds.train()[..n].to_vec();
+    let train_end = trajectories.len();
+    trajectories.extend_from_slice(ds.eval());
+    let eval_end = trajectories.len();
+    trajectories.extend_from_slice(ds.test());
+    start_traj::TrajDataset {
+        city: ds.city.clone(),
+        split: start_traj::SplitDataset {
+            trajectories,
+            train_end,
+            eval_end,
+            stats: ds.split.stats.clone(),
+        },
+        transfer: ds.transfer.clone(),
+        historical: ds.historical.clone(),
+    }
+}

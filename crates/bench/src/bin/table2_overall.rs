@@ -1,0 +1,131 @@
+//! Table II: overall performance of nine models on three downstream tasks,
+//! for both datasets.
+//!
+//! Tasks per the paper: travel time estimation (MAE/MAPE/RMSE, fine-tuned),
+//! trajectory classification (BJ: occupied binary — ACC/F1/AUC; Porto:
+//! driver id multi-class — Micro-F1/Macro-F1/Recall@5, fine-tuned) and most
+//! similar trajectory search (MR/HR@1/HR@5, zero-shot on the detour
+//! benchmark with p_d = 0.2, t_d = 0.2).
+//!
+//! Run: `cargo run -p start-bench --release --bin table2_overall`
+
+use std::collections::HashMap;
+
+use start_bench::{
+    bj_mini, dataset_node2vec, f3, porto_mini, timed, ModelKind, Runner, Scale, Table,
+};
+use start_eval::metrics::{
+    accuracy, auc, f1_binary, hit_ratio, macro_f1, mean_rank, micro_f1, recall_at_k,
+    regression_report, truth_ranks,
+};
+use start_traj::{build_benchmark, DetourConfig, TrajDataset, Trajectory};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("START reproduction — Table II (scale: {})\n", scale.name);
+    for (ds, is_bj) in [(bj_mini(&scale), true), (porto_mini(&scale), false)] {
+        run_dataset(&ds, is_bj, &scale);
+    }
+    println!("Shape checks vs the paper: START should lead every column; Trembr should be the\nstrongest baseline family member; PIM-TF and Transformer should trail badly on MR.");
+}
+
+fn run_dataset(ds: &TrajDataset, is_bj: bool, scale: &Scale) {
+    let name = &ds.city.name;
+    println!("--- dataset {name}: {} train / {} test ---", ds.train().len(), ds.test().len());
+
+    // Detour benchmark for the zero-shot similarity task.
+    let nq = scale.num_queries.min(ds.test().len() / 11);
+    let bench = build_benchmark(&ds.city.net, ds.test(), nq, nq * 10, &DetourConfig::default());
+
+    // Classification labels (test pool capped to the evaluation subset).
+    let (train_labels, mut test_pool, mut test_labels, num_classes) = labels_for(ds, is_bj);
+    test_pool.truncate(scale.eval_subset);
+    test_labels.truncate(scale.eval_subset);
+    let eta_test: Vec<Trajectory> = ds.test().iter().take(scale.eval_subset).cloned().collect();
+    let eta_truth: Vec<f32> = eta_test.iter().map(Trajectory::travel_time_secs).collect();
+
+    let n2v = dataset_node2vec(ds, scale.dim);
+    let header: Vec<&str> = if is_bj {
+        vec!["Model", "MAE", "MAPE%", "RMSE", "ACC", "F1", "AUC", "MR", "HR@1", "HR@5"]
+    } else {
+        vec!["Model", "MAE", "MAPE%", "RMSE", "MicroF1", "MacroF1", "Rec@5", "MR", "HR@1", "HR@5"]
+    };
+    let mut table = Table::new(format!("Table II on {name}"), &header);
+
+    for kind in ModelKind::table2_lineup(scale) {
+        let mut runner = Runner::build(&kind, ds, scale, Some(&n2v));
+        let model_name = runner.name();
+        let (_, t_pre) = timed(|| runner.pretrain(ds, scale));
+        let snapshot = runner.snapshot();
+
+        // (1) Zero-shot similarity search.
+        let q_embs = runner.encode(&bench.queries);
+        let db_embs = runner.encode(&bench.database);
+        let ranks = truth_ranks(&q_embs, &db_embs, |q| bench.truth(q));
+        let (mr, hr1, hr5) =
+            (mean_rank(&ranks), hit_ratio(&ranks, 1), hit_ratio(&ranks, 5));
+
+        // (2) Travel time estimation.
+        let preds = runner.eta(ds.train(), &eta_test, scale);
+        let reg = regression_report(&eta_truth, &preds);
+
+        // (3) Classification.
+        runner.restore(&snapshot);
+        let probs =
+            runner.classify(ds.train(), &train_labels, num_classes, &test_pool, scale);
+        let (c1, c2, c3) = if is_bj {
+            (accuracy(&test_labels, &probs), f1_binary(&test_labels, &probs), auc(&test_labels, &probs))
+        } else {
+            (
+                micro_f1(&test_labels, &probs),
+                macro_f1(&test_labels, &probs, num_classes),
+                recall_at_k(&test_labels, &probs, 5),
+            )
+        };
+
+        table.row(vec![
+            model_name.to_string(),
+            f3(reg.mae / 60.0), // minutes, like the paper's BJ numbers
+            format!("{:.2}", reg.mape),
+            f3(reg.rmse / 60.0),
+            f3(c1),
+            f3(c2),
+            f3(c3),
+            f3(mr),
+            f3(hr1),
+            f3(hr5),
+        ]);
+        eprintln!("  [{model_name}] pretrain {:.1}s", t_pre.as_secs_f32());
+    }
+    table.print();
+}
+
+/// (train labels, usable test pool, test labels, num classes).
+fn labels_for(
+    ds: &TrajDataset,
+    is_bj: bool,
+) -> (Vec<usize>, Vec<Trajectory>, Vec<usize>, usize) {
+    if is_bj {
+        let train_labels = ds.train().iter().map(|t| t.occupied as usize).collect();
+        let test: Vec<Trajectory> = ds.test().to_vec();
+        let test_labels = test.iter().map(|t| t.occupied as usize).collect();
+        (train_labels, test, test_labels, 2)
+    } else {
+        // Dense driver-id classes from the training split; test trajectories
+        // of unseen drivers are dropped (cannot be classified).
+        let mut mapping: HashMap<u32, usize> = HashMap::new();
+        for t in ds.train() {
+            let next = mapping.len();
+            mapping.entry(t.driver).or_insert(next);
+        }
+        let train_labels = ds.train().iter().map(|t| mapping[&t.driver]).collect();
+        let test: Vec<Trajectory> = ds
+            .test()
+            .iter()
+            .filter(|t| mapping.contains_key(&t.driver))
+            .cloned()
+            .collect();
+        let test_labels = test.iter().map(|t| mapping[&t.driver]).collect();
+        (train_labels, test, test_labels, mapping.len())
+    }
+}

@@ -1,0 +1,111 @@
+//! Table III: transferring pre-trained models across datasets to the small
+//! Geolife-mini set (ETA on Car/Taxi trips; 4-way transport-mode
+//! classification).
+//!
+//! Rows: No-Pre-train Geolife, Pre-train Geolife, Porto-START, BJ-START,
+//! Porto-Trembr, BJ-Trembr. TPE-GAT parameters are road-count independent,
+//! so START transfers across heterogeneous road networks; Trembr's embedding
+//! table does not (only shape-matching tensors are copied).
+//!
+//! Run: `cargo run -p start-bench --release --bin table3_transfer`
+
+use start_bench::{bj_mini, geolife_mini, porto_mini, ModelKind, Runner, Scale, Table};
+use start_eval::metrics::{macro_f1, micro_f1, recall_at_k, regression_report};
+use start_traj::{TrajDataset, TravelMode, Trajectory};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("START reproduction — Table III (scale: {})\n", scale.name);
+
+    let geolife = geolife_mini();
+    let bj = bj_mini(&scale);
+    let porto = porto_mini(&scale);
+    println!(
+        "Geolife-mini: {} trajectories over the BJ road network ({} segments); Porto has a heterogeneous network ({} segments).\n",
+        geolife.split.stats.kept,
+        geolife.num_segments(),
+        porto.num_segments()
+    );
+
+    let mut table = Table::new(
+        "Table III: transfer to Geolife-mini",
+        &["Model", "MAE(min)", "MAPE%", "RMSE(min)", "MicroF1", "MacroF1", "Recall@2"],
+    );
+
+    // (1) START trained directly on Geolife, without / with pre-training.
+    {
+        let mut no_pre = Runner::build(&ModelKind::start(&scale), &geolife, &scale, None);
+        evaluate("No Pre-train Geolife", &mut no_pre, &geolife, &scale, &mut table);
+    }
+    {
+        let mut pre = Runner::build(&ModelKind::start(&scale), &geolife, &scale, None);
+        pre.pretrain(&geolife, &scale);
+        evaluate("Pre-train Geolife", &mut pre, &geolife, &scale, &mut table);
+    }
+
+    // (2) START pre-trained on Porto / BJ, transferred to Geolife.
+    for (src_name, src) in [("Porto-START", &porto), ("BJ-START", &bj)] {
+        let mut source = Runner::build(&ModelKind::start(&scale), src, &scale, None);
+        source.pretrain(src, &scale);
+        let blob = source.snapshot();
+        let mut target = Runner::build(&ModelKind::start(&scale), &geolife, &scale, None);
+        // Shape-matching tensors transfer; TPE-GAT weights are road-count
+        // independent, so the whole encoder moves across cities.
+        target.restore(&blob);
+        evaluate(src_name, &mut target, &geolife, &scale, &mut table);
+    }
+
+    // (3) Trembr transferred the same way (embedding tables do not match
+    // across networks, so most of the first stage is lost).
+    for (src_name, src) in [("Porto-Trembr", &porto), ("BJ-Trembr", &bj)] {
+        let mut source = Runner::build(&ModelKind::Trembr, src, &scale, None);
+        source.pretrain(src, &scale);
+        let blob = source.snapshot();
+        let mut target = Runner::build(&ModelKind::Trembr, &geolife, &scale, None);
+        target.restore(&blob);
+        evaluate(src_name, &mut target, &geolife, &scale, &mut table);
+    }
+
+    table.print();
+    println!("Shape checks vs the paper: BJ-START > Porto-START > Pre-train Geolife > No Pre-train;\ntransferred Trembr should be the weakest (seq2seq does not transfer).");
+}
+
+fn evaluate(name: &str, runner: &mut Runner, geolife: &TrajDataset, scale: &Scale, table: &mut Table) {
+    let snapshot = runner.snapshot();
+
+    // ETA on Car/Taxi trips only (as in the paper).
+    let car_train: Vec<Trajectory> = geolife
+        .train()
+        .iter()
+        .filter(|t| t.mode == TravelMode::CarTaxi)
+        .cloned()
+        .collect();
+    let car_test: Vec<Trajectory> = geolife
+        .test()
+        .iter()
+        .filter(|t| t.mode == TravelMode::CarTaxi)
+        .cloned()
+        .collect();
+    let truth: Vec<f32> = car_test.iter().map(Trajectory::travel_time_secs).collect();
+    let preds = runner.eta(&car_train, &car_test, scale);
+    let reg = regression_report(&truth, &preds);
+
+    // 4-way transport mode classification.
+    runner.restore(&snapshot);
+    let train_labels: Vec<usize> =
+        geolife.train().iter().map(|t| t.mode.class_index()).collect();
+    let test: Vec<Trajectory> = geolife.test().to_vec();
+    let test_labels: Vec<usize> = test.iter().map(|t| t.mode.class_index()).collect();
+    let probs = runner.classify(geolife.train(), &train_labels, 4, &test, scale);
+
+    table.row(vec![
+        name.to_string(),
+        format!("{:.3}", reg.mae / 60.0),
+        format!("{:.2}", reg.mape),
+        format!("{:.3}", reg.rmse / 60.0),
+        format!("{:.3}", micro_f1(&test_labels, &probs)),
+        format!("{:.3}", macro_f1(&test_labels, &probs, 4)),
+        format!("{:.3}", recall_at_k(&test_labels, &probs, 2)),
+    ]);
+    eprintln!("  [{name}] done");
+}

@@ -1,0 +1,77 @@
+//! Dataset construction for the experiment binaries: BJ-mini, Porto-mini
+//! and Geolife-mini (the Table III transfer target).
+
+use start_roadnet::synth::{beijing_like, porto_like};
+use start_traj::{PreprocessConfig, SimConfig, TrajDataset};
+
+use crate::scale::Scale;
+
+/// The BJ-mini dataset (binary occupancy labels, ETA, similarity).
+pub fn bj_mini(scale: &Scale) -> TrajDataset {
+    let city = beijing_like();
+    let sim = SimConfig {
+        num_trajectories: scale.bj_trajectories,
+        num_drivers: 60,
+        days: 28,
+        seed: 20151101,
+        ..Default::default()
+    };
+    TrajDataset::build(city, sim, &PreprocessConfig::default())
+}
+
+/// The Porto-mini dataset (driver-id multi-class labels).
+pub fn porto_mini(scale: &Scale) -> TrajDataset {
+    let city = porto_like();
+    let sim = SimConfig {
+        num_trajectories: scale.porto_trajectories,
+        num_drivers: 24,
+        days: 28,
+        seed: 20130701,
+        ..Default::default()
+    };
+    TrajDataset::build(city, sim, &PreprocessConfig::default())
+}
+
+/// The Geolife-mini transfer dataset: small, multi-modal, on the BJ network
+/// (as in the paper, Geolife and BJ share the same city).
+pub fn geolife_mini() -> TrajDataset {
+    let mut city = beijing_like();
+    city.name = "Geolife-mini".into();
+    let mut sim = SimConfig::geolife_like();
+    sim.num_drivers = 24;
+    let mut pre = PreprocessConfig::default();
+    pre.min_user_trajectories = 1; // tiny dataset, keep every user
+    TrajDataset::build(city, sim, &pre)
+}
+
+/// Dense driver-id labels for multi-class classification: maps raw driver
+/// ids to `0..n_classes`, returning (labels per trajectory, n_classes) over
+/// the given split.
+pub fn driver_labels(trajs: &[start_traj::Trajectory]) -> (Vec<usize>, usize) {
+    let mut ids: Vec<u32> = trajs.iter().map(|t| t.driver).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let labels = trajs
+        .iter()
+        .map(|t| ids.binary_search(&t.driver).expect("driver present") )
+        .collect();
+    (labels, ids.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_labels_are_dense() {
+        let scale = Scale::quick();
+        let ds = porto_mini(&Scale { porto_trajectories: 300, ..scale });
+        let (labels, n) = driver_labels(ds.train());
+        assert!(n >= 2);
+        assert!(labels.iter().all(|&l| l < n));
+        // Every class in range appears at least once.
+        for c in 0..n {
+            assert!(labels.contains(&c), "class {c} missing");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment scale selection.
+//!
+//! The paper trains d=256 / 6-layer models on a 3090 for 30 epochs over ~1M
+//! trajectories; this CPU reproduction exposes three scales selected with
+//! `START_SCALE={quick,std,full}` (default `quick`). All experiment
+//! binaries honour it, so the same harness regenerates every table and
+//! figure at any budget.
+
+/// Knobs that grow with the compute budget.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub name: &'static str,
+    /// Simulated trajectories per city before preprocessing.
+    pub bj_trajectories: usize,
+    pub porto_trajectories: usize,
+    /// Model width / depth.
+    pub dim: usize,
+    pub gat_layers: usize,
+    pub encoder_layers: usize,
+    pub heads: usize,
+    /// Pre-training budget.
+    pub pretrain_epochs: usize,
+    pub pretrain_steps_per_epoch: Option<usize>,
+    pub batch_size: usize,
+    /// Fine-tuning budget.
+    pub finetune_epochs: usize,
+    pub finetune_steps_per_epoch: Option<usize>,
+    /// Evaluation subset sizes.
+    pub eval_subset: usize,
+    /// Similarity search sizes (queries; negatives are 10x).
+    pub num_queries: usize,
+}
+
+impl Scale {
+    pub fn quick() -> Self {
+        Self {
+            name: "quick",
+            bj_trajectories: 2200,
+            porto_trajectories: 1400,
+            dim: 48,
+            gat_layers: 2,
+            encoder_layers: 2,
+            heads: 4,
+            pretrain_epochs: 4,
+            pretrain_steps_per_epoch: Some(50),
+            batch_size: 16,
+            finetune_epochs: 3,
+            finetune_steps_per_epoch: Some(60),
+            eval_subset: 220,
+            num_queries: 50,
+        }
+    }
+
+    pub fn std() -> Self {
+        Self {
+            name: "std",
+            bj_trajectories: 6000,
+            porto_trajectories: 4000,
+            dim: 64,
+            gat_layers: 2,
+            encoder_layers: 3,
+            heads: 4,
+            pretrain_epochs: 4,
+            pretrain_steps_per_epoch: Some(60),
+            batch_size: 16,
+            finetune_epochs: 3,
+            finetune_steps_per_epoch: Some(60),
+            eval_subset: 600,
+            num_queries: 150,
+        }
+    }
+
+    pub fn full() -> Self {
+        Self {
+            name: "full",
+            bj_trajectories: 20000,
+            porto_trajectories: 12000,
+            dim: 128,
+            gat_layers: 3,
+            encoder_layers: 6,
+            heads: 8,
+            pretrain_epochs: 10,
+            pretrain_steps_per_epoch: None,
+            batch_size: 32,
+            finetune_epochs: 5,
+            finetune_steps_per_epoch: None,
+            eval_subset: 2000,
+            num_queries: 500,
+        }
+    }
+
+    /// Read `START_SCALE` (default quick).
+    pub fn from_env() -> Self {
+        match std::env::var("START_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            Ok("std") => Self::std(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let s = Scale::std();
+        let f = Scale::full();
+        assert!(q.bj_trajectories < s.bj_trajectories);
+        assert!(s.bj_trajectories < f.bj_trajectories);
+        assert!(q.dim <= s.dim && s.dim <= f.dim);
+    }
+}

@@ -1,0 +1,197 @@
+//! START hyper-parameters and ablation switches.
+//!
+//! Defaults follow the paper's §IV-C1 settings with dimensions scaled down
+//! for CPU training (DESIGN.md §1): the *ratios* — mask span 2, mask ratio
+//! 15 %, dropout 0.1, τ = 0.05, λ = 0.6, default augmentations
+//! {Trimming, Temporal Shifting} — are the paper's exactly. Every ablation of
+//! Fig. 7 is a flag here so the ablation bench drives one code base.
+
+use serde::{Deserialize, Serialize};
+use start_traj::Augmentation;
+
+/// How road representations are produced (first stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoadEncoder {
+    /// The paper's TPE-GAT (Eqs. 1-4).
+    TpeGat,
+    /// Fig. 7 `w/o TransProb`: standard GAT, no transfer-probability term.
+    GatNoTransProb,
+    /// Fig. 7 `w/o TPE-GAT`: randomly initialized learnable road embeddings.
+    RandomEmbedding,
+    /// Fig. 7 `w/ Node2vec`: learnable embeddings initialized by node2vec.
+    Node2VecEmbedding,
+}
+
+/// How the attention bias models relative position (second stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalMode {
+    /// The paper's irregular time intervals `δ_ij = |t_i - t_j|` (Eq. 8).
+    TimeInterval,
+    /// Fig. 7 `w/ Hop`: hop distance `δ_ij = |i - j|`.
+    Hop,
+    /// Fig. 7 `w/o Time interval`: no attention bias at all.
+    None,
+}
+
+/// Full model + training configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StartConfig {
+    /// Embedding size `d` (paper: 256; scaled default 64).
+    pub dim: usize,
+    /// TPE-GAT layers `L1` (paper: 3; scaled default 2).
+    pub gat_layers: usize,
+    /// Attention heads per GAT layer `H1` (paper: [8, 16, 1]).
+    pub gat_heads: Vec<usize>,
+    /// Encoder layers `L2` (paper: 6; scaled default 3).
+    pub encoder_layers: usize,
+    /// Encoder attention heads `H2` (paper: 8; scaled default 4).
+    pub encoder_heads: usize,
+    /// FFN hidden size (paper uses d; we keep d by default).
+    pub ffn_hidden: usize,
+    pub dropout: f32,
+    /// Span mask length `l_m` (paper: 2).
+    pub mask_span: usize,
+    /// Mask ratio `p_m` (paper: 0.15).
+    pub mask_ratio: f64,
+    /// Contrastive temperature `τ` (paper: 0.05).
+    pub temperature: f32,
+    /// Loss balance `λ` (paper: 0.6).
+    pub lambda: f32,
+    /// The two augmentations used to build contrastive views
+    /// (paper default: Trimming + Temporal Shifting).
+    pub augmentations: (Augmentation, Augmentation),
+    /// Max trajectory length (paper: 128).
+    pub max_len: usize,
+    /// Hidden width of the adaptive interval transform (Eq. 9).
+    pub interval_hidden: usize,
+
+    // --- ablation switches (Fig. 7) ---
+    pub road_encoder: RoadEncoder,
+    /// `w/o Time Emb` drops the minute/day embeddings of Eq. 5.
+    pub use_time_embedding: bool,
+    pub interval_mode: IntervalMode,
+    /// `w/o Log` replaces `1/log(e+δ)` with `1/δ`.
+    pub use_log_decay: bool,
+    /// `w/o Adaptive` freezes the interval matrix (skips Eq. 9).
+    pub use_adaptive_interval: bool,
+    /// `w/o Mask` drops the span-masked recovery loss.
+    pub use_mask_loss: bool,
+    /// `w/o Contra` drops the contrastive loss.
+    pub use_contrastive_loss: bool,
+}
+
+impl Default for StartConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            gat_layers: 2,
+            gat_heads: vec![4, 4],
+            encoder_layers: 3,
+            encoder_heads: 4,
+            ffn_hidden: 64,
+            dropout: 0.1,
+            mask_span: 2,
+            mask_ratio: 0.15,
+            temperature: 0.05,
+            lambda: 0.6,
+            augmentations: (Augmentation::Trim, Augmentation::TemporalShift),
+            max_len: 128,
+            interval_hidden: 16,
+            road_encoder: RoadEncoder::TpeGat,
+            use_time_embedding: true,
+            interval_mode: IntervalMode::TimeInterval,
+            use_log_decay: true,
+            use_adaptive_interval: true,
+            use_mask_loss: true,
+            use_contrastive_loss: true,
+        }
+    }
+}
+
+impl StartConfig {
+    /// Paper-scale configuration (§IV-C1) — runnable, but slow on CPU.
+    pub fn paper_scale() -> Self {
+        Self {
+            dim: 256,
+            gat_layers: 3,
+            gat_heads: vec![8, 16, 1],
+            encoder_layers: 6,
+            encoder_heads: 8,
+            ffn_hidden: 256,
+            ..Self::default()
+        }
+    }
+
+    /// A very small config for unit tests.
+    pub fn test_scale() -> Self {
+        Self {
+            dim: 32,
+            gat_layers: 1,
+            gat_heads: vec![2],
+            encoder_layers: 2,
+            encoder_heads: 2,
+            ffn_hidden: 32,
+            interval_hidden: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Sanity-check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gat_heads.len() != self.gat_layers {
+            return Err(format!(
+                "gat_heads has {} entries for {} layers",
+                self.gat_heads.len(),
+                self.gat_layers
+            ));
+        }
+        for (l, &h) in self.gat_heads.iter().enumerate() {
+            if h == 0 || self.dim % h != 0 {
+                return Err(format!("gat layer {l}: dim {} not divisible by heads {h}", self.dim));
+            }
+        }
+        if self.encoder_heads == 0 || self.dim % self.encoder_heads != 0 {
+            return Err(format!(
+                "dim {} not divisible by encoder heads {}",
+                self.dim, self.encoder_heads
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mask_ratio) {
+            return Err("mask_ratio outside [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err("lambda outside [0, 1]".into());
+        }
+        if self.temperature <= 0.0 {
+            return Err("temperature must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_paper_scale_validate() {
+        assert!(StartConfig::default().validate().is_ok());
+        assert!(StartConfig::paper_scale().validate().is_ok());
+        assert!(StartConfig::test_scale().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = StartConfig::default();
+        c.gat_heads = vec![3]; // wrong count and non-divisor
+        assert!(c.validate().is_err());
+
+        let mut c = StartConfig::default();
+        c.encoder_heads = 5;
+        assert!(c.validate().is_err());
+
+        let mut c = StartConfig::default();
+        c.temperature = 0.0;
+        assert!(c.validate().is_err());
+    }
+}

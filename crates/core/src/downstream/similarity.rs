@@ -1,0 +1,80 @@
+//! Zero-shot trajectory similarity (§III-D3): pre-trained representations
+//! are compared with Euclidean distance, no fine-tuning. Batch encoding
+//! fans out across threads — the [`crate::model::StartModel`] parameter
+//! store is immutable during inference, so workers share it by reference.
+
+use start_traj::{TrajView, Trajectory};
+
+use crate::model::{clamp_view, StartModel};
+
+/// Euclidean distance between two representation vectors.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+/// Encode trajectories in parallel across `threads` workers.
+pub fn encode_parallel(
+    model: &StartModel,
+    trajectories: &[Trajectory],
+    threads: usize,
+) -> Vec<Vec<f32>> {
+    let threads = threads.max(1);
+    if threads == 1 || trajectories.len() < threads * 4 {
+        return model.encode_trajectories(trajectories);
+    }
+    let chunk = trajectories.len().div_ceil(threads);
+    let mut results: Vec<Vec<Vec<f32>>> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = trajectories
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    let views: Vec<TrajView> = part
+                        .iter()
+                        .map(|t| clamp_view(TrajView::identity(t), model.cfg.max_len))
+                        .collect();
+                    model.encode_views(&views)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("encoder worker panicked"));
+        }
+    })
+    .expect("encode scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StartConfig;
+    use start_roadnet::synth::{generate_city, CityConfig};
+    use start_traj::{SimConfig, Simulator};
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn parallel_encoding_matches_serial() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 40, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, None, None, 23);
+        let serial = model.encode_trajectories(&data);
+        let parallel = encode_parallel(&model, &data, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-5, "parallel encoding diverged");
+            }
+        }
+    }
+}

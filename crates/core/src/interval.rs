@@ -1,0 +1,179 @@
+//! The time-interval attention bias of the Time Interval-Aware
+//! Self-Attention (§III-B2, Eqs. 7-9).
+//!
+//! From the visit timestamps of a trajectory we build the interval matrix
+//! `Δ` with `δ_ij = |t_i - t_j|` (Eq. 8), decay it with
+//! `δ' = 1 / log(e + δ)` so close-in-time roads interact strongly, and make
+//! it learnable with the two-linear-transformation of Eq. 9:
+//! `δ̃ = LeakyReLU(δ' ω1) ω2^T`. The resulting `(T+1, T+1)` matrix (the
+//! extra row/column is the `[CLS]` placeholder) is added to every attention
+//! head's pre-softmax scores (Eq. 7).
+//!
+//! All Fig. 7 interval ablations are switchable: hop distance instead of
+//! time, inverse instead of log decay, frozen instead of adaptive.
+
+use rand::rngs::StdRng;
+
+use start_nn::graph::{Graph, NodeId};
+use start_nn::params::{Init, ParamId, ParamStore};
+use start_nn::Array;
+use start_traj::Timestamp;
+
+use crate::config::IntervalMode;
+
+/// Builds the adaptive interval bias for one trajectory.
+pub struct IntervalModule {
+    omega1: ParamId,
+    omega2: ParamId,
+    mode: IntervalMode,
+    use_log_decay: bool,
+    use_adaptive: bool,
+}
+
+impl IntervalModule {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        hidden: usize,
+        mode: IntervalMode,
+        use_log_decay: bool,
+        use_adaptive: bool,
+    ) -> Self {
+        let omega1 = store.param(format!("{name}.omega1"), 1, hidden, Init::XavierUniform, rng);
+        let omega2 = store.param(format!("{name}.omega2"), hidden, 1, Init::XavierUniform, rng);
+        Self { omega1, omega2, mode, use_log_decay, use_adaptive }
+    }
+
+    /// Decayed interval value for a raw gap `δ` (minutes or hops).
+    fn decay(&self, delta: f64) -> f32 {
+        if self.use_log_decay {
+            (1.0 / (std::f64::consts::E + delta).ln()) as f32
+        } else {
+            // `w/o Log` ablation: inverse decay, clamped away from /0.
+            (1.0 / delta.max(1.0)) as f32
+        }
+    }
+
+    /// The raw decayed matrix `Δ'` of shape `(T+1, T+1)` including `[CLS]`
+    /// at index 0 (treated as co-temporal with every road).
+    fn decayed_matrix(&self, times: &[Timestamp]) -> Array {
+        let t = times.len();
+        Array::from_fn(t + 1, t + 1, |r, c| {
+            let delta = match self.mode {
+                IntervalMode::TimeInterval => {
+                    // CLS rows/cols use gap 0 (maximal interaction).
+                    if r == 0 || c == 0 {
+                        0.0
+                    } else {
+                        // Minutes, per the paper's minute-level clock.
+                        (times[r - 1] - times[c - 1]).abs() as f64 / 60.0
+                    }
+                }
+                IntervalMode::Hop => {
+                    // `w/ Hop` ablation: positional distance.
+                    (r as f64 - c as f64).abs()
+                }
+                IntervalMode::None => return 0.0,
+            };
+            self.decay(delta)
+        })
+    }
+
+    /// Build the additive attention bias node; `None` when disabled.
+    pub fn forward(&self, g: &mut Graph, times: &[Timestamp]) -> Option<NodeId> {
+        if self.mode == IntervalMode::None {
+            return None;
+        }
+        let raw = self.decayed_matrix(times);
+        let (rows, cols) = raw.shape();
+        let flat = g.input(raw.reshaped(rows * cols, 1));
+        if !self.use_adaptive {
+            // `w/o Adaptive`: the constant decayed matrix is the bias.
+            return Some(g.reshape(flat, rows, cols));
+        }
+        // Eq. 9: scalar -> hidden -> scalar, learnable.
+        let w1 = g.param(self.omega1);
+        let w2 = g.param(self.omega2);
+        let h = g.matmul(flat, w1);
+        let h = g.leaky_relu(h, 0.2);
+        let out = g.matmul(h, w2);
+        Some(g.reshape(out, rows, cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use start_nn::params::GradStore;
+
+    fn module(mode: IntervalMode, log: bool, adaptive: bool) -> (ParamStore, IntervalModule) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let m = IntervalModule::new(&mut store, &mut rng, "iv", 8, mode, log, adaptive);
+        (store, m)
+    }
+
+    #[test]
+    fn none_mode_yields_no_bias() {
+        let (store, m) = module(IntervalMode::None, true, true);
+        let mut g = Graph::new(&store, false);
+        assert!(m.forward(&mut g, &[0, 60, 120]).is_none());
+    }
+
+    #[test]
+    fn closer_times_get_larger_raw_bias() {
+        let (_, m) = module(IntervalMode::TimeInterval, true, false);
+        let raw = m.decayed_matrix(&[0, 60, 3600]);
+        // (1,2): 1 minute apart; (1,3): 60 minutes apart.
+        assert!(raw.get(1, 2) > raw.get(1, 3), "decay must be monotone");
+        // Diagonal (gap 0) is the maximum.
+        assert!(raw.get(1, 1) >= raw.get(1, 2));
+    }
+
+    #[test]
+    fn frozen_bias_equals_decayed_matrix() {
+        let (store, m) = module(IntervalMode::TimeInterval, true, false);
+        let times = [0, 300, 900];
+        let mut g = Graph::new(&store, false);
+        let bias = m.forward(&mut g, &times).expect("bias");
+        assert_eq!(g.shape(bias), (4, 4));
+        let raw = m.decayed_matrix(&times);
+        assert_eq!(g.value(bias).data(), raw.data());
+    }
+
+    #[test]
+    fn adaptive_bias_is_trainable() {
+        let (store, m) = module(IntervalMode::TimeInterval, true, true);
+        let mut g = Graph::new(&store, true);
+        let bias = m.forward(&mut g, &[0, 120, 600]).expect("bias");
+        let sq = g.mul(bias, bias);
+        let loss = g.mean_all(sq);
+        let mut grads = GradStore::new(&store);
+        g.backward(loss, &mut grads);
+        let got: Vec<_> = store.ids().filter(|&id| grads.get(id).is_some()).collect();
+        assert_eq!(got.len(), 2, "both omegas must receive gradients");
+    }
+
+    #[test]
+    fn hop_mode_ignores_timestamps() {
+        let (store, m) = module(IntervalMode::Hop, true, false);
+        let mut g = Graph::new(&store, false);
+        let b1 = m.forward(&mut g, &[0, 60, 120]).unwrap();
+        let b2 = m.forward(&mut g, &[0, 6000, 12000]).unwrap();
+        assert_eq!(g.value(b1).data(), g.value(b2).data());
+    }
+
+    #[test]
+    fn inverse_decay_differs_from_log_decay() {
+        let (_, log_m) = module(IntervalMode::TimeInterval, true, false);
+        let (_, inv_m) = module(IntervalMode::TimeInterval, false, false);
+        let times = [0, 1200, 7200];
+        let a = log_m.decayed_matrix(&times);
+        let b = inv_m.decayed_matrix(&times);
+        assert_ne!(a.data(), b.data());
+        // Inverse decays much faster at large gaps (the paper's point).
+        assert!(b.get(1, 3) < a.get(1, 3));
+    }
+}

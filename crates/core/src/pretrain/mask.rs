@@ -1,0 +1,108 @@
+//! Span-masked trajectory recovery (§III-C1, Eqs. 12-13).
+//!
+//! Consecutive spans of length `l_m` covering `p_m` of the trajectory are
+//! replaced by `[MASK]`/`[MASKT]` tokens; the model predicts the masked road
+//! ids from the encoder output with a linear head over the road vocabulary.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use start_nn::graph::{Graph, NodeId};
+use start_traj::{choose_span_mask, TrajView, Trajectory};
+
+use crate::model::{clamp_view, StartModel};
+
+/// Build the span-masked view of a trajectory and remember the targets.
+pub struct MaskedExample {
+    pub view: TrajView,
+    /// 0-based positions that were masked.
+    pub positions: Vec<usize>,
+    /// True road ids at those positions.
+    pub targets: Vec<u32>,
+}
+
+/// Sample a masked example per the paper's `l_m` / `p_m` settings.
+pub fn make_masked_example(
+    traj: &Trajectory,
+    span: usize,
+    ratio: f64,
+    max_len: usize,
+    rng: &mut StdRng,
+) -> MaskedExample {
+    let mut view = clamp_view(TrajView::identity(traj), max_len);
+    let mask = choose_span_mask(view.len(), span, ratio, rng);
+    let positions: Vec<usize> =
+        mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+    let targets: Vec<u32> = positions.iter().map(|&p| view.roads[p].0).collect();
+    view.masked = mask;
+    MaskedExample { view, positions, targets }
+}
+
+/// Encode a masked example and produce its recovery loss node (Eq. 13).
+pub fn masked_recovery_loss(
+    model: &StartModel,
+    g: &mut Graph,
+    road_reprs: NodeId,
+    example: &MaskedExample,
+    rng: &mut StdRng,
+) -> Option<NodeId> {
+    if example.positions.is_empty() {
+        return None;
+    }
+    let enc = model.encode_view(g, &example.view, road_reprs, rng);
+    let logits = model.mask_logits(g, enc.hidden, &example.positions);
+    Some(g.cross_entropy_rows(logits, Arc::new(example.targets.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StartConfig;
+    use rand::SeedableRng;
+    use start_roadnet::synth::{generate_city, CityConfig};
+    use start_roadnet::TransferMatrix;
+    use start_traj::{SimConfig, Simulator};
+
+    #[test]
+    fn masked_example_targets_match_original_roads() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 10, num_drivers: 2, ..Default::default() },
+        );
+        let data = sim.generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        let ex = make_masked_example(&data[0], 2, 0.15, 128, &mut rng);
+        assert!(!ex.positions.is_empty());
+        for (&p, &t) in ex.positions.iter().zip(&ex.targets) {
+            assert_eq!(data[0].roads[p].0, t);
+            assert!(ex.view.masked[p]);
+        }
+    }
+
+    #[test]
+    fn recovery_loss_is_finite_and_positive() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 10, num_drivers: 2, ..Default::default() },
+        );
+        let data = sim.generate();
+        let tm = TransferMatrix::from_sequences(
+            city.net.num_segments(),
+            data.iter().map(|t| t.roads.as_slice()),
+        );
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Graph::new(&model.store, true);
+        let roads = model.road_reprs(&mut g);
+        let ex = make_masked_example(&data[0], 2, 0.15, 128, &mut rng);
+        let loss = masked_recovery_loss(&model, &mut g, roads, &ex, &mut rng).unwrap();
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0, "loss = {v}");
+        // Untrained loss should be near ln(|V|) (uniform prediction).
+        let uniform = (city.net.num_segments() as f32).ln();
+        assert!((v - uniform).abs() < uniform, "loss {v} wildly off uniform {uniform}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Joint self-supervised pre-training (§III-C, Eq. 15):
+//! `L_pre = λ L_mask + (1 - λ) L_con`, trained with AdamW under the paper's
+//! warm-up + cosine-annealing schedule (§IV-C2).
+
+pub mod contrastive;
+pub mod mask;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use start_nn::graph::Graph;
+use start_nn::params::GradStore;
+use start_nn::{AdamW, AdamWConfig, WarmupCosine};
+use start_traj::{TrajView, Trajectory};
+
+use crate::model::{clamp_view, StartModel};
+pub use contrastive::nt_xent_loss;
+pub use mask::{make_masked_example, masked_recovery_loss, MaskedExample};
+
+/// Pre-training loop parameters. The paper uses 30 epochs / batch 64 /
+/// lr 2e-4 with 5 warm-up epochs; defaults here are CPU-scaled.
+#[derive(Debug, Clone)]
+pub struct PretrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub base_lr: f32,
+    /// Fraction of total steps used for linear warm-up.
+    pub warmup_frac: f32,
+    /// Optional cap on optimizer steps per epoch (subsampling for the
+    /// CPU-scaled experiments); `None` sweeps the full split.
+    pub max_steps_per_epoch: Option<usize>,
+    pub grad_clip: f32,
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 3,
+            batch_size: 16,
+            base_lr: 2e-4,
+            warmup_frac: 0.1,
+            max_steps_per_epoch: None,
+            grad_clip: 5.0,
+            seed: 2023,
+        }
+    }
+}
+
+/// Loss trace of a pre-training run.
+#[derive(Debug, Clone, Default)]
+pub struct PretrainReport {
+    /// Mean combined loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean mask / contrastive components of the final epoch.
+    pub final_mask_loss: f32,
+    pub final_contrastive_loss: f32,
+    pub steps: u64,
+}
+
+impl PretrainReport {
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Run self-supervised pre-training on the training split.
+///
+/// `historical` is the per-segment mean traversal time required by the
+/// Temporal Shifting augmentation.
+pub fn pretrain(
+    model: &mut StartModel,
+    train: &[Trajectory],
+    historical: &[f32],
+    cfg: &PretrainConfig,
+) -> PretrainReport {
+    assert!(train.len() >= cfg.batch_size.max(2), "training split too small");
+    assert!(
+        model.cfg.use_mask_loss || model.cfg.use_contrastive_loss,
+        "at least one self-supervised task must be enabled"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let steps_per_epoch = {
+        let full = train.len() / cfg.batch_size;
+        cfg.max_steps_per_epoch.map_or(full, |m| m.min(full)).max(1)
+    };
+    let total_steps = (steps_per_epoch * cfg.epochs) as u64;
+    let schedule = WarmupCosine::new(
+        cfg.base_lr,
+        ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
+        total_steps,
+    );
+    let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.base_lr, ..Default::default() });
+
+    let mut report = PretrainReport::default();
+    let mut indices: Vec<usize> = (0..train.len()).collect();
+    let (lambda, use_mask, use_con) =
+        (model.cfg.lambda, model.cfg.use_mask_loss, model.cfg.use_contrastive_loss);
+    let (aug_a, aug_b) = model.cfg.augmentations;
+    let max_len = model.cfg.max_len;
+    let mut step: u64 = 0;
+
+    for _epoch in 0..cfg.epochs {
+        indices.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_mask = 0.0f64;
+        let mut epoch_con = 0.0f64;
+        for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
+            if batch.len() < 2 {
+                continue;
+            }
+            let mut g = Graph::new(&model.store, true);
+            let road_reprs = model.road_reprs(&mut g);
+
+            // Span-masked recovery over the batch.
+            let mut mask_losses = Vec::new();
+            if use_mask {
+                for &i in batch {
+                    let ex = make_masked_example(
+                        &train[i],
+                        model.cfg.mask_span,
+                        model.cfg.mask_ratio,
+                        max_len,
+                        &mut rng,
+                    );
+                    if let Some(l) = masked_recovery_loss(model, &mut g, road_reprs, &ex, &mut rng)
+                    {
+                        mask_losses.push(l);
+                    }
+                }
+            }
+
+            // Contrastive views over the batch.
+            let mut pooled = Vec::new();
+            if use_con {
+                for &i in batch {
+                    let t = &train[i];
+                    for aug in [aug_a, aug_b] {
+                        let view = clamp_view(aug.apply(t, historical, &mut rng), max_len);
+                        let view = if view.is_empty() {
+                            clamp_view(TrajView::identity(t), max_len)
+                        } else {
+                            view
+                        };
+                        let enc = model.encode_view(&mut g, &view, road_reprs, &mut rng);
+                        pooled.push(enc.pooled);
+                    }
+                }
+            }
+
+            // Eq. 15.
+            let mask_term = if mask_losses.is_empty() {
+                None
+            } else {
+                let mut acc = mask_losses[0];
+                for &l in &mask_losses[1..] {
+                    acc = g.add(acc, l);
+                }
+                Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
+            };
+            let con_term = if pooled.len() >= 4 {
+                Some(nt_xent_loss(&mut g, &pooled, model.cfg.temperature))
+            } else {
+                None
+            };
+            let loss = match (mask_term, con_term) {
+                (Some(m), Some(c)) => {
+                    let lm = g.scale(m, lambda);
+                    let lc = g.scale(c, 1.0 - lambda);
+                    g.add(lm, lc)
+                }
+                (Some(m), None) => m,
+                (None, Some(c)) => c,
+                (None, None) => continue,
+            };
+
+            let mut grads = GradStore::new(&model.store);
+            g.backward(loss, &mut grads);
+            grads.clip_global_norm(cfg.grad_clip);
+
+            epoch_loss += g.value(loss).item() as f64;
+            if let Some(m) = mask_term {
+                epoch_mask += g.value(m).item() as f64;
+            }
+            if let Some(c) = con_term {
+                epoch_con += g.value(c).item() as f64;
+            }
+            drop(g);
+
+            let lr = schedule.lr(step);
+            optimizer.step(&mut model.store, &grads, lr);
+            step += 1;
+        }
+        let denom = steps_per_epoch as f64;
+        report.epoch_losses.push((epoch_loss / denom) as f32);
+        report.final_mask_loss = (epoch_mask / denom) as f32;
+        report.final_contrastive_loss = (epoch_con / denom) as f32;
+    }
+    report.steps = step;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StartConfig;
+    use start_roadnet::synth::{generate_city, CityConfig};
+    use start_roadnet::TransferMatrix;
+    use start_traj::{historical_mean_durations, SimConfig, Simulator};
+
+    fn setup(n: usize) -> (start_roadnet::City, Vec<Trajectory>, TransferMatrix, Vec<f32>) {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: n, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let tm = TransferMatrix::from_sequences(
+            city.net.num_segments(),
+            data.iter().map(|t| t.roads.as_slice()),
+        );
+        let hist = historical_mean_durations(&city.net, &data);
+        (city, data, tm, hist)
+    }
+
+    #[test]
+    fn pretraining_reduces_the_loss() {
+        let (city, data, tm, hist) = setup(64);
+        let mut model =
+            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
+        let cfg = PretrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            base_lr: 1e-3,
+            max_steps_per_epoch: Some(4),
+            ..Default::default()
+        };
+        let report = pretrain(&mut model, &data, &hist, &cfg);
+        assert_eq!(report.epoch_losses.len(), 4);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn mask_only_and_contrastive_only_both_train() {
+        let (city, data, tm, hist) = setup(32);
+        for (use_mask, use_con) in [(true, false), (false, true)] {
+            let cfg_model = StartConfig {
+                use_mask_loss: use_mask,
+                use_contrastive_loss: use_con,
+                ..StartConfig::test_scale()
+            };
+            let mut model = StartModel::new(cfg_model, &city.net, Some(&tm), None, 5);
+            let cfg = PretrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                max_steps_per_epoch: Some(2),
+                ..Default::default()
+            };
+            let report = pretrain(&mut model, &data, &hist, &cfg);
+            assert!(report.final_loss().is_finite());
+            assert!(report.steps >= 2);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Trajectory Pattern-Enhanced Graph Attention Network (§III-A, Eqs. 1-4).
+//!
+//! Stage one of START: converts the road network (features + structure) and
+//! the travel semantics (the transfer-probability matrix of Eq. 2) into road
+//! representation vectors. The attention logit between roads `i` and `j` is
+//!
+//! ```text
+//! e_ij = (h_i W1 + h_j W2 + p_ij^trans W3) W4^T          (Eq. 1)
+//! α_ij = softmax_j(LeakyReLU(e_ij))
+//! h'_i = ELU(Σ_j α_ij h_j W5)                             (Eq. 3)
+//! ```
+//!
+//! with multi-head concatenation (Eq. 4). The graph is processed with sparse
+//! segment operations (one edge row per (i, j) pair), so cost scales with
+//! |E|, not |V|², matching the paper's sparse-matrix implementation note.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use start_nn::graph::{Graph, NodeId, Segments};
+use start_nn::params::{Init, ParamId, ParamStore};
+use start_nn::Array;
+use start_roadnet::{road_features, RoadNetwork, SegmentId, TransferMatrix};
+
+/// One attention head of one TPE-GAT layer.
+struct GatHead {
+    w1: ParamId,
+    w2: ParamId,
+    w3: ParamId,
+    w4: ParamId,
+    w5: ParamId,
+}
+
+/// One multi-head TPE-GAT layer.
+struct GatLayer {
+    heads: Vec<GatHead>,
+}
+
+/// The full TPE-GAT stack, bound to a fixed road network.
+pub struct TpeGat {
+    layers: Vec<GatLayer>,
+    /// Road features `F_V`, the layer-0 input.
+    features: Array,
+    /// Flattened edge list sorted by center node; one row per (center, neighbor).
+    center_ids: Arc<Vec<u32>>,
+    neighbor_ids: Arc<Vec<u32>>,
+    /// Per-edge transfer probabilities (zeros when the ablation disables them).
+    ptrans: Array,
+    segments: Segments,
+    out_dim: usize,
+}
+
+impl TpeGat {
+    /// Build the stack over a network. `heads_per_layer[l]` heads each of
+    /// width `dim / heads_per_layer[l]`; all layers output `dim` columns.
+    /// `transfer` may be `None` for the `w/o TransProb` ablation.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        net: &RoadNetwork,
+        transfer: Option<&TransferMatrix>,
+        dim: usize,
+        heads_per_layer: &[usize],
+    ) -> Self {
+        let feats = road_features(net);
+        let features = Array::from_vec(feats.rows(), feats.cols(), feats.data().to_vec());
+
+        // Edge list with self-loops, sorted by center.
+        let n = net.num_segments();
+        let mut center_ids = Vec::new();
+        let mut neighbor_ids = Vec::new();
+        let mut ptrans = Vec::new();
+        let mut offsets = vec![0u32];
+        for i in 0..n as u32 {
+            let center = SegmentId(i);
+            center_ids.push(i);
+            neighbor_ids.push(i);
+            // Self-loop carries the self-transition probability (usually 0).
+            ptrans.push(transfer.map_or(0.0, |t| t.probability(center, center)));
+            for &nb in net.successors(center) {
+                center_ids.push(i);
+                neighbor_ids.push(nb.0);
+                ptrans.push(transfer.map_or(0.0, |t| t.probability(center, nb)));
+            }
+            offsets.push(center_ids.len() as u32);
+        }
+        let num_edges = center_ids.len();
+
+        let mut layers = Vec::with_capacity(heads_per_layer.len());
+        let mut in_dim = features.cols();
+        for (l, &num_heads) in heads_per_layer.iter().enumerate() {
+            assert!(num_heads > 0 && dim % num_heads == 0, "dim must divide heads");
+            let head_dim = dim / num_heads;
+            let heads = (0..num_heads)
+                .map(|h| {
+                    let p = format!("{name}.l{l}.h{h}");
+                    GatHead {
+                        w1: store.param(format!("{p}.w1"), in_dim, head_dim, Init::XavierUniform, rng),
+                        w2: store.param(format!("{p}.w2"), in_dim, head_dim, Init::XavierUniform, rng),
+                        w3: store.param(format!("{p}.w3"), 1, head_dim, Init::XavierUniform, rng),
+                        w4: store.param(format!("{p}.w4"), head_dim, 1, Init::XavierUniform, rng),
+                        w5: store.param(format!("{p}.w5"), in_dim, head_dim, Init::XavierUniform, rng),
+                    }
+                })
+                .collect();
+            layers.push(GatLayer { heads });
+            in_dim = dim;
+        }
+
+        Self {
+            layers,
+            features,
+            center_ids: Arc::new(center_ids),
+            neighbor_ids: Arc::new(neighbor_ids),
+            ptrans: Array::from_vec(num_edges, 1, ptrans),
+            segments: Segments::from_offsets(offsets),
+            out_dim: dim,
+        }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    pub fn num_roads(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Forward pass: returns the `(|V|, dim)` road representation matrix
+    /// `R = [r_1; ...; r_|V|]`.
+    pub fn forward(&self, g: &mut Graph) -> NodeId {
+        let mut h = g.input(self.features.clone());
+        let ptrans = g.input(self.ptrans.clone());
+        for layer in &self.layers {
+            let mut head_outputs = Vec::with_capacity(layer.heads.len());
+            for head in &layer.heads {
+                // Eq. 1: e_ij = (h_i W1 + h_j W2 + p_ij W3) W4^T.
+                let w1 = g.param(head.w1);
+                let w2 = g.param(head.w2);
+                let w3 = g.param(head.w3);
+                let w4 = g.param(head.w4);
+                let w5 = g.param(head.w5);
+                let hw1 = g.matmul(h, w1);
+                let hw2 = g.matmul(h, w2);
+                let ei = g.gather_rows(hw1, Arc::clone(&self.center_ids));
+                let ej = g.gather_rows(hw2, Arc::clone(&self.neighbor_ids));
+                let pw = g.matmul(ptrans, w3);
+                let sum = g.add(ei, ej);
+                let sum = g.add(sum, pw);
+                let act = g.leaky_relu(sum, 0.2);
+                let logits = g.matmul(act, w4);
+                // α over each center's neighborhood.
+                let alpha = g.segment_softmax(logits, &self.segments);
+                // Eq. 3: weighted aggregation of transformed neighbors.
+                let hw5 = g.matmul(h, w5);
+                let msgs = g.gather_rows(hw5, Arc::clone(&self.neighbor_ids));
+                let weighted = g.mul_col(msgs, alpha);
+                let agg = g.segment_sum(weighted, &self.segments);
+                head_outputs.push(g.elu(agg));
+            }
+            // Eq. 4: concatenate heads.
+            h = if head_outputs.len() == 1 {
+                head_outputs[0]
+            } else {
+                g.concat_cols(&head_outputs)
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use start_nn::params::GradStore;
+    use start_roadnet::synth::{generate_city, CityConfig};
+    use start_traj::{SimConfig, Simulator};
+
+    fn setup() -> (start_roadnet::City, TransferMatrix) {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 60, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let tm = TransferMatrix::from_sequences(
+            city.net.num_segments(),
+            data.iter().map(|t| t.roads.as_slice()),
+        );
+        (city, tm)
+    }
+
+    #[test]
+    fn forward_shape_and_finiteness() {
+        let (city, tm) = setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let gat = TpeGat::new(&mut store, &mut rng, "gat", &city.net, Some(&tm), 32, &[2, 2]);
+        let mut g = Graph::new(&store, false);
+        let r = gat.forward(&mut g);
+        assert_eq!(g.shape(r), (city.net.num_segments(), 32));
+        assert!(g.value(r).all_finite());
+    }
+
+    #[test]
+    fn gradients_reach_every_gat_parameter() {
+        let (city, tm) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let gat = TpeGat::new(&mut store, &mut rng, "gat", &city.net, Some(&tm), 16, &[2]);
+        let mut g = Graph::new(&store, true);
+        let r = gat.forward(&mut g);
+        let sq = g.mul(r, r);
+        let loss = g.mean_all(sq);
+        let mut grads = GradStore::new(&store);
+        g.backward(loss, &mut grads);
+        for id in store.ids() {
+            assert!(grads.get(id).is_some(), "no grad for {}", store.name(id));
+        }
+    }
+
+    #[test]
+    fn transfer_probabilities_change_the_output() {
+        let (city, tm) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store_a = ParamStore::new();
+        let gat_a =
+            TpeGat::new(&mut store_a, &mut rng, "gat", &city.net, Some(&tm), 16, &[2]);
+        let mut rng = StdRng::seed_from_u64(2); // identical init
+        let mut store_b = ParamStore::new();
+        let gat_b = TpeGat::new(&mut store_b, &mut rng, "gat", &city.net, None, 16, &[2]);
+
+        let mut ga = Graph::new(&store_a, false);
+        let ra = gat_a.forward(&mut ga);
+        let mut gb = Graph::new(&store_b, false);
+        let rb = gat_b.forward(&mut gb);
+        // Same weights, different travel semantics => different road vectors.
+        assert_ne!(ga.value(ra).data(), gb.value(rb).data());
+    }
+
+    #[test]
+    fn isolated_structure_only_depends_on_neighborhood() {
+        // A node's layer-1 output must not change when a far-away node's
+        // features change — locality of one GAT layer.
+        let (city, tm) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mut gat = TpeGat::new(&mut store, &mut rng, "gat", &city.net, Some(&tm), 16, &[1]);
+
+        let mut g1 = Graph::new(&store, false);
+        let r1 = gat.forward(&mut g1);
+        let before = g1.value(r1).row(0).to_vec();
+
+        // Find a segment that is not adjacent to segment 0 (nor 0 itself).
+        let s0 = SegmentId(0);
+        let far = city
+            .net
+            .ids()
+            .find(|&s| s != s0 && !city.net.successors(s0).contains(&s))
+            .expect("far node exists");
+        // Perturb that row of the input features.
+        for c in 0..gat.features.cols() {
+            let v = gat.features.get(far.index(), c);
+            gat.features.set(far.index(), c, v + 10.0);
+        }
+        let mut g2 = Graph::new(&store, false);
+        let r2 = gat.forward(&mut g2);
+        let after = g2.value(r2).row(0).to_vec();
+        assert_eq!(before, after, "non-neighbor perturbation leaked into node 0");
+    }
+}

@@ -1,0 +1,14 @@
+//! `start-eval`: evaluation machinery for the START reproduction.
+//!
+//! - [`metrics`] — the paper's §IV-C3 metric suite: MAE/MAPE/RMSE for travel
+//!   time estimation, ACC/F1/AUC and Micro-/Macro-F1/Recall@k for
+//!   classification, Mean Rank / Hit Ratio@k / k-NN Precision for similarity
+//!   search;
+//! - [`classic`] — the traditional `O(L²)` similarity algorithms of the
+//!   efficiency study (§IV-H): DTW, LCSS, discrete Fréchet, EDR.
+
+pub mod classic;
+pub mod metrics;
+
+pub use classic::{dtw, edr, frechet, lcss, midpoints};
+pub use metrics::*;

@@ -1,0 +1,185 @@
+//! Classification metrics (§IV-C3): ACC / F1 / AUC for binary tasks,
+//! Micro-F1 / Macro-F1 / Recall@k for multi-class tasks.
+
+/// Argmax of a probability row.
+fn argmax(probs: &[f32]) -> usize {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty probabilities")
+}
+
+/// Accuracy from predicted class probabilities.
+pub fn accuracy(truth: &[usize], probs: &[Vec<f32>]) -> f32 {
+    assert_eq!(truth.len(), probs.len());
+    assert!(!truth.is_empty());
+    let hits = truth.iter().zip(probs).filter(|(&t, p)| argmax(p) == t).count();
+    hits as f32 / truth.len() as f32
+}
+
+/// Binary F1 (positive class = 1) from probabilities.
+pub fn f1_binary(truth: &[usize], probs: &[Vec<f32>]) -> f32 {
+    let (mut tp, mut fp, mut fn_) = (0f32, 0f32, 0f32);
+    for (&t, p) in truth.iter().zip(probs) {
+        let pred = argmax(p);
+        match (t, pred) {
+            (1, 1) => tp += 1.0,
+            (0, 1) => fp += 1.0,
+            (1, 0) => fn_ += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fn_);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Area under the ROC curve via the rank statistic (Mann-Whitney U).
+/// `score` is the predicted probability of class 1.
+pub fn auc(truth: &[usize], probs: &[Vec<f32>]) -> f32 {
+    assert_eq!(truth.len(), probs.len());
+    let mut scored: Vec<(f32, usize)> =
+        probs.iter().map(|p| p[1]).zip(truth.iter().copied()).collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut rank_sum = 0.0f64;
+    let mut i = 0;
+    // Average ranks over ties.
+    while i < scored.len() {
+        let mut j = i;
+        while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &scored[i..=j] {
+            if item.1 == 1 {
+                rank_sum += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos = truth.iter().filter(|&&t| t == 1).count() as f64;
+    let neg = truth.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    ((rank_sum - pos * (pos + 1.0) / 2.0) / (pos * neg)) as f32
+}
+
+/// Micro-averaged F1 — equals accuracy in single-label classification.
+pub fn micro_f1(truth: &[usize], probs: &[Vec<f32>]) -> f32 {
+    accuracy(truth, probs)
+}
+
+/// Macro-averaged F1 over `num_classes` classes.
+pub fn macro_f1(truth: &[usize], probs: &[Vec<f32>], num_classes: usize) -> f32 {
+    let mut tp = vec![0f32; num_classes];
+    let mut fp = vec![0f32; num_classes];
+    let mut fn_ = vec![0f32; num_classes];
+    for (&t, p) in truth.iter().zip(probs) {
+        let pred = argmax(p);
+        if pred == t {
+            tp[t] += 1.0;
+        } else {
+            fp[pred] += 1.0;
+            fn_[t] += 1.0;
+        }
+    }
+    let mut sum = 0.0;
+    for c in 0..num_classes {
+        let f1 = if tp[c] == 0.0 {
+            0.0
+        } else {
+            let prec = tp[c] / (tp[c] + fp[c]);
+            let rec = tp[c] / (tp[c] + fn_[c]);
+            2.0 * prec * rec / (prec + rec)
+        };
+        sum += f1;
+    }
+    sum / num_classes as f32
+}
+
+/// Recall@k: fraction of samples whose true class is among the k most
+/// probable predictions.
+pub fn recall_at_k(truth: &[usize], probs: &[Vec<f32>], k: usize) -> f32 {
+    assert!(!truth.is_empty());
+    let hits = truth
+        .iter()
+        .zip(probs)
+        .filter(|(&t, p)| {
+            let mut idx: Vec<usize> = (0..p.len()).collect();
+            idx.sort_by(|&a, &b| p[b].total_cmp(&p[a]));
+            idx[..k.min(idx.len())].contains(&t)
+        })
+        .count();
+    hits as f32 / truth.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(c: usize, n: usize) -> Vec<f32> {
+        let mut v = vec![0.0; n];
+        v[c] = 1.0;
+        v
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let truth = vec![0, 1, 1, 0];
+        let probs: Vec<Vec<f32>> = truth.iter().map(|&t| one_hot(t, 2)).collect();
+        assert_eq!(accuracy(&truth, &probs), 1.0);
+        assert_eq!(f1_binary(&truth, &probs), 1.0);
+        assert!((auc(&truth, &probs) - 1.0).abs() < 1e-6);
+        assert_eq!(micro_f1(&truth, &probs), 1.0);
+        assert_eq!(macro_f1(&truth, &probs, 2), 1.0);
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        // Constant scores: AUC must be exactly 0.5 by tie averaging.
+        let truth = vec![0, 1, 0, 1, 1, 0];
+        let probs = vec![vec![0.5, 0.5]; 6];
+        assert!((auc(&truth, &probs) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auc_matches_hand_example() {
+        // scores: pos {0.9, 0.6}, neg {0.4, 0.7} -> pairs won: (0.9>0.4),(0.9>0.7),(0.6>0.4); lost (0.6<0.7)
+        let truth = vec![1, 1, 0, 0];
+        let probs = vec![
+            vec![0.1, 0.9],
+            vec![0.4, 0.6],
+            vec![0.6, 0.4],
+            vec![0.3, 0.7],
+        ];
+        assert!((auc(&truth, &probs) - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn macro_f1_punishes_minority_failure() {
+        // Classifier always predicts class 0; class 1 is 25% of data.
+        let truth = vec![0, 0, 0, 1];
+        let probs = vec![one_hot(0, 2); 4];
+        let micro = micro_f1(&truth, &probs);
+        let macro_ = macro_f1(&truth, &probs, 2);
+        assert!((micro - 0.75).abs() < 1e-6);
+        assert!(macro_ < micro, "macro {macro_} must dip below micro {micro}");
+    }
+
+    #[test]
+    fn recall_at_k_widens_with_k() {
+        let truth = vec![2, 0];
+        let probs = vec![
+            vec![0.5, 0.3, 0.2], // truth 2 ranked 3rd
+            vec![0.6, 0.3, 0.1], // truth 0 ranked 1st
+        ];
+        assert_eq!(recall_at_k(&truth, &probs, 1), 0.5);
+        assert_eq!(recall_at_k(&truth, &probs, 3), 1.0);
+    }
+}

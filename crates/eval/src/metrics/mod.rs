@@ -1,0 +1,9 @@
+//! Evaluation metrics of §IV-C3, one module per task family.
+
+pub mod classification;
+pub mod ranking;
+pub mod regression;
+
+pub use classification::{accuracy, auc, f1_binary, macro_f1, micro_f1, recall_at_k};
+pub use ranking::{hit_ratio, knn_indices, knn_precision, mean_rank, truth_ranks};
+pub use regression::{mae, mape, regression_report, rmse, RegressionReport};

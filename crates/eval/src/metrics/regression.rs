@@ -1,0 +1,80 @@
+//! Regression metrics for travel time estimation (§IV-C3): MAE, MAPE, RMSE.
+
+/// Mean absolute error.
+pub fn mae(truth: &[f32], pred: &[f32]) -> f32 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f32>() / truth.len() as f32
+}
+
+/// Mean absolute percentage error, in percent. Zero-valued truths are
+/// skipped (they would blow the ratio up).
+pub fn mape(truth: &[f32], pred: &[f32]) -> f32 {
+    assert_eq!(truth.len(), pred.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in truth.iter().zip(pred) {
+        if t.abs() > f32::EPSILON {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    assert!(n > 0, "all truths are zero");
+    100.0 * sum / n as f32
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f32], pred: &[f32]) -> f32 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    (truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum::<f32>() / truth.len() as f32)
+        .sqrt()
+}
+
+/// All three at once, in the paper's Table II order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionReport {
+    pub mae: f32,
+    pub mape: f32,
+    pub rmse: f32,
+}
+
+pub fn regression_report(truth: &[f32], pred: &[f32]) -> RegressionReport {
+    RegressionReport { mae: mae(truth, pred), mape: mape(truth, pred), rmse: rmse(truth, pred) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_are_zero_error() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(mape(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let truth = [10.0, 20.0];
+        let pred = [12.0, 16.0];
+        assert!((mae(&truth, &pred) - 3.0).abs() < 1e-6);
+        assert!((mape(&truth, &pred) - 20.0).abs() < 1e-4); // (20% + 20%) / 2
+        assert!((rmse(&truth, &pred) - (10.0f32).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let truth = [0.0, 0.0, 0.0, 0.0];
+        let pred = [0.0, 0.0, 0.0, 8.0];
+        assert!(rmse(&truth, &pred) > mae(&truth, &pred));
+    }
+
+    #[test]
+    fn mape_skips_zero_truths() {
+        let truth = [0.0, 10.0];
+        let pred = [5.0, 11.0];
+        assert!((mape(&truth, &pred) - 10.0).abs() < 1e-4);
+    }
+}

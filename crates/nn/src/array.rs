@@ -1,0 +1,406 @@
+//! Dense row-major `f32` matrices and the hand-rolled kernels the autodiff
+//! graph dispatches to.
+//!
+//! Everything in this crate is 2-D: a vector is an `(n, 1)` or `(1, n)`
+//! matrix, a scalar is `(1, 1)`, and a sequence batch is flattened to
+//! `(batch * seq, d)` by the caller. This keeps the kernel surface small
+//! while covering every operator the START paper needs (Eqs. 1-17).
+
+use std::fmt;
+
+/// Threshold (in multiply-adds) above which [`matmul`] shards work across
+/// threads with `crossbeam::scope`.
+const PARALLEL_FLOPS: usize = 1 << 22;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Array {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Array {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Array({}x{})", self.rows, self.cols)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Array {
+    /// Create an array filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create an array filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wrap an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape {rows}x{cols}");
+        Self { rows, cols, data }
+    }
+
+    /// A `(1, 1)` scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Build from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Scalar value of a `(1, 1)` array.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar {}x{}", self.rows, self.cols);
+        self.data[0]
+    }
+
+    /// Reinterpret the buffer under a new shape with the same element count.
+    pub fn reshaped(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(self.data.len(), rows * cols, "reshape {}x{} -> {rows}x{cols}", self.rows, self.cols);
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map, consuming self.
+    pub fn map(mut self, f: impl Fn(f32) -> f32) -> Self {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+        self
+    }
+
+    /// `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Array) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (same shape).
+    pub fn axpy(&mut self, alpha: f32, other: &Array) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// `out = a @ b`. Row-major ikj loop; shards rows across threads when large.
+pub fn matmul(a: &Array, b: &Array) -> Array {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch {:?} @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let mut out = Array::zeros(m, n);
+    let flops = m * k * n;
+    if flops >= PARALLEL_FLOPS && m >= 8 {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        let chunk = m.div_ceil(threads);
+        let a_data = &a.data;
+        let b_data = &b.data;
+        crossbeam::scope(|s| {
+            for (t, out_chunk) in out.data.chunks_mut(chunk * n).enumerate() {
+                let row0 = t * chunk;
+                s.spawn(move |_| {
+                    matmul_rows(a_data, b_data, out_chunk, row0, k, n);
+                });
+            }
+        })
+        .expect("matmul worker panicked");
+    } else {
+        matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n);
+    }
+    out
+}
+
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = a @ b^T` without materializing the transpose.
+pub fn matmul_bt(a: &Array, b: &Array) -> Array {
+    assert_eq!(a.cols, b.cols, "matmul_bt shape mismatch {:?} @ {:?}^T", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    let mut out = Array::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b.data[j * k..(j + 1) * k];
+            *o = dot(arow, brow);
+        }
+    }
+    out
+}
+
+/// `out = a^T @ b` without materializing the transpose.
+pub fn matmul_at(a: &Array, b: &Array) -> Array {
+    assert_eq!(a.rows, b.rows, "matmul_at shape mismatch {:?}^T @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.cols, a.rows, b.cols);
+    let mut out = Array::zeros(m, n);
+    for p in 0..k {
+        let arow = &a.data[p * m..(p + 1) * m];
+        let brow = &b.data[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Numerically stable in-place row softmax.
+pub fn softmax_rows_inplace(x: &mut Array) {
+    let cols = x.cols;
+    for row in x.data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable row log-softmax.
+pub fn log_softmax_rows(x: &Array) -> Array {
+    let mut out = x.clone();
+    let cols = out.cols;
+    for row in out.data.chunks_mut(cols) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Array::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Array::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_and_at_agree_with_explicit_transpose() {
+        let a = Array::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 1.0);
+        let b = Array::from_fn(5, 3, |r, c| (r + c) as f32 * 0.25);
+        let via_bt = matmul_bt(&a, &b);
+        let via_t = matmul(&a, &b.transposed());
+        assert_eq!(via_bt, via_t);
+
+        let c = Array::from_fn(4, 5, |r, c| (r as f32 - c as f32) * 0.1);
+        let via_at = matmul_at(&a, &c);
+        let via_t2 = matmul(&a.transposed(), &c);
+        for (x, y) in via_at.data().iter().zip(via_t2.data()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Array::from_fn(3, 4, |r, c| (r * c) as f32 - 2.0);
+        softmax_rows_inplace(&mut x);
+        for r in 0..3 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!(approx(s, 1.0));
+            assert!(x.row(r).iter().all(|v| *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let x = Array::from_fn(2, 5, |r, c| (c as f32) * 0.3 - r as f32);
+        let ls = log_softmax_rows(&x);
+        let mut sm = x.clone();
+        softmax_rows_inplace(&mut sm);
+        for (a, b) in ls.data().iter().zip(sm.data()) {
+            assert!(approx(a.exp(), *b));
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Array::from_fn(3, 7, |r, c| (r * 7 + c) as f32);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Array::from_fn(2, 6, |r, c| (r * 6 + c) as f32);
+        let b = a.clone().reshaped(3, 4);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(b.shape(), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Array::zeros(2, 3);
+        let b = Array::zeros(2, 3);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Array::full(2, 2, 1.0);
+        let b = Array::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0; 4]);
+        a.scale_assign(2.0);
+        assert_eq!(a.data(), &[4.0; 4]);
+    }
+}

@@ -1,0 +1,779 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (define-by-run). Each op
+//! method evaluates eagerly, records the operation on the tape, and returns a
+//! [`NodeId`]. [`Graph::backward`] walks the tape in reverse, accumulating
+//! parameter gradients into a [`GradStore`].
+//!
+//! The operator set is exactly what the START paper's equations need:
+//! dense matmul (Eqs. 1, 6, 9-12), row/col broadcasts, activations
+//! (LeakyReLU/ELU/ReLU, Eqs. 1, 3, 9, 11), row softmax (Eqs. 6-7, 13-14),
+//! layer norm, segment softmax/sum for sparse GAT message passing
+//! (Eqs. 1-4), gather/concat for embedding lookups and multi-head splits,
+//! and fused cross-entropy / MSE losses (Eqs. 13, 16-17).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+use crate::array::{self, Array};
+use crate::params::{GradStore, ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Segment boundaries for [`Graph::segment_sum`] / [`Graph::segment_softmax`]:
+/// rows `offsets[s]..offsets[s+1]` of the input belong to segment `s`.
+#[derive(Debug, Clone)]
+pub struct Segments {
+    offsets: Arc<Vec<u32>>,
+}
+
+impl Segments {
+    /// Build from boundary offsets. Must start at 0, be non-decreasing, and
+    /// end at the total row count of the arrays it will be used with.
+    pub fn from_offsets(offsets: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
+        Self { offsets: Arc::new(offsets) }
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn total_rows(&self) -> usize {
+        *self.offsets.last().expect("non-empty") as usize
+    }
+
+    fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s] as usize..self.offsets[s + 1] as usize
+    }
+}
+
+enum Op {
+    /// Leaf: constant input, no gradient flows past it.
+    Input,
+    /// Leaf bound to a trainable parameter.
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    Transpose(NodeId),
+    Reshape(NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId),
+    /// `x (n,d) + row (1,d)` broadcast over rows.
+    AddRow(NodeId, NodeId),
+    /// `x (n,d) * row (1,d)` broadcast over rows.
+    MulRow(NodeId, NodeId),
+    /// `x (n,d) * col (n,1)` broadcast over columns.
+    MulCol(NodeId, NodeId),
+    Relu(NodeId),
+    LeakyRelu(NodeId, f32),
+    Elu(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    SoftmaxRows(NodeId),
+    /// Saved inverse standard deviations, one per row.
+    LayerNormRows(NodeId, Vec<f32>),
+    /// Saved keep-mask already scaled by `1/(1-p)`.
+    Dropout(NodeId, Array),
+    /// Saved per-row L2 norms (after epsilon clamp).
+    L2NormalizeRows(NodeId, Vec<f32>),
+    ConcatCols(Vec<NodeId>),
+    ConcatRows(Vec<NodeId>),
+    /// `(input, col_start)`.
+    SliceCols(NodeId, usize),
+    /// Row gather: output row i = input row `indices[i]`.
+    GatherRows(NodeId, Arc<Vec<u32>>),
+    SegmentSum(NodeId, Segments),
+    SegmentSoftmax(NodeId, Segments),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    /// Fused mean cross-entropy over rows; saves the softmax.
+    CrossEntropyRows { logits: NodeId, targets: Arc<Vec<u32>>, softmax: Array },
+    /// Fused mean squared error against a constant target.
+    MseLoss { pred: NodeId, target: Array },
+}
+
+struct Node {
+    value: Array,
+    op: Op,
+}
+
+/// A define-by-run computation tape.
+pub struct Graph<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+    /// Whether dropout is active.
+    train: bool,
+}
+
+impl<'s> Graph<'s> {
+    pub fn new(store: &'s ParamStore, train: bool) -> Self {
+        Self { store, nodes: Vec::with_capacity(256), train }
+    }
+
+    pub fn is_train(&self) -> bool {
+        self.train
+    }
+
+    /// Value of a node (eagerly computed at creation).
+    pub fn value(&self, id: NodeId) -> &Array {
+        &self.nodes[id.0].value
+    }
+
+    pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    fn push(&mut self, value: Array, op: Op) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { value, op });
+        id
+    }
+
+    // ---- leaves ------------------------------------------------------
+
+    /// Insert a constant (no gradient).
+    pub fn input(&mut self, value: Array) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Bind a trainable parameter into the tape.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        let value = self.store.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    // ---- linear algebra ---------------------------------------------
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = array::matmul(self.value(a), self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    pub fn transpose(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).transposed();
+        self.push(v, Op::Transpose(x))
+    }
+
+    pub fn reshape(&mut self, x: NodeId, rows: usize, cols: usize) -> NodeId {
+        let v = self.value(x).clone().reshaped(rows, cols);
+        self.push(v, Op::Reshape(x))
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.add_assign(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut v = self.value(a).clone();
+        v.axpy(-1.0, self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(self.shape(a), self.shape(b), "elementwise mul shape mismatch");
+        let bv = self.value(b);
+        let v = Array::from_vec(
+            bv.rows(),
+            bv.cols(),
+            self.value(a).data().iter().zip(bv.data()).map(|(x, y)| x * y).collect(),
+        );
+        self.push(v, Op::Mul(a, b))
+    }
+
+    pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
+        let mut v = self.value(x).clone();
+        v.scale_assign(c);
+        self.push(v, Op::Scale(x, c))
+    }
+
+    pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
+        let v = self.value(x).clone().map(|t| t + c);
+        self.push(v, Op::AddScalar(x))
+    }
+
+    /// `x (n,d) + row (1,d)`, the bias add.
+    pub fn add_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        let (n, d) = self.shape(x);
+        assert_eq!(self.shape(row), (1, d), "add_row bias shape mismatch");
+        let rv = self.value(row).data().to_vec();
+        let mut v = self.value(x).clone();
+        for r in 0..n {
+            for (o, b) in v.row_mut(r).iter_mut().zip(&rv) {
+                *o += b;
+            }
+        }
+        self.push(v, Op::AddRow(x, row))
+    }
+
+    /// `x (n,d) * row (1,d)`, e.g. layer-norm gamma.
+    pub fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        let (n, d) = self.shape(x);
+        assert_eq!(self.shape(row), (1, d), "mul_row shape mismatch");
+        let rv = self.value(row).data().to_vec();
+        let mut v = self.value(x).clone();
+        for r in 0..n {
+            for (o, m) in v.row_mut(r).iter_mut().zip(&rv) {
+                *o *= m;
+            }
+        }
+        self.push(v, Op::MulRow(x, row))
+    }
+
+    /// `x (n,d) * col (n,1)`, e.g. GAT attention weighting of messages.
+    pub fn mul_col(&mut self, x: NodeId, col: NodeId) -> NodeId {
+        let (n, _d) = self.shape(x);
+        assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
+        let cv = self.value(col).data().to_vec();
+        let mut v = self.value(x).clone();
+        for (r, &c) in cv.iter().enumerate() {
+            for o in v.row_mut(r) {
+                *o *= c;
+            }
+        }
+        self.push(v, Op::MulCol(x, col))
+    }
+
+    // ---- activations --------------------------------------------------
+
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).clone().map(|t| t.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// LeakyReLU; the paper uses slope 0.2 in Eqs. (1) and (9).
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let v = self.value(x).clone().map(|t| if t > 0.0 { t } else { slope * t });
+        self.push(v, Op::LeakyRelu(x, slope))
+    }
+
+    /// Exponential linear unit, used by GAT aggregation (Eq. 3).
+    pub fn elu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).clone().map(|t| if t > 0.0 { t } else { t.exp() - 1.0 });
+        self.push(v, Op::Elu(x))
+    }
+
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).clone().map(|t| 1.0 / (1.0 + (-t).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).clone().map(f32::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    // ---- normalization ------------------------------------------------
+
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let mut v = self.value(x).clone();
+        array::softmax_rows_inplace(&mut v);
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Row-wise standardization `(x - mean) / std`; affine transform is done
+    /// by the caller with [`Graph::mul_row`] + [`Graph::add_row`].
+    pub fn layer_norm_rows(&mut self, x: NodeId) -> NodeId {
+        const EPS: f32 = 1e-5;
+        let xv = self.value(x);
+        let (n, d) = xv.shape();
+        let mut v = xv.clone();
+        let mut rstds = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = v.row_mut(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>() / d as f32;
+            let rstd = 1.0 / (var + EPS).sqrt();
+            for t in row {
+                *t = (*t - mean) * rstd;
+            }
+            rstds.push(rstd);
+        }
+        self.push(v, Op::LayerNormRows(x, rstds))
+    }
+
+    /// Inverted dropout; identity when the graph is in eval mode or `p == 0`.
+    pub fn dropout(&mut self, x: NodeId, p: f32, rng: &mut StdRng) -> NodeId {
+        if !self.train || p <= 0.0 {
+            return x;
+        }
+        let xv = self.value(x);
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let mask = Array::from_fn(xv.rows(), xv.cols(), |_, _| {
+            if rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let v = Array::from_vec(
+            xv.rows(),
+            xv.cols(),
+            xv.data().iter().zip(mask.data()).map(|(a, m)| a * m).collect(),
+        );
+        self.push(v, Op::Dropout(x, mask))
+    }
+
+    /// Row-wise L2 normalization, used for the cosine similarity in the
+    /// NT-Xent contrastive loss (Eq. 14).
+    pub fn l2_normalize_rows(&mut self, x: NodeId) -> NodeId {
+        const EPS: f32 = 1e-12;
+        let xv = self.value(x);
+        let (n, d) = xv.shape();
+        let mut v = xv.clone();
+        let mut norms = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = v.row_mut(r);
+            let norm = row.iter().map(|t| t * t).sum::<f32>().sqrt().max(EPS);
+            for t in row.iter_mut() {
+                *t /= norm;
+            }
+            norms.push(norm);
+        }
+        debug_assert_eq!(norms.len(), n);
+        let _ = d;
+        self.push(v, Op::L2NormalizeRows(x, norms))
+    }
+
+    // ---- structure ------------------------------------------------------
+
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let n = self.shape(parts[0]).0;
+        let total: usize = parts.iter().map(|&p| self.shape(p).1).sum();
+        let mut v = Array::zeros(n, total);
+        let mut off = 0;
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.rows(), n, "concat_cols row mismatch");
+            for r in 0..n {
+                let src = pv.row(r);
+                v.row_mut(r)[off..off + src.len()].copy_from_slice(src);
+            }
+            off += pv.cols();
+        }
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let d = self.shape(parts[0]).1;
+        let total: usize = parts.iter().map(|&p| self.shape(p).0).sum();
+        let mut data = Vec::with_capacity(total * d);
+        for &p in parts {
+            let pv = self.value(p);
+            assert_eq!(pv.cols(), d, "concat_rows col mismatch");
+            data.extend_from_slice(pv.data());
+        }
+        self.push(Array::from_vec(total, d, data), Op::ConcatRows(parts.to_vec()))
+    }
+
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let xv = self.value(x);
+        assert!(start < end && end <= xv.cols(), "slice_cols out of range");
+        let v = Array::from_fn(xv.rows(), end - start, |r, c| xv.get(r, start + c));
+        self.push(v, Op::SliceCols(x, start))
+    }
+
+    /// Output row `i` = input row `indices[i]`. Backward scatter-adds, so the
+    /// same row may be gathered many times (embedding lookups, GAT edges).
+    pub fn gather_rows(&mut self, x: NodeId, indices: Arc<Vec<u32>>) -> NodeId {
+        let xv = self.value(x);
+        let d = xv.cols();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices.iter() {
+            data.extend_from_slice(xv.row(i as usize));
+        }
+        let v = Array::from_vec(indices.len(), d, data);
+        self.push(v, Op::GatherRows(x, indices))
+    }
+
+    /// Select a single row as a `(1, d)` matrix (e.g. [CLS] pooling).
+    pub fn select_row(&mut self, x: NodeId, row: usize) -> NodeId {
+        self.gather_rows(x, Arc::new(vec![row as u32]))
+    }
+
+    /// Sum rows within each segment: `(E, d) -> (S, d)` (GAT aggregation, Eq. 3).
+    pub fn segment_sum(&mut self, x: NodeId, segments: &Segments) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.rows(), segments.total_rows(), "segment_sum row mismatch");
+        let d = xv.cols();
+        let mut v = Array::zeros(segments.num_segments(), d);
+        for s in 0..segments.num_segments() {
+            for r in segments.range(s) {
+                let src = xv.row(r);
+                for (o, t) in v.row_mut(s).iter_mut().zip(src) {
+                    *o += t;
+                }
+            }
+        }
+        self.push(v, Op::SegmentSum(x, segments.clone()))
+    }
+
+    /// Softmax within each segment of an `(E, 1)` column (GAT attention, Eq. 1).
+    pub fn segment_softmax(&mut self, x: NodeId, segments: &Segments) -> NodeId {
+        let xv = self.value(x);
+        assert_eq!(xv.cols(), 1, "segment_softmax expects a column vector");
+        assert_eq!(xv.rows(), segments.total_rows(), "segment_softmax row mismatch");
+        let mut v = xv.clone();
+        for s in 0..segments.num_segments() {
+            let range = segments.range(s);
+            if range.is_empty() {
+                continue;
+            }
+            let slice = &mut v.data_mut()[range];
+            let max = slice.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for t in slice.iter_mut() {
+                *t = (*t - max).exp();
+                sum += *t;
+            }
+            for t in slice.iter_mut() {
+                *t /= sum;
+            }
+        }
+        self.push(v, Op::SegmentSoftmax(x, segments.clone()))
+    }
+
+    // ---- reductions and losses -----------------------------------------
+
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let v = Array::scalar(self.value(x).sum());
+        self.push(v, Op::SumAll(x))
+    }
+
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let v = Array::scalar(xv.sum() / xv.len() as f32);
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Mean cross-entropy of row-softmaxed `logits` against integer targets
+    /// (Eqs. 13, 14, 17). Returns a scalar node.
+    pub fn cross_entropy_rows(&mut self, logits: NodeId, targets: Arc<Vec<u32>>) -> NodeId {
+        let lv = self.value(logits);
+        assert_eq!(lv.rows(), targets.len(), "one target per row required");
+        let mut softmax = lv.clone();
+        array::softmax_rows_inplace(&mut softmax);
+        let log_probs = array::log_softmax_rows(lv);
+        let n = targets.len() as f32;
+        let loss = -targets
+            .iter()
+            .enumerate()
+            .map(|(r, &t)| log_probs.get(r, t as usize))
+            .sum::<f32>()
+            / n;
+        self.push(Array::scalar(loss), Op::CrossEntropyRows { logits, targets, softmax })
+    }
+
+    /// Mean squared error against a constant target (Eq. 16). Scalar node.
+    pub fn mse_loss(&mut self, pred: NodeId, target: Array) -> NodeId {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse target shape mismatch");
+        let loss = pv
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f32>()
+            / pv.len() as f32;
+        self.push(Array::scalar(loss), Op::MseLoss { pred, target })
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Reverse-mode sweep from a scalar `loss` node; parameter gradients are
+    /// accumulated into `grads` (so batches can be split across graphs).
+    pub fn backward(&self, loss: NodeId, grads: &mut GradStore) {
+        assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
+        let mut node_grads: Vec<Option<Array>> = (0..self.nodes.len()).map(|_| None).collect();
+        node_grads[loss.0] = Some(Array::scalar(1.0));
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = node_grads[idx].take() else { continue };
+            match &self.nodes[idx].op {
+                Op::Input => {}
+                Op::Param(pid) => grads.accumulate(*pid, &g),
+                Op::MatMul(a, b) => {
+                    let da = array::matmul_bt(&g, self.value(*b));
+                    let db = array::matmul_at(self.value(*a), &g);
+                    accum(&mut node_grads, a.0, da);
+                    accum(&mut node_grads, b.0, db);
+                }
+                Op::Transpose(x) => accum(&mut node_grads, x.0, g.transposed()),
+                Op::Reshape(x) => {
+                    let (r, c) = self.shape(*x);
+                    accum(&mut node_grads, x.0, g.reshaped(r, c));
+                }
+                Op::Add(a, b) => {
+                    accum(&mut node_grads, a.0, g.clone());
+                    accum(&mut node_grads, b.0, g);
+                }
+                Op::Sub(a, b) => {
+                    accum(&mut node_grads, a.0, g.clone());
+                    let mut ng = g;
+                    ng.scale_assign(-1.0);
+                    accum(&mut node_grads, b.0, ng);
+                }
+                Op::Mul(a, b) => {
+                    let da = ew_mul(&g, self.value(*b));
+                    let db = ew_mul(&g, self.value(*a));
+                    accum(&mut node_grads, a.0, da);
+                    accum(&mut node_grads, b.0, db);
+                }
+                Op::Scale(x, c) => {
+                    let mut dg = g;
+                    dg.scale_assign(*c);
+                    accum(&mut node_grads, x.0, dg);
+                }
+                Op::AddScalar(x) => accum(&mut node_grads, x.0, g),
+                Op::AddRow(x, row) => {
+                    let drow = col_sums(&g);
+                    accum(&mut node_grads, x.0, g);
+                    accum(&mut node_grads, row.0, drow);
+                }
+                Op::MulRow(x, row) => {
+                    let xv = self.value(*x);
+                    let rv = self.value(*row);
+                    let mut dx = g.clone();
+                    let mut drow = Array::zeros(1, rv.cols());
+                    for r in 0..dx.rows() {
+                        for c in 0..dx.cols() {
+                            let gv = g.get(r, c);
+                            drow.data_mut()[c] += gv * xv.get(r, c);
+                            dx.set(r, c, gv * rv.get(0, c));
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                    accum(&mut node_grads, row.0, drow);
+                }
+                Op::MulCol(x, col) => {
+                    let xv = self.value(*x);
+                    let cv = self.value(*col);
+                    let mut dx = g.clone();
+                    let mut dcol = Array::zeros(cv.rows(), 1);
+                    for r in 0..dx.rows() {
+                        let c = cv.get(r, 0);
+                        let mut acc = 0.0;
+                        for j in 0..dx.cols() {
+                            let gv = g.get(r, j);
+                            acc += gv * xv.get(r, j);
+                            dx.set(r, j, gv * c);
+                        }
+                        dcol.set(r, 0, acc);
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                    accum(&mut node_grads, col.0, dcol);
+                }
+                Op::Relu(x) => {
+                    let xv = self.value(*x);
+                    let dx = masked(&g, xv, |t| if t > 0.0 { 1.0 } else { 0.0 });
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::LeakyRelu(x, slope) => {
+                    let xv = self.value(*x);
+                    let s = *slope;
+                    let dx = masked(&g, xv, |t| if t > 0.0 { 1.0 } else { s });
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::Elu(x) => {
+                    // d/dx elu = 1 for x > 0 else elu(x) + 1, computed from the output.
+                    let yv = &self.nodes[idx].value;
+                    let dx = masked(&g, yv, |y| if y > 0.0 { 1.0 } else { y + 1.0 });
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::Sigmoid(x) => {
+                    let yv = &self.nodes[idx].value;
+                    let dx = masked(&g, yv, |y| y * (1.0 - y));
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::Tanh(x) => {
+                    let yv = &self.nodes[idx].value;
+                    let dx = masked(&g, yv, |y| 1.0 - y * y);
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::SoftmaxRows(x) => {
+                    let yv = &self.nodes[idx].value;
+                    let mut dx = g.clone();
+                    for r in 0..dx.rows() {
+                        let y = yv.row(r);
+                        let gr = g.row(r);
+                        let s = array::dot(gr, y);
+                        for (d, (&gi, &yi)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(y)) {
+                            *d = yi * (gi - s);
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::LayerNormRows(x, rstds) => {
+                    let yv = &self.nodes[idx].value;
+                    let d = yv.cols() as f32;
+                    let mut dx = g.clone();
+                    for r in 0..dx.rows() {
+                        let y = yv.row(r);
+                        let gr = g.row(r);
+                        let mean_g = gr.iter().sum::<f32>() / d;
+                        let mean_gy = array::dot(gr, y) / d;
+                        let rstd = rstds[r];
+                        for (o, (&gi, &yi)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(y)) {
+                            *o = rstd * (gi - mean_g - yi * mean_gy);
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::Dropout(x, mask) => accum(&mut node_grads, x.0, ew_mul(&g, mask)),
+                Op::L2NormalizeRows(x, norms) => {
+                    let yv = &self.nodes[idx].value;
+                    let mut dx = g.clone();
+                    for r in 0..dx.rows() {
+                        let y = yv.row(r);
+                        let gr = g.row(r);
+                        let s = array::dot(gr, y);
+                        let inv = 1.0 / norms[r];
+                        for (o, (&gi, &yi)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(y)) {
+                            *o = (gi - yi * s) * inv;
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let (n, w) = self.shape(p);
+                        let dp = Array::from_fn(n, w, |r, c| g.get(r, off + c));
+                        accum(&mut node_grads, p.0, dp);
+                        off += w;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let (n, w) = self.shape(p);
+                        let dp = Array::from_fn(n, w, |r, c| g.get(off + r, c));
+                        accum(&mut node_grads, p.0, dp);
+                        off += n;
+                    }
+                }
+                Op::SliceCols(x, start) => {
+                    let (n, w) = self.shape(*x);
+                    let mut dx = Array::zeros(n, w);
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            dx.set(r, start + c, g.get(r, c));
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::GatherRows(x, indices) => {
+                    let (n, w) = self.shape(*x);
+                    let mut dx = Array::zeros(n, w);
+                    for (r, &i) in indices.iter().enumerate() {
+                        let src = g.row(r);
+                        for (o, t) in dx.row_mut(i as usize).iter_mut().zip(src) {
+                            *o += t;
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::SegmentSum(x, segments) => {
+                    let (n, w) = self.shape(*x);
+                    let mut dx = Array::zeros(n, w);
+                    for s in 0..segments.num_segments() {
+                        let gs = g.row(s);
+                        for r in segments.range(s) {
+                            dx.row_mut(r).copy_from_slice(gs);
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::SegmentSoftmax(x, segments) => {
+                    let yv = &self.nodes[idx].value;
+                    let mut dx = g.clone();
+                    for s in 0..segments.num_segments() {
+                        let range = segments.range(s);
+                        let y = &yv.data()[range.clone()];
+                        let gr = &g.data()[range.clone()];
+                        let dot = array::dot(gr, y);
+                        for ((o, &gi), &yi) in
+                            dx.data_mut()[range].iter_mut().zip(gr).zip(y)
+                        {
+                            *o = yi * (gi - dot);
+                        }
+                    }
+                    accum(&mut node_grads, x.0, dx);
+                }
+                Op::SumAll(x) => {
+                    let (n, w) = self.shape(*x);
+                    accum(&mut node_grads, x.0, Array::full(n, w, g.item()));
+                }
+                Op::MeanAll(x) => {
+                    let (n, w) = self.shape(*x);
+                    accum(&mut node_grads, x.0, Array::full(n, w, g.item() / (n * w) as f32));
+                }
+                Op::CrossEntropyRows { logits, targets, softmax } => {
+                    let scale = g.item() / targets.len() as f32;
+                    let mut dl = softmax.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        let v = dl.get(r, t as usize);
+                        dl.set(r, t as usize, v - 1.0);
+                    }
+                    dl.scale_assign(scale);
+                    accum(&mut node_grads, logits.0, dl);
+                }
+                Op::MseLoss { pred, target } => {
+                    let pv = self.value(*pred);
+                    let scale = 2.0 * g.item() / pv.len() as f32;
+                    let mut dp = pv.clone();
+                    dp.axpy(-1.0, target);
+                    dp.scale_assign(scale);
+                    accum(&mut node_grads, pred.0, dp);
+                }
+            }
+        }
+    }
+}
+
+fn accum(grads: &mut [Option<Array>], idx: usize, delta: Array) {
+    match &mut grads[idx] {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+fn ew_mul(a: &Array, b: &Array) -> Array {
+    debug_assert_eq!(a.shape(), b.shape());
+    Array::from_vec(
+        a.rows(),
+        a.cols(),
+        a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect(),
+    )
+}
+
+/// `out[i] = g[i] * f(source[i])`.
+fn masked(g: &Array, source: &Array, f: impl Fn(f32) -> f32) -> Array {
+    debug_assert_eq!(g.shape(), source.shape());
+    Array::from_vec(
+        g.rows(),
+        g.cols(),
+        g.data().iter().zip(source.data()).map(|(gv, sv)| gv * f(*sv)).collect(),
+    )
+}
+
+fn col_sums(g: &Array) -> Array {
+    let mut out = Array::zeros(1, g.cols());
+    for r in 0..g.rows() {
+        for (o, v) in out.data_mut().iter_mut().zip(g.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! Token embedding table with gather-based lookup.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{Init, ParamId, ParamStore};
+
+/// Lookup table mapping integer ids to dense vectors. Used for road-segment
+/// ids, the minute-of-day index (1..=1440 plus `[MASKT]`), the day-of-week
+/// index (1..=7 plus `[MASKT]`), and special tokens.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
+        let table = store.param(name, vocab, dim, Init::Normal(0.02), rng);
+        store.set_no_decay(table);
+        Self { table, vocab, dim }
+    }
+
+    /// Look up a batch of ids: `(len(ids), dim)`.
+    pub fn forward(&self, g: &mut Graph, ids: &[u32]) -> NodeId {
+        debug_assert!(
+            ids.iter().all(|&i| (i as usize) < self.vocab),
+            "embedding id out of range (vocab {})",
+            self.vocab
+        );
+        let table = g.param(self.table);
+        g.gather_rows(table, Arc::new(ids.to_vec()))
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn table_id(&self) -> ParamId {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 10, 4);
+        let mut g = Graph::new(&store, false);
+        let out = emb.forward(&mut g, &[3, 3, 7]);
+        assert_eq!(g.shape(out), (3, 4));
+        let table = store.get(emb.table_id());
+        assert_eq!(g.value(out).row(0), table.row(3));
+        assert_eq!(g.value(out).row(1), table.row(3));
+        assert_eq!(g.value(out).row(2), table.row(7));
+    }
+}

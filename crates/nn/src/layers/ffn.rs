@@ -1,0 +1,58 @@
+//! Position-wise feed-forward network (Eq. 11).
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::layers::Linear;
+use crate::params::ParamStore;
+
+/// Two linear transformations with a ReLU in between:
+/// `Z = ReLU(X W1 + b1) W2 + b2`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    fc1: Linear,
+    fc2: Linear,
+    dropout: f32,
+}
+
+impl FeedForward {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        dropout: f32,
+    ) -> Self {
+        Self {
+            fc1: Linear::new(store, rng, &format!("{name}.fc1"), dim, hidden, true),
+            fc2: Linear::new(store, rng, &format!("{name}.fc2"), hidden, dim, true),
+            dropout,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId, rng: &mut StdRng) -> NodeId {
+        let h = self.fc1.forward(g, x);
+        let h = g.relu(h);
+        let h = g.dropout(h, self.dropout, rng);
+        self.fc2.forward(g, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let ffn = FeedForward::new(&mut store, &mut rng, "ffn", 8, 16, 0.0);
+        let mut g = Graph::new(&store, false);
+        let x = g.input(Array::from_fn(3, 8, |r, c| (r + c) as f32 * 0.3));
+        let y = ffn.forward(&mut g, x, &mut rng);
+        assert_eq!(g.shape(y), (3, 8));
+    }
+}

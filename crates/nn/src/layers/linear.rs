@@ -1,0 +1,77 @@
+//! Affine transformation `y = x W + b`.
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{Init, ParamId, ParamStore};
+
+/// A fully connected layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Allocate parameters under `name.w` / `name.b`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = store.param(format!("{name}.w"), in_dim, out_dim, Init::XavierUniform, rng);
+        let bias = bias.then(|| store.param(format!("{name}.b"), 1, out_dim, Init::Zeros, rng));
+        Self { weight, bias, in_dim, out_dim }
+    }
+
+    /// `x: (n, in_dim) -> (n, out_dim)`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        debug_assert_eq!(g.shape(x).1, self.in_dim, "linear input dim mismatch");
+        let w = g.param(self.weight);
+        let mut y = g.matmul(x, w);
+        if let Some(b) = self.bias {
+            let b = g.param(b);
+            y = g.add_row(y, b);
+        }
+        y
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    pub fn weight_id(&self) -> ParamId {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, "l", 4, 3, true);
+        // Set bias to a recognizable value.
+        let b = store.lookup("l.b").unwrap();
+        store.get_mut(b).fill(0.5);
+        let mut g = Graph::new(&store, false);
+        let x = g.input(Array::zeros(2, 4));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.shape(y), (2, 3));
+        assert!(g.value(y).data().iter().all(|v| (*v - 0.5).abs() < 1e-6));
+    }
+}

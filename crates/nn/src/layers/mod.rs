@@ -1,0 +1,23 @@
+//! Reusable neural-network building blocks on top of the autodiff graph.
+//!
+//! Every layer is a plain struct holding [`crate::params::ParamId`]s; the
+//! forward pass takes `&mut Graph` and node ids, so the same layer can be
+//! replayed on many graphs (one per mini-batch element or inference thread).
+
+mod attention;
+mod embedding;
+mod ffn;
+mod gru;
+mod linear;
+mod norm;
+mod positional;
+mod transformer;
+
+pub use attention::MultiHeadAttention;
+pub use embedding::Embedding;
+pub use ffn::FeedForward;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use norm::LayerNorm;
+pub use positional::sinusoidal_positional_encoding;
+pub use transformer::{TransformerEncoder, TransformerEncoderLayer};

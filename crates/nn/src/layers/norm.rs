@@ -1,0 +1,53 @@
+//! Layer normalization with learned affine transform.
+
+use rand::rngs::StdRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{Init, ParamId, ParamStore};
+
+/// `y = gamma * (x - mean) / std + beta`, normalizing each row.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        let gamma = store.param(format!("{name}.gamma"), 1, dim, Init::Ones, rng);
+        let beta = store.param(format!("{name}.beta"), 1, dim, Init::Zeros, rng);
+        Self { gamma, beta }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let normed = g.layer_norm_rows(x);
+        let gamma = g.param(self.gamma);
+        let beta = g.param(self.beta);
+        let scaled = g.mul_row(normed, gamma);
+        g.add_row(scaled, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::Array;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_rows_are_standardized() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, &mut rng, "ln", 8);
+        let mut g = Graph::new(&store, false);
+        let x = g.input(Array::from_fn(3, 8, |r, c| (r * 8 + c) as f32 * 1.7 - 5.0));
+        let y = ln.forward(&mut g, x);
+        for r in 0..3 {
+            let row = g.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+}

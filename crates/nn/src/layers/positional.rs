@@ -1,0 +1,38 @@
+//! Sinusoidal positional encoding (the `pe_i` term of Eq. 5).
+
+use crate::array::Array;
+
+/// The fixed sinusoidal position encoding of "Attention is All You Need":
+/// `PE[pos, 2i] = sin(pos / 10000^(2i/d))`, `PE[pos, 2i+1] = cos(...)`.
+pub fn sinusoidal_positional_encoding(max_len: usize, dim: usize) -> Array {
+    Array::from_fn(max_len, dim, |pos, i| {
+        let exponent = (2 * (i / 2)) as f32 / dim as f32;
+        let angle = pos as f32 / 10000f32.powf(exponent);
+        if i % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_row_is_sin0_cos0() {
+        let pe = sinusoidal_positional_encoding(4, 6);
+        for c in 0..6 {
+            let expected = if c % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((pe.get(0, c) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn values_bounded_and_distinct_rows() {
+        let pe = sinusoidal_positional_encoding(128, 32);
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0));
+        assert_ne!(pe.row(1), pe.row(2));
+    }
+}

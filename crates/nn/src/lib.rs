@@ -1,0 +1,35 @@
+//! `start-nn`: the deep-learning substrate for the START reproduction.
+//!
+//! A deliberately small, pure-Rust, CPU-only stack providing exactly what the
+//! START paper's equations require:
+//!
+//! - [`array::Array`] — dense row-major `f32` matrices with hand-rolled
+//!   kernels (threaded matmul, fused transposed products, stable softmax);
+//! - [`graph::Graph`] — define-by-run reverse-mode autodiff with sparse
+//!   segment ops for GAT message passing and fused losses;
+//! - [`params::ParamStore`] / [`params::GradStore`] — named weights and
+//!   gradient accumulation, shareable immutably across inference threads;
+//! - [`layers`] — Linear, Embedding, LayerNorm, multi-head attention with an
+//!   additive score-bias hook (the paper's Eq. 7), FFN, Transformer encoder,
+//!   GRU (for the seq2seq baselines), sinusoidal positions;
+//! - [`optim::AdamW`] + [`schedule::WarmupCosine`] — the paper's §IV-C2
+//!   training recipe;
+//! - [`serialize`] — checkpoint codec used by the transfer experiments
+//!   (Table III).
+//!
+//! Gradient correctness is enforced by finite-difference checks over every
+//! operator in `tests/gradcheck.rs`.
+
+pub mod array;
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod schedule;
+pub mod serialize;
+
+pub use array::Array;
+pub use graph::{Graph, NodeId, Segments};
+pub use optim::{AdamW, AdamWConfig};
+pub use params::{GradStore, Init, ParamId, ParamStore};
+pub use schedule::WarmupCosine;

@@ -1,0 +1,60 @@
+//! Learning-rate schedules.
+//!
+//! The paper (§IV-C2) increases the learning rate linearly for the first five
+//! epochs (warm-up) and then decays it with cosine annealing.
+
+/// Linear warm-up followed by cosine annealing to `min_lr`.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupCosine {
+    pub base_lr: f32,
+    pub min_lr: f32,
+    pub warmup_steps: u64,
+    pub total_steps: u64,
+}
+
+impl WarmupCosine {
+    pub fn new(base_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        assert!(total_steps >= warmup_steps.max(1), "schedule shorter than warm-up");
+        Self { base_lr, min_lr: base_lr * 0.01, warmup_steps, total_steps }
+    }
+
+    /// Learning rate at 0-indexed step `step`.
+    pub fn lr(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        let progress = (step - self.warmup_steps) as f32
+            / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let progress = progress.clamp(0.0, 1.0);
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_is_linear_then_decays() {
+        let s = WarmupCosine::new(1.0, 10, 100);
+        assert!((s.lr(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+        // Monotonic decay after warm-up.
+        let mut prev = s.lr(10);
+        for step in 11..100 {
+            let cur = s.lr(step);
+            assert!(cur <= prev + 1e-7, "not decaying at {step}");
+            prev = cur;
+        }
+        // Ends at min_lr.
+        assert!((s.lr(100) - s.min_lr).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_base() {
+        let s = WarmupCosine::new(0.5, 0, 10);
+        assert!((s.lr(0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Binary weight (de)serialization for checkpointing and cross-city transfer.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "STRTNN01"
+//! u32 tensor_count
+//! repeat: u32 name_len | name bytes | u32 rows | u32 cols | f32 data...
+//! ```
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::array::Array;
+use crate::params::ParamStore;
+
+const MAGIC: &[u8; 8] = b"STRTNN01";
+
+/// Serialization errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    Truncated,
+    NameNotUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a START weight blob (bad magic)"),
+            CodecError::Truncated => write!(f, "weight blob ends mid-record"),
+            CodecError::NameNotUtf8 => write!(f, "tensor name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialize every tensor of a store.
+pub fn save_params(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(store.len() as u32);
+    for (name, value) in store.iter() {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u32_le(value.rows() as u32);
+        buf.put_u32_le(value.cols() as u32);
+        for v in value.data() {
+            buf.put_f32_le(*v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Parse a weight blob into `name -> Array`.
+pub fn parse_params(mut blob: &[u8]) -> Result<HashMap<String, Array>, CodecError> {
+    if blob.len() < 12 || &blob[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    blob.advance(8);
+    let count = blob.get_u32_le() as usize;
+    let mut out = HashMap::with_capacity(count);
+    for _ in 0..count {
+        if blob.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let name_len = blob.get_u32_le() as usize;
+        if blob.remaining() < name_len + 8 {
+            return Err(CodecError::Truncated);
+        }
+        let name = std::str::from_utf8(&blob[..name_len])
+            .map_err(|_| CodecError::NameNotUtf8)?
+            .to_owned();
+        blob.advance(name_len);
+        let rows = blob.get_u32_le() as usize;
+        let cols = blob.get_u32_le() as usize;
+        if blob.remaining() < rows * cols * 4 {
+            return Err(CodecError::Truncated);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(blob.get_f32_le());
+        }
+        out.insert(name, Array::from_vec(rows, cols, data));
+    }
+    Ok(out)
+}
+
+/// Load matching tensors (same name and shape) into `store`.
+/// Returns how many tensors were restored.
+pub fn load_params(store: &mut ParamStore, blob: &[u8]) -> Result<usize, CodecError> {
+    let parsed = parse_params(blob)?;
+    let mut loaded = 0;
+    for id in store.ids().collect::<Vec<_>>() {
+        let name = store.name(id).to_owned();
+        if let Some(arr) = parsed.get(&name) {
+            if arr.shape() == store.get(id).shape() {
+                *store.get_mut(id) = arr.clone();
+                loaded += 1;
+            }
+        }
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut src = ParamStore::new();
+        src.param("a.w", 3, 4, Init::Normal(1.0), &mut rng);
+        src.param("a.b", 1, 4, Init::Uniform(0.5), &mut rng);
+        let blob = save_params(&src);
+
+        let mut dst = ParamStore::new();
+        let aw = dst.param("a.w", 3, 4, Init::Zeros, &mut rng);
+        let ab = dst.param("a.b", 1, 4, Init::Zeros, &mut rng);
+        let n = load_params(&mut dst, &blob).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(dst.get(aw), src.get(src.lookup("a.w").unwrap()));
+        assert_eq!(dst.get(ab), src.get(src.lookup("a.b").unwrap()));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(parse_params(b"NOTAMAGIC...").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut src = ParamStore::new();
+        src.param("w", 10, 10, Init::Normal(1.0), &mut rng);
+        let blob = save_params(&src);
+        let cut = &blob[..blob.len() - 7];
+        assert_eq!(parse_params(cut).unwrap_err(), CodecError::Truncated);
+    }
+
+    #[test]
+    fn shape_mismatch_skipped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut src = ParamStore::new();
+        src.param("w", 2, 2, Init::Normal(1.0), &mut rng);
+        let blob = save_params(&src);
+        let mut dst = ParamStore::new();
+        dst.param("w", 3, 2, Init::Zeros, &mut rng);
+        assert_eq!(load_params(&mut dst, &blob).unwrap(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Finite-difference gradient checks for every differentiable operator.
+//!
+//! Strategy: wrap each op in a scalar-valued function of one parameter
+//! matrix, compute the analytic gradient via `Graph::backward`, and compare
+//! against central differences. f32 noise means tolerances are loose-ish
+//! (1e-2 relative); systematic errors in a backward rule show up orders of
+//! magnitude above that.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use start_nn::array::Array;
+use start_nn::graph::{Graph, NodeId, Segments};
+use start_nn::params::{GradStore, Init, ParamId, ParamStore};
+
+/// Analytic-vs-numeric check for `f(param)` where `build` constructs the
+/// scalar loss node from the bound parameter node.
+fn check_grad(rows: usize, cols: usize, build: impl Fn(&mut Graph, NodeId) -> NodeId) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut store = ParamStore::new();
+    let pid: ParamId = store.param("p", rows, cols, Init::Uniform(0.8), &mut rng);
+
+    // Analytic gradient.
+    let mut grads = GradStore::new(&store);
+    {
+        let mut g = Graph::new(&store, false);
+        let p = g.param(pid);
+        let loss = build(&mut g, p);
+        assert_eq!(g.value(loss).len(), 1, "loss must be scalar");
+        g.backward(loss, &mut grads);
+    }
+    let analytic = grads.get(pid).expect("gradient must reach the parameter").clone();
+
+    // Numeric gradient by central differences.
+    let eps = 2e-3f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..rows * cols {
+        let orig = store.get(pid).data()[i];
+
+        store.get_mut(pid).data_mut()[i] = orig + eps;
+        let mut g = Graph::new(&store, false);
+        let p = g.param(pid);
+        let loss = build(&mut g, p);
+        let up = g.value(loss).item();
+
+        store.get_mut(pid).data_mut()[i] = orig - eps;
+        let mut g = Graph::new(&store, false);
+        let p = g.param(pid);
+        let loss = build(&mut g, p);
+        let down = g.value(loss).item();
+
+        store.get_mut(pid).data_mut()[i] = orig;
+
+        let numeric = (up - down) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-2);
+        let rel = (a - numeric).abs() / denom;
+        max_rel = max_rel.max(rel);
+        assert!(
+            rel < 5e-2,
+            "grad mismatch at {i}: analytic {a}, numeric {numeric} (rel {rel})"
+        );
+    }
+    // The whole op family should be well under tolerance on average.
+    assert!(max_rel < 5e-2);
+}
+
+fn const_input(g: &mut Graph, rows: usize, cols: usize, seed: f32) -> NodeId {
+    g.input(Array::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.37 + seed).sin()))
+}
+
+#[test]
+fn grad_matmul() {
+    check_grad(3, 4, |g, p| {
+        let b = const_input(g, 4, 5, 0.3);
+        let y = g.matmul(p, b);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_matmul_rhs() {
+    check_grad(4, 5, |g, p| {
+        let a = const_input(g, 3, 4, 0.7);
+        let y = g.matmul(a, p);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_transpose_and_reshape() {
+    check_grad(3, 4, |g, p| {
+        let t = g.transpose(p);
+        let r = g.reshape(t, 2, 6);
+        let sq = g.mul(r, r);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_add_sub_mul_scale() {
+    check_grad(3, 3, |g, p| {
+        let b = const_input(g, 3, 3, 1.1);
+        let s = g.add(p, b);
+        let d = g.sub(s, p);
+        let m = g.mul(d, p);
+        let sc = g.scale(m, 0.5);
+        let a = g.add_scalar(sc, 2.0);
+        g.mean_all(a)
+    });
+}
+
+#[test]
+fn grad_add_row_broadcast() {
+    check_grad(1, 4, |g, p| {
+        let x = const_input(g, 5, 4, 0.2);
+        let y = g.add_row(x, p);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mul_row_broadcast() {
+    check_grad(1, 4, |g, p| {
+        let x = const_input(g, 5, 4, 0.9);
+        let y = g.mul_row(x, p);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_mul_row_through_x() {
+    check_grad(5, 4, |g, p| {
+        let row = const_input(g, 1, 4, 0.4);
+        let y = g.mul_row(p, row);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_mul_col_broadcast() {
+    check_grad(5, 1, |g, p| {
+        let x = const_input(g, 5, 4, 0.6);
+        let y = g.mul_col(x, p);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    check_grad(4, 4, |g, p| {
+        let r = g.relu(p);
+        let l = g.leaky_relu(r, 0.2);
+        let e = g.elu(l);
+        let s = g.sigmoid(e);
+        let t = g.tanh(s);
+        g.sum_all(t)
+    });
+}
+
+#[test]
+fn grad_softmax_rows() {
+    check_grad(3, 5, |g, p| {
+        let sm = g.softmax_rows(p);
+        let w = const_input(g, 3, 5, 0.8);
+        let y = g.mul(sm, w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_layer_norm() {
+    check_grad(3, 6, |g, p| {
+        let n = g.layer_norm_rows(p);
+        let w = const_input(g, 3, 6, 0.5);
+        let y = g.mul(n, w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_l2_normalize() {
+    check_grad(3, 4, |g, p| {
+        let n = g.l2_normalize_rows(p);
+        let w = const_input(g, 3, 4, 1.3);
+        let y = g.mul(n, w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_concat_and_slice() {
+    check_grad(3, 4, |g, p| {
+        let q = g.scale(p, 2.0);
+        let cat = g.concat_cols(&[p, q]);
+        let sl = g.slice_cols(cat, 2, 6);
+        let rcat = g.concat_rows(&[sl, sl]);
+        let sq = g.mul(rcat, rcat);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_gather_rows() {
+    check_grad(4, 3, |g, p| {
+        // Repeated indices exercise scatter-add accumulation.
+        let gathered = g.gather_rows(p, Arc::new(vec![0, 2, 2, 3, 0]));
+        let sq = g.mul(gathered, gathered);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_segment_sum() {
+    check_grad(6, 3, |g, p| {
+        let segs = Segments::from_offsets(vec![0, 2, 2, 5, 6]);
+        let s = g.segment_sum(p, &segs);
+        let sq = g.mul(s, s);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_segment_softmax() {
+    check_grad(6, 1, |g, p| {
+        let segs = Segments::from_offsets(vec![0, 3, 6]);
+        let sm = g.segment_softmax(p, &segs);
+        let w = const_input(g, 6, 1, 0.25);
+        let y = g.mul(sm, w);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_cross_entropy() {
+    check_grad(4, 5, |g, p| {
+        g.cross_entropy_rows(p, Arc::new(vec![1, 0, 4, 2]))
+    });
+}
+
+#[test]
+fn grad_mse() {
+    check_grad(4, 2, |g, p| {
+        let target = Array::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.5);
+        g.mse_loss(p, target)
+    });
+}
+
+#[test]
+fn grad_through_attention_style_block() {
+    // Composite: scores = scale(P P^T) + bias; softmax; weighted sum — the
+    // exact dataflow of time-interval-aware attention (Eq. 7).
+    check_grad(4, 4, |g, p| {
+        let pt = g.transpose(p);
+        let scores = g.matmul(p, pt);
+        let scaled = g.scale(scores, 0.5);
+        let bias = const_input(g, 4, 4, 0.15);
+        let biased = g.add(scaled, bias);
+        let attn = g.softmax_rows(biased);
+        let out = g.matmul(attn, p);
+        let sq = g.mul(out, out);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn backward_accumulates_across_multiple_graphs() {
+    // Two graphs writing into the same GradStore must sum their gradients —
+    // the mechanism mini-batch loops rely on.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let pid = store.param("p", 2, 2, Init::Ones, &mut rng);
+    let mut grads = GradStore::new(&store);
+    for _ in 0..2 {
+        let mut g = Graph::new(&store, false);
+        let p = g.param(pid);
+        let loss = g.sum_all(p);
+        g.backward(loss, &mut grads);
+    }
+    // d(sum)/dp = 1 per element per graph => 2 after two passes.
+    assert!(grads.get(pid).unwrap().data().iter().all(|v| (*v - 2.0).abs() < 1e-6));
+}

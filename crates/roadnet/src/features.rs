@@ -1,0 +1,135 @@
+//! Road feature matrix `F_V` (§III-A, §IV-A).
+//!
+//! The paper feeds six feature groups into the first TPE-GAT layer: road
+//! type, length, number of lanes, maximum travel speed, in-degree and
+//! out-degree. Road type is one-hot encoded; the scalar features are
+//! z-normalized over the network so the GAT input is well conditioned.
+
+use crate::graph::{RoadKind, RoadNetwork};
+
+/// Dense `(num_segments, dim)` feature matrix, independent of `start-nn`
+/// so this crate stays a pure-graph dependency.
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl FeatureMatrix {
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Number of scalar (non-one-hot) features.
+const NUM_SCALAR: usize = 5; // length, lanes, max speed, in-degree, out-degree
+
+/// Build the paper's six-feature road representation:
+/// one-hot road type (6) + z-scored [length, lanes, max_speed, in_deg, out_deg].
+pub fn road_features(net: &RoadNetwork) -> FeatureMatrix {
+    let n = net.num_segments();
+    let cols = RoadKind::ALL.len() + NUM_SCALAR;
+    let mut data = vec![0.0f32; n * cols];
+
+    // Collect raw scalars first for normalization.
+    let mut raw = vec![[0.0f32; NUM_SCALAR]; n];
+    for id in net.ids() {
+        let s = net.segment(id);
+        raw[id.index()] = [
+            s.length_m,
+            s.lanes as f32,
+            s.max_speed_kmh,
+            net.in_degree(id) as f32,
+            net.out_degree(id) as f32,
+        ];
+    }
+    let mut mean = [0.0f32; NUM_SCALAR];
+    let mut var = [0.0f32; NUM_SCALAR];
+    for row in &raw {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n.max(1) as f32;
+    }
+    for row in &raw {
+        for ((vv, v), m) in var.iter_mut().zip(row).zip(&mean) {
+            *vv += (v - m) * (v - m);
+        }
+    }
+    let std: Vec<f32> = var.iter().map(|v| (v / n.max(1) as f32).sqrt().max(1e-6)).collect();
+
+    for id in net.ids() {
+        let i = id.index();
+        let row = &mut data[i * cols..(i + 1) * cols];
+        row[net.segment(id).kind.one_hot_index()] = 1.0;
+        for k in 0..NUM_SCALAR {
+            row[RoadKind::ALL.len() + k] = (raw[i][k] - mean[k]) / std[k];
+        }
+    }
+    FeatureMatrix { data, rows: n, cols }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Point, RoadSegment};
+
+    fn net_with(kinds: &[RoadKind]) -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let start = Point::new(i as f64 * 100.0, 0.0);
+            let end = Point::new((i + 1) as f64 * 100.0, 0.0);
+            net.add_segment(RoadSegment {
+                kind,
+                length_m: 100.0 + i as f32 * 50.0,
+                lanes: kind.default_lanes(),
+                max_speed_kmh: kind.default_speed_kmh(),
+                start,
+                end,
+            });
+        }
+        for i in 0..kinds.len() as u32 - 1 {
+            net.connect(crate::graph::SegmentId(i), crate::graph::SegmentId(i + 1));
+        }
+        net
+    }
+
+    #[test]
+    fn one_hot_and_shape() {
+        let net = net_with(&[RoadKind::Primary, RoadKind::Residential, RoadKind::Trunk]);
+        let f = road_features(&net);
+        assert_eq!(f.rows(), 3);
+        assert_eq!(f.cols(), 11);
+        assert_eq!(f.row(0)[RoadKind::Primary.one_hot_index()], 1.0);
+        assert_eq!(f.row(1)[RoadKind::Residential.one_hot_index()], 1.0);
+        // Exactly one hot per row.
+        for r in 0..3 {
+            let hot: f32 = f.row(r)[..6].iter().sum();
+            assert_eq!(hot, 1.0);
+        }
+    }
+
+    #[test]
+    fn scalars_are_standardized() {
+        let net = net_with(&[RoadKind::Primary, RoadKind::Primary, RoadKind::Primary, RoadKind::Primary]);
+        let f = road_features(&net);
+        // Column 6 is z-scored length: mean ~0.
+        let mean: f32 = (0..4).map(|r| f.row(r)[6]).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,270 @@
+//! The four trajectory data-augmentation strategies of §III-C2, used to
+//! build positive views for contrastive learning.
+//!
+//! Each strategy maps a [`Trajectory`] to a [`TrajView`] — a (possibly
+//! shorter) road/time sequence plus masking and embedding-dropout directives
+//! that the encoder honours when embedding the view.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Timestamp, Trajectory};
+use start_roadnet::SegmentId;
+
+/// An encoder-ready view of a trajectory produced by augmentation.
+#[derive(Debug, Clone)]
+pub struct TrajView {
+    pub roads: Vec<SegmentId>,
+    pub times: Vec<Timestamp>,
+    /// Positions whose road id and time indexes are replaced by
+    /// `[MASK]`/`[MASKT]` special tokens.
+    pub masked: Vec<bool>,
+    /// Token-level embedding dropout probability (the *Dropout* strategy);
+    /// 0 disables it.
+    pub embed_dropout: f32,
+}
+
+impl TrajView {
+    /// An identity view of a trajectory.
+    pub fn identity(t: &Trajectory) -> Self {
+        Self {
+            roads: t.roads.clone(),
+            times: t.times.clone(),
+            masked: vec![false; t.len()],
+            embed_dropout: 0.0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.roads.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roads.is_empty()
+    }
+}
+
+/// The four augmentation strategies of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Remove a continuous subsequence at the origin or destination
+    /// (ratio sampled from 0.05-0.15).
+    Trim,
+    /// Perturb the travel times of ~15% of roads toward their historical
+    /// average: `t_aug = t_cur - (t_cur - t_his) * r3`, `r3 ~ U(0.15, 0.30)`.
+    TemporalShift,
+    /// Span-mask roads and their time indexes (missing-value view).
+    Mask,
+    /// Token dropout at the embedding layer (SimCSE-style noise).
+    Dropout,
+}
+
+impl Augmentation {
+    pub const ALL: [Augmentation; 4] = [
+        Augmentation::Trim,
+        Augmentation::TemporalShift,
+        Augmentation::Mask,
+        Augmentation::Dropout,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Augmentation::Trim => "Trajectory Trimming",
+            Augmentation::TemporalShift => "Temporal Shifting",
+            Augmentation::Mask => "Road Segments Mask",
+            Augmentation::Dropout => "Dropout",
+        }
+    }
+
+    /// Apply this strategy. `historical_durations` is the per-segment mean
+    /// traversal time (`t_his`), required by [`Augmentation::TemporalShift`].
+    pub fn apply(
+        self,
+        traj: &Trajectory,
+        historical_durations: &[f32],
+        rng: &mut StdRng,
+    ) -> TrajView {
+        match self {
+            Augmentation::Trim => trim(traj, rng),
+            Augmentation::TemporalShift => temporal_shift(traj, historical_durations, rng),
+            Augmentation::Mask => mask(traj, rng),
+            Augmentation::Dropout => {
+                let mut v = TrajView::identity(traj);
+                v.embed_dropout = 0.1;
+                v
+            }
+        }
+    }
+}
+
+fn trim(traj: &Trajectory, rng: &mut StdRng) -> TrajView {
+    let mut v = TrajView::identity(traj);
+    let r1 = rng.gen_range(0.05..0.15f64);
+    let cut = ((traj.len() as f64 * r1) as usize).min(traj.len().saturating_sub(2));
+    if cut == 0 {
+        return v;
+    }
+    if rng.gen::<bool>() {
+        // Trim at the origin.
+        v.roads.drain(..cut);
+        v.times.drain(..cut);
+        v.masked.drain(..cut);
+    } else {
+        // Trim at the destination.
+        let keep = v.roads.len() - cut;
+        v.roads.truncate(keep);
+        v.times.truncate(keep);
+        v.masked.truncate(keep);
+    }
+    v
+}
+
+fn temporal_shift(traj: &Trajectory, historical: &[f32], rng: &mut StdRng) -> TrajView {
+    const SELECT_RATIO: f64 = 0.15; // r2 in the paper
+    let mut v = TrajView::identity(traj);
+    let n = traj.len();
+    // Per-road traversal durations (the last road's exit is the arrival).
+    let mut durations: Vec<f64> = (0..n)
+        .map(|i| {
+            let exit = if i + 1 < n { traj.times[i + 1] } else { traj.arrival };
+            (exit - traj.times[i]) as f64
+        })
+        .collect();
+    for (i, d) in durations.iter_mut().enumerate() {
+        if rng.gen::<f64>() < SELECT_RATIO {
+            let r3 = rng.gen_range(0.15..0.30f64);
+            let t_his = historical.get(traj.roads[i].index()).copied().unwrap_or(*d as f32) as f64;
+            *d -= (*d - t_his) * r3;
+            *d = d.max(1.0);
+        }
+    }
+    // Rebuild visit timestamps cumulatively from the original departure.
+    let mut t = traj.departure() as f64;
+    for i in 0..n {
+        v.times[i] = t as Timestamp;
+        t += durations[i];
+    }
+    v
+}
+
+fn mask(traj: &Trajectory, rng: &mut StdRng) -> TrajView {
+    let mut v = TrajView::identity(traj);
+    v.masked = choose_span_mask(traj.len(), 2, 0.15, rng);
+    v
+}
+
+/// Select consecutive spans of length `span_len` until `ratio` of the
+/// sequence is masked (§III-C1). Shared by the Road-Segments-Mask
+/// augmentation and the span-masked recovery pre-training task.
+pub fn choose_span_mask(len: usize, span_len: usize, ratio: f64, rng: &mut StdRng) -> Vec<bool> {
+    let mut masked = vec![false; len];
+    if len == 0 || span_len == 0 {
+        return masked;
+    }
+    let budget = ((len as f64 * ratio).round() as usize).max(1);
+    let mut count = 0;
+    let mut guard = 0;
+    while count < budget && guard < len * 10 {
+        guard += 1;
+        let start = rng.gen_range(0..len);
+        for i in start..(start + span_len).min(len) {
+            if !masked[i] {
+                masked[i] = true;
+                count += 1;
+                if count >= budget {
+                    break;
+                }
+            }
+        }
+    }
+    masked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TravelMode;
+    use rand::SeedableRng;
+
+    fn traj(len: usize) -> Trajectory {
+        Trajectory {
+            roads: (0..len as u32).map(SegmentId).collect(),
+            times: (0..len as i64).map(|i| 1000 + i * 60).collect(),
+            driver: 0,
+            occupied: false,
+            mode: TravelMode::CarTaxi,
+            arrival: 1000 + len as i64 * 60,
+        }
+    }
+
+    #[test]
+    fn trim_removes_prefix_or_suffix_only() {
+        let t = traj(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = Augmentation::Trim.apply(&t, &[], &mut rng);
+            assert!(v.len() >= 2 && v.len() <= 40);
+            // The view must be a contiguous sub-slice of the original.
+            let start = t.roads.iter().position(|r| *r == v.roads[0]).unwrap();
+            assert_eq!(&t.roads[start..start + v.len()], v.roads.as_slice());
+            assert_eq!(&t.times[start..start + v.len()], v.times.as_slice());
+        }
+    }
+
+    #[test]
+    fn temporal_shift_moves_times_toward_historical() {
+        let t = traj(30);
+        // Historical duration much larger than the observed 60 s.
+        let hist = vec![600.0f32; 30];
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = Augmentation::TemporalShift.apply(&t, &hist, &mut rng);
+        assert_eq!(v.len(), 30);
+        assert_eq!(v.times[0], t.times[0], "departure unchanged");
+        // Some durations must have been stretched (toward 600 s).
+        let orig_span = t.arrival - t.departure();
+        let new_span = v.times[29] - v.times[0];
+        assert!(new_span > orig_span - 60, "shift should stretch the span here");
+        // Times stay sorted.
+        assert!(v.times.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn mask_respects_ratio_roughly() {
+        let t = traj(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = Augmentation::Mask.apply(&t, &[], &mut rng);
+        let m = v.masked.iter().filter(|&&b| b).count();
+        assert!((10..=25).contains(&m), "masked {m}/100");
+        assert_eq!(v.roads, t.roads, "mask does not alter the sequence");
+    }
+
+    #[test]
+    fn dropout_sets_embedding_flag_only() {
+        let t = traj(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = Augmentation::Dropout.apply(&t, &[], &mut rng);
+        assert_eq!(v.embed_dropout, 0.1);
+        assert_eq!(v.roads, t.roads);
+        assert!(v.masked.iter().all(|m| !m));
+    }
+
+    #[test]
+    fn span_mask_produces_spans() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = choose_span_mask(200, 4, 0.2, &mut rng);
+        let count = m.iter().filter(|&&b| b).count();
+        assert!((30..=60).contains(&count), "masked {count}");
+        // There must exist at least one run of length >= 2 (spans, not i.i.d.).
+        let has_run = m.windows(2).any(|w| w[0] && w[1]);
+        assert!(has_run);
+    }
+
+    #[test]
+    fn span_mask_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(choose_span_mask(0, 2, 0.15, &mut rng).is_empty());
+        let one = choose_span_mask(1, 2, 0.15, &mut rng);
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Bundled datasets: city + simulated trajectories + preprocessing + the
+//! derived artifacts every experiment needs (transfer matrix, historical
+//! durations, Table I statistics).
+
+use start_roadnet::{City, TransferMatrix};
+
+use crate::preprocess::{preprocess, PreprocessConfig, SplitDataset};
+use crate::simulate::{historical_mean_durations, SimConfig, Simulator};
+use crate::types::Trajectory;
+
+/// A fully prepared dataset, the unit of work for all experiments.
+pub struct TrajDataset {
+    pub city: City,
+    pub split: SplitDataset,
+    /// Transfer probabilities (Eq. 2), computed on the *training* split only
+    /// to avoid leaking test-time travel patterns into TPE-GAT.
+    pub transfer: TransferMatrix,
+    /// Historical mean traversal time per segment (training split).
+    pub historical: Vec<f32>,
+}
+
+impl TrajDataset {
+    /// Simulate, preprocess and derive auxiliary structures.
+    pub fn build(city: City, sim_cfg: SimConfig, pre_cfg: &PreprocessConfig) -> Self {
+        let raw = Simulator::new(&city.net, sim_cfg).generate();
+        let split = preprocess(raw, pre_cfg);
+        let transfer = TransferMatrix::from_sequences(
+            city.net.num_segments(),
+            split.train().iter().map(|t| t.roads.as_slice()),
+        );
+        let historical = historical_mean_durations(&city.net, split.train());
+        Self { city, split, transfer, historical }
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.city.net.num_segments()
+    }
+
+    pub fn num_drivers(&self) -> usize {
+        self.split.stats.num_users
+    }
+
+    pub fn train(&self) -> &[Trajectory] {
+        self.split.train()
+    }
+
+    pub fn eval(&self) -> &[Trajectory] {
+        self.split.eval()
+    }
+
+    pub fn test(&self) -> &[Trajectory] {
+        self.split.test()
+    }
+
+    /// Table I row for this dataset.
+    pub fn table1_row(&self) -> Table1Row {
+        Table1Row {
+            name: self.city.name.clone(),
+            num_trajectories: self.split.stats.kept,
+            num_users: self.split.stats.num_users,
+            num_segments: self.num_segments(),
+            train: self.train().len(),
+            eval: self.eval().len(),
+            test: self.test().len(),
+        }
+    }
+}
+
+/// One row of Table I (dataset statistics after preprocessing).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    pub name: String,
+    pub num_trajectories: usize,
+    pub num_users: usize,
+    pub num_segments: usize,
+    pub train: usize,
+    pub eval: usize,
+    pub test: usize,
+}
+
+impl std::fmt::Display for Table1Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} #Trajectory {:>7}  #Usr {:>5}  #RoadSegment {:>6}  train/eval/test {}/{}/{}",
+            self.name,
+            self.num_trajectories,
+            self.num_users,
+            self.num_segments,
+            self.train,
+            self.eval,
+            self.test
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use start_roadnet::synth::{generate_city, CityConfig};
+
+    #[test]
+    fn build_produces_consistent_dataset() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = SimConfig { num_trajectories: 200, num_drivers: 10, ..Default::default() };
+        let ds = TrajDataset::build(city, sim, &PreprocessConfig::default());
+        assert!(ds.split.stats.kept > 100, "most simulated trips should survive filters");
+        assert_eq!(ds.historical.len(), ds.num_segments());
+        // Transfer matrix covers training transitions.
+        assert!(ds.transfer.num_observed_transitions() > 0);
+        let row = ds.table1_row();
+        assert_eq!(row.train + row.eval + row.test, row.num_trajectories);
+    }
+}

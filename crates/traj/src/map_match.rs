@@ -1,0 +1,246 @@
+//! HMM map matching (§II-A, reference [3] of the paper).
+//!
+//! Aligns raw GPS points with road segments: hidden states are candidate
+//! segments per point, emission probability decays with the point-to-segment
+//! distance (Gaussian), and transition probability compares the on-network
+//! route distance between consecutive candidates with the straight-line
+//! distance (exponential), exactly the Newson-Krumm / FMM recipe. Decoding
+//! is Viterbi; the resulting segment sequence is deduplicated and stitched
+//! into a connected path with shortest-path gap filling.
+
+use start_roadnet::{dijkstra, Point, RoadNetwork, SegmentId};
+
+use crate::types::{RawTrajectory, Timestamp, Trajectory, TravelMode};
+
+/// Map-matching parameters.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Candidate search radius in meters.
+    pub radius_m: f64,
+    /// Max candidates per GPS point.
+    pub max_candidates: usize,
+    /// GPS noise standard deviation (emission model), meters.
+    pub sigma_m: f64,
+    /// Transition tolerance (route-vs-euclid discrepancy scale), meters.
+    pub beta_m: f64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self { radius_m: 60.0, max_candidates: 4, sigma_m: 10.0, beta_m: 80.0 }
+    }
+}
+
+/// Errors from [`map_match`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum MatchError {
+    /// Fewer than two GPS points.
+    TooShort,
+    /// Some GPS point had no candidate segment within the radius.
+    NoCandidates { point_index: usize },
+    /// The Viterbi lattice broke (no connected transition anywhere).
+    Disconnected,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::TooShort => write!(f, "trajectory has fewer than two GPS points"),
+            MatchError::NoCandidates { point_index } => {
+                write!(f, "no road within radius of GPS point {point_index}")
+            }
+            MatchError::Disconnected => write!(f, "no connected road path explains the GPS trace"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Route distance (meters) between two segments, bounded to keep the lattice
+/// cheap; `None` when unreachable within the bound.
+fn route_distance(net: &RoadNetwork, from: SegmentId, to: SegmentId, bound: f64) -> Option<f64> {
+    if from == to {
+        return Some(0.0);
+    }
+    let path = dijkstra(net, from, to, |_, next| net.segment(next).length_m as f64)?;
+    (path.cost <= bound).then_some(path.cost)
+}
+
+/// Match a raw GPS trajectory onto the road network, producing the
+/// road-network constrained trajectory of Definition 3.
+pub fn map_match(
+    net: &RoadNetwork,
+    raw: &RawTrajectory,
+    cfg: &MatchConfig,
+) -> Result<Trajectory, MatchError> {
+    if raw.points.len() < 2 {
+        return Err(MatchError::TooShort);
+    }
+    // Candidate states per point.
+    let mut candidates: Vec<Vec<(SegmentId, f64)>> = Vec::with_capacity(raw.points.len());
+    for (i, p) in raw.points.iter().enumerate() {
+        let mut near = net.segments_near(Point::new(p.x, p.y), cfg.radius_m);
+        near.truncate(cfg.max_candidates);
+        if near.is_empty() {
+            return Err(MatchError::NoCandidates { point_index: i });
+        }
+        candidates.push(near);
+    }
+
+    // Viterbi in log space.
+    let emission = |dist: f64| -0.5 * (dist / cfg.sigma_m).powi(2);
+    let mut scores: Vec<f64> = candidates[0].iter().map(|&(_, d)| emission(d)).collect();
+    let mut backptr: Vec<Vec<usize>> = Vec::with_capacity(candidates.len());
+
+    for t in 1..candidates.len() {
+        let p_prev = &raw.points[t - 1];
+        let p_cur = &raw.points[t];
+        let euclid = Point::new(p_prev.x, p_prev.y).distance(Point::new(p_cur.x, p_cur.y));
+        let bound = euclid * 4.0 + 500.0;
+        let mut new_scores = vec![f64::NEG_INFINITY; candidates[t].len()];
+        let mut ptrs = vec![0usize; candidates[t].len()];
+        for (j, &(cand, dist)) in candidates[t].iter().enumerate() {
+            let emit = emission(dist);
+            for (i, &(prev_cand, _)) in candidates[t - 1].iter().enumerate() {
+                if scores[i] == f64::NEG_INFINITY {
+                    continue;
+                }
+                let Some(route) = route_distance(net, prev_cand, cand, bound) else {
+                    continue;
+                };
+                let trans = -((route - euclid).abs() / cfg.beta_m);
+                let s = scores[i] + trans + emit;
+                if s > new_scores[j] {
+                    new_scores[j] = s;
+                    ptrs[j] = i;
+                }
+            }
+        }
+        if new_scores.iter().all(|s| *s == f64::NEG_INFINITY) {
+            return Err(MatchError::Disconnected);
+        }
+        scores = new_scores;
+        backptr.push(ptrs);
+    }
+
+    // Backtrace.
+    let mut best = scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty candidates");
+    let mut state_seq = vec![candidates[candidates.len() - 1][best].0];
+    let mut times = vec![raw.points[raw.points.len() - 1].t];
+    for t in (0..backptr.len()).rev() {
+        best = backptr[t][best];
+        state_seq.push(candidates[t][best].0);
+        times.push(raw.points[t].t);
+    }
+    state_seq.reverse();
+    times.reverse();
+
+    // Deduplicate consecutive repeats, keeping first-visit timestamps, then
+    // stitch non-adjacent hops with shortest paths (interpolated times).
+    let mut roads: Vec<SegmentId> = Vec::with_capacity(state_seq.len());
+    let mut visit_times: Vec<Timestamp> = Vec::with_capacity(state_seq.len());
+    for (seg, t) in state_seq.into_iter().zip(times) {
+        if roads.last() == Some(&seg) {
+            continue;
+        }
+        if let Some(&prev) = roads.last() {
+            if !net.successors(prev).contains(&seg) {
+                if let Some(path) = dijkstra(net, prev, seg, |_, next| {
+                    net.segment(next).length_m as f64
+                }) {
+                    let t_prev = *visit_times.last().expect("non-empty");
+                    let gap = path.segments.len() - 1;
+                    for (k, &mid) in path.segments[1..path.segments.len() - 1].iter().enumerate() {
+                        roads.push(mid);
+                        let frac = (k + 1) as f64 / gap as f64;
+                        visit_times.push(t_prev + ((t - t_prev) as f64 * frac) as Timestamp);
+                    }
+                } else {
+                    return Err(MatchError::Disconnected);
+                }
+            }
+        }
+        roads.push(seg);
+        visit_times.push(t);
+    }
+
+    let arrival = *visit_times.last().expect("non-empty");
+    Ok(Trajectory {
+        roads,
+        times: visit_times,
+        driver: raw.driver,
+        occupied: false,
+        mode: TravelMode::CarTaxi,
+        arrival,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{SimConfig, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use start_roadnet::synth::{generate_city, CityConfig};
+
+    #[test]
+    fn too_short_rejected() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let raw = RawTrajectory { points: vec![], driver: 0 };
+        assert!(matches!(
+            map_match(&city.net, &raw, &MatchConfig::default()),
+            Err(MatchError::TooShort)
+        ));
+    }
+
+    #[test]
+    fn far_away_point_reports_no_candidates() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let raw = RawTrajectory {
+            points: vec![
+                crate::types::GpsPoint { x: 1e7, y: 1e7, t: 0 },
+                crate::types::GpsPoint { x: 1e7, y: 1e7, t: 15 },
+            ],
+            driver: 0,
+        };
+        assert!(matches!(
+            map_match(&city.net, &raw, &MatchConfig::default()),
+            Err(MatchError::NoCandidates { .. })
+        ));
+    }
+
+    #[test]
+    fn recovers_simulated_route() {
+        let city = generate_city("t", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 20, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut recovered = 0.0;
+        let mut total = 0.0;
+        for traj in data.iter().take(8) {
+            let raw = sim.to_raw_gps(traj, 15, 5.0, &mut rng);
+            if raw.points.len() < 3 {
+                continue;
+            }
+            let matched = map_match(&city.net, &raw, &MatchConfig::default()).expect("match");
+            assert!(matched.validate().is_ok());
+            assert!(city.net.is_path(&matched.roads), "matched output must be connected");
+            // Route recovery: fraction of true roads present in the match.
+            let set: std::collections::HashSet<_> = matched.roads.iter().collect();
+            let hit = traj.roads.iter().filter(|r| set.contains(r)).count();
+            recovered += hit as f64;
+            total += traj.roads.len() as f64;
+        }
+        assert!(total > 0.0);
+        let recall = recovered / total;
+        assert!(recall > 0.7, "route recovery too low: {recall:.2}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Dataset preprocessing (§IV-A): filtering rules and chronological splits.
+//!
+//! The paper removes loop trajectories, trajectories shorter than six roads,
+//! and users with fewer than 20 trajectories; caps trajectory length at 128;
+//! drops roads never covered by a trajectory; and splits chronologically
+//! (6:2:2 for Porto, 18/5/7 days for BJ — we use ratio-based chronological
+//! splits for both).
+
+use std::collections::HashMap;
+
+use crate::types::Trajectory;
+
+/// Filtering thresholds, defaulting to the paper's.
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    pub min_len: usize,
+    pub max_len: usize,
+    pub min_user_trajectories: usize,
+    pub remove_loops: bool,
+    /// Chronological split fractions (train, eval); test gets the remainder.
+    pub train_frac: f64,
+    pub eval_frac: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        Self {
+            min_len: 6,
+            max_len: 128,
+            min_user_trajectories: 5,
+            remove_loops: true,
+            train_frac: 0.6,
+            eval_frac: 0.2,
+        }
+    }
+}
+
+/// Result of preprocessing: filtered trajectories and split boundaries.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    pub trajectories: Vec<Trajectory>,
+    /// `trajectories[..train_end]` is the training split.
+    pub train_end: usize,
+    /// `trajectories[train_end..eval_end]` is the validation split.
+    pub eval_end: usize,
+    pub stats: PreprocessStats,
+}
+
+impl SplitDataset {
+    pub fn train(&self) -> &[Trajectory] {
+        &self.trajectories[..self.train_end]
+    }
+
+    pub fn eval(&self) -> &[Trajectory] {
+        &self.trajectories[self.train_end..self.eval_end]
+    }
+
+    pub fn test(&self) -> &[Trajectory] {
+        &self.trajectories[self.eval_end..]
+    }
+}
+
+/// Counters for Table I.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessStats {
+    pub input: usize,
+    pub dropped_short: usize,
+    pub dropped_long: usize,
+    pub dropped_loops: usize,
+    pub dropped_rare_users: usize,
+    pub kept: usize,
+    pub num_users: usize,
+}
+
+/// Apply the paper's filters and chronological split.
+pub fn preprocess(mut trajectories: Vec<Trajectory>, cfg: &PreprocessConfig) -> SplitDataset {
+    let mut stats = PreprocessStats { input: trajectories.len(), ..Default::default() };
+
+    trajectories.retain(|t| {
+        if t.len() < cfg.min_len {
+            stats.dropped_short += 1;
+            return false;
+        }
+        if t.len() > cfg.max_len {
+            stats.dropped_long += 1;
+            return false;
+        }
+        if cfg.remove_loops && t.is_loop() {
+            stats.dropped_loops += 1;
+            return false;
+        }
+        true
+    });
+
+    // Drop users with too few trajectories.
+    let mut per_user: HashMap<u32, usize> = HashMap::new();
+    for t in &trajectories {
+        *per_user.entry(t.driver).or_insert(0) += 1;
+    }
+    let before = trajectories.len();
+    trajectories.retain(|t| per_user[&t.driver] >= cfg.min_user_trajectories);
+    stats.dropped_rare_users = before - trajectories.len();
+
+    // Chronological split.
+    trajectories.sort_by_key(Trajectory::departure);
+    let n = trajectories.len();
+    stats.kept = n;
+    stats.num_users = trajectories.iter().map(|t| t.driver).collect::<std::collections::HashSet<_>>().len();
+    let train_end = (n as f64 * cfg.train_frac).round() as usize;
+    let eval_end = train_end + (n as f64 * cfg.eval_frac).round() as usize;
+    SplitDataset { trajectories, train_end, eval_end: eval_end.min(n), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{TravelMode};
+    use start_roadnet::SegmentId;
+
+    fn traj(len: usize, driver: u32, depart: i64, looped: bool) -> Trajectory {
+        let mut roads: Vec<SegmentId> = (0..len as u32).map(SegmentId).collect();
+        if looped && len > 1 {
+            let first = roads[0];
+            *roads.last_mut().unwrap() = first;
+        }
+        let times: Vec<i64> = (0..len as i64).map(|i| depart + i * 30).collect();
+        let arrival = *times.last().unwrap() + 30;
+        Trajectory { roads, times, driver, occupied: false, mode: TravelMode::CarTaxi, arrival }
+    }
+
+    #[test]
+    fn filters_apply_in_order() {
+        let cfg = PreprocessConfig { min_user_trajectories: 2, ..Default::default() };
+        let data = vec![
+            traj(3, 0, 0, false),      // too short
+            traj(200, 0, 10, false),   // too long
+            traj(10, 0, 20, true),     // loop
+            traj(10, 1, 30, false),    // rare user (only 1 traj)
+            traj(10, 2, 40, false),
+            traj(12, 2, 50, false),
+        ];
+        let out = preprocess(data, &cfg);
+        assert_eq!(out.stats.dropped_short, 1);
+        assert_eq!(out.stats.dropped_long, 1);
+        assert_eq!(out.stats.dropped_loops, 1);
+        assert_eq!(out.stats.dropped_rare_users, 1);
+        assert_eq!(out.stats.kept, 2);
+        assert_eq!(out.stats.num_users, 1);
+    }
+
+    #[test]
+    fn splits_are_chronological_and_partition() {
+        let cfg = PreprocessConfig { min_user_trajectories: 1, ..Default::default() };
+        let data: Vec<Trajectory> =
+            (0..100).map(|i| traj(10, i % 7, (100 - i as i64) * 1000, false)).collect();
+        let out = preprocess(data, &cfg);
+        assert_eq!(out.train().len() + out.eval().len() + out.test().len(), 100);
+        assert_eq!(out.train().len(), 60);
+        assert_eq!(out.eval().len(), 20);
+        // Chronological: max train departure <= min test departure.
+        let max_train = out.train().iter().map(Trajectory::departure).max().unwrap();
+        let min_test = out.test().iter().map(Trajectory::departure).min().unwrap();
+        assert!(max_train <= min_test);
+    }
+}

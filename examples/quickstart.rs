@@ -1,0 +1,71 @@
+//! Quickstart: build a synthetic city, simulate trajectories, pre-train
+//! START self-supervised, and use the representations for three downstream
+//! tasks — the paper's Figure 2 pipeline end to end in one file.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use start_bench::{f3, Table};
+use start_core::{
+    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig,
+    StartModel,
+};
+use start_eval::metrics::{hit_ratio, mean_rank, regression_report, truth_ranks};
+use start_roadnet::synth::{generate_city, CityConfig};
+use start_traj::{
+    build_benchmark, DetourConfig, PreprocessConfig, SimConfig, TrajDataset, Trajectory,
+};
+
+fn main() {
+    // 1. A synthetic city and a congestion-aware taxi fleet (the substitute
+    //    for the paper's proprietary BJ dataset — see DESIGN.md §1).
+    println!("[1/5] generating city + trajectories...");
+    let city = generate_city("Quickstart-City", &CityConfig::tiny());
+    let sim = SimConfig { num_trajectories: 600, num_drivers: 12, ..Default::default() };
+    let ds = TrajDataset::build(city, sim, &PreprocessConfig::default());
+    println!("      {}", ds.table1_row());
+
+    // 2. The START model: TPE-GAT over the road network + TAT-Enc.
+    println!("[2/5] building START...");
+    let cfg = StartConfig { dim: 32, gat_layers: 1, gat_heads: vec![2], encoder_layers: 2, encoder_heads: 2, ffn_hidden: 32, ..Default::default() };
+    let mut model = StartModel::new(cfg, &ds.city.net, Some(&ds.transfer), None, 42);
+
+    // 3. Self-supervised pre-training: span-masked recovery + contrastive.
+    println!("[3/5] pre-training (span-mask + NT-Xent)...");
+    let report = pretrain(
+        &mut model,
+        ds.train(),
+        &ds.historical,
+        &PretrainConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(10), ..Default::default() },
+    );
+    println!("      loss per epoch: {:?}", report.epoch_losses);
+
+    // 4. Zero-shot similarity search on the detour benchmark.
+    println!("[4/5] zero-shot similarity search...");
+    let bench = build_benchmark(&ds.city.net, ds.test(), 20, 100, &DetourConfig::default());
+    let q = model.encode_trajectories(&bench.queries);
+    let db = model.encode_trajectories(&bench.database);
+    let ranks = truth_ranks(&q, &db, |i| bench.truth(i));
+    println!(
+        "      MR {:.2}  HR@1 {:.2}  HR@5 {:.2}",
+        mean_rank(&ranks),
+        hit_ratio(&ranks, 1),
+        hit_ratio(&ranks, 5)
+    );
+
+    // 5. Fine-tune for travel time estimation.
+    println!("[5/5] fine-tuning for travel time estimation...");
+    let head = fine_tune_eta(
+        &mut model,
+        ds.train(),
+        &FineTuneConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(12), ..Default::default() },
+    );
+    let test: Vec<Trajectory> = ds.test().iter().take(100).cloned().collect();
+    let truth: Vec<f32> = test.iter().map(Trajectory::travel_time_secs).collect();
+    let preds = predict_eta(&model, &head, &test);
+    let reg = regression_report(&truth, &preds);
+
+    let mut t = Table::new("quickstart results (ETA)", &["MAE (s)", "MAPE (%)", "RMSE (s)"]);
+    t.row(vec![f3(reg.mae), f3(reg.mape), f3(reg.rmse)]);
+    t.print();
+    println!("Done. See crates/bench/src/bin/ for the full per-table/per-figure harness.");
+}

@@ -1,0 +1,79 @@
+//! Example: zero-shot trajectory similarity search (§III-D3 / §IV-D4).
+//!
+//! Builds the paper's top-k-detour benchmark, embeds everything with a
+//! pre-trained START model (no fine-tuning), and compares retrieval quality
+//! and per-comparison cost against the classical DTW measure — a miniature
+//! of the Figure 10 study.
+//!
+//! Run: `cargo run --release --example similarity_search`
+
+use std::time::Instant;
+
+use start_bench::{bj_mini, ModelKind, Runner, Scale};
+use start_eval::classic::{dtw, midpoints};
+use start_eval::metrics::{hit_ratio, mean_rank, truth_ranks};
+use start_traj::{build_benchmark, DetourConfig};
+
+fn main() {
+    println!("[1/4] dataset (quick-scale BJ-mini)...");
+    let scale = Scale { bj_trajectories: 1700, num_queries: 30, ..Scale::quick() };
+    let ds = bj_mini(&scale);
+    println!("      {}", ds.table1_row());
+
+    println!("[2/4] pre-training START (span-mask + contrastive)...");
+    let mut start = Runner::build(&ModelKind::start(&scale), &ds, &scale, None);
+    start.pretrain(&ds, &scale);
+
+    println!("[3/4] building the detour benchmark (p_d = 0.2, t_d = 0.2)...");
+    let nq = scale.num_queries;
+    let bench = build_benchmark(&ds.city.net, ds.test(), nq, nq * 8, &DetourConfig::default());
+
+    println!("[4/4] searching...");
+    // Deep: embed once (offline in practice), then O(d) comparisons.
+    let t0 = Instant::now();
+    let q = start.encode(&bench.queries);
+    let db = start.encode(&bench.database);
+    let t_embed = t0.elapsed();
+    let t0 = Instant::now();
+    let deep_ranks = truth_ranks(&q, &db, |i| bench.truth(i));
+    let t_scan = t0.elapsed();
+
+    // Classic: O(L^2) DTW scan per query.
+    let t0 = Instant::now();
+    let qp: Vec<_> = bench.queries.iter().map(|t| midpoints(&ds.city.net, t)).collect();
+    let dp: Vec<_> = bench.database.iter().map(|t| midpoints(&ds.city.net, t)).collect();
+    let dtw_ranks: Vec<usize> = qp
+        .iter()
+        .enumerate()
+        .map(|(qi, a)| {
+            let truth_d = dtw(a, &dp[bench.truth(qi)]);
+            dp.iter()
+                .enumerate()
+                .filter(|(i, b)| *i != bench.truth(qi) && dtw(a, b) < truth_d)
+                .count()
+                + 1
+        })
+        .collect();
+    let t_dtw = t0.elapsed();
+
+    println!(
+        "\nSTART  : MR {:>6.2}  HR@1 {:.2}  HR@5 {:.2}  embed {:?} (one-off) + scan {:?}",
+        mean_rank(&deep_ranks),
+        hit_ratio(&deep_ranks, 1),
+        hit_ratio(&deep_ranks, 5),
+        t_embed,
+        t_scan
+    );
+    println!(
+        "DTW    : MR {:>6.2}  HR@1 {:.2}  HR@5 {:.2}  scan {:?}",
+        mean_rank(&dtw_ranks),
+        hit_ratio(&dtw_ranks, 1),
+        hit_ratio(&dtw_ranks, 5),
+        t_dtw
+    );
+    println!(
+        "\nSTART retrieves the detoured ground truth near the top of {} candidates with an\nO(d) scan ({:?}); DTW's geometric DP is near-oracle on these clean synthetic\npolylines but costs O(L^2) per comparison — on large noisy GPS databases the\nembedding search wins both ways (see EXPERIMENTS.md, Fig 10 notes).",
+        bench.database.len(),
+        t_scan
+    );
+}

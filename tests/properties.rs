@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants that the START pipeline relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use start_roadnet::synth::{generate_city, CityConfig};
+use start_roadnet::{dijkstra, yen_ksp, SegmentId};
+use start_traj::{choose_span_mask, Augmentation, TrajView, Trajectory, TravelMode};
+
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    // Random length, random (not necessarily connected) roads, sorted times.
+    (6usize..60, any::<u64>()).prop_map(|(len, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut t = 1000i64;
+        let mut roads = Vec::with_capacity(len);
+        let mut times = Vec::with_capacity(len);
+        for _ in 0..len {
+            roads.push(SegmentId(rng.gen_range(0..500)));
+            times.push(t);
+            t += rng.gen_range(5..300);
+        }
+        Trajectory {
+            roads,
+            times,
+            driver: rng.gen_range(0..10),
+            occupied: rng.gen(),
+            mode: TravelMode::CarTaxi,
+            arrival: t,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Span masking masks roughly the requested ratio and never exceeds len.
+    #[test]
+    fn span_mask_ratio_bounded(len in 1usize..300, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = choose_span_mask(len, 2, 0.15, &mut rng);
+        prop_assert_eq!(mask.len(), len);
+        let m = mask.iter().filter(|&&b| b).count();
+        prop_assert!(m >= 1);
+        // Never much above the requested ratio (span may overshoot by < span_len).
+        prop_assert!(m <= (len as f64 * 0.15).ceil() as usize + 2);
+    }
+
+    /// Every augmentation outputs a structurally valid view: matching
+    /// lengths, sorted times, roads drawn from the original.
+    #[test]
+    fn augmentations_preserve_view_invariants(traj in arb_trajectory(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = vec![30.0f32; 500];
+        for aug in Augmentation::ALL {
+            let v: TrajView = aug.apply(&traj, &hist, &mut rng);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.roads.len(), v.times.len());
+            prop_assert_eq!(v.roads.len(), v.masked.len());
+            prop_assert!(v.times.windows(2).all(|w| w[1] >= w[0]), "{aug:?} unsorted times");
+            prop_assert!(v.roads.iter().all(|r| traj.roads.contains(r)), "{aug:?} invented roads");
+            prop_assert!(v.len() <= traj.len());
+        }
+    }
+
+    /// Trimming keeps a contiguous sub-slice anchored at origin or destination.
+    #[test]
+    fn trim_is_anchored_subslice(traj in arb_trajectory(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = Augmentation::Trim.apply(&traj, &[], &mut rng);
+        let anchored_front = v.roads[..] == traj.roads[..v.len()];
+        let anchored_back = v.roads[..] == traj.roads[traj.len() - v.len()..];
+        prop_assert!(anchored_front || anchored_back);
+    }
+
+    /// Validated trajectories survive a trim+shift round of augmentation
+    /// with their departure unchanged (shift) or moved to a later road (trim).
+    #[test]
+    fn temporal_shift_preserves_departure(traj in arb_trajectory(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = vec![45.0f32; 500];
+        let v = Augmentation::TemporalShift.apply(&traj, &hist, &mut rng);
+        prop_assert_eq!(v.times[0], traj.departure());
+        prop_assert_eq!(v.roads, traj.roads);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Yen's k-shortest paths on a real city: sorted by cost, all simple,
+    /// all distinct, all connected, and the first equals Dijkstra's optimum.
+    #[test]
+    fn yen_paths_are_sorted_simple_distinct(seed in any::<u64>()) {
+        let city = generate_city("prop", &CityConfig::tiny());
+        let n = city.net.num_segments() as u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a = SegmentId(rng.gen_range(0..n));
+        let b = SegmentId(rng.gen_range(0..n));
+        prop_assume!(a != b);
+        let cost = |_: SegmentId, to: SegmentId| city.net.segment(to).length_m as f64;
+        let paths = yen_ksp(&city.net, a, b, 4, cost);
+        prop_assume!(!paths.is_empty());
+
+        // First equals Dijkstra.
+        let best = dijkstra(&city.net, a, b, cost).expect("reachable");
+        prop_assert_eq!(&paths[0].segments, &best.segments);
+
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost <= w[1].cost + 1e-9, "not sorted");
+            prop_assert_ne!(&w[0].segments, &w[1].segments);
+        }
+        for p in &paths {
+            prop_assert!(city.net.is_path(&p.segments), "disconnected path");
+            let set: std::collections::HashSet<_> = p.segments.iter().collect();
+            prop_assert_eq!(set.len(), p.segments.len(), "loop in path");
+            prop_assert_eq!(p.segments[0], a);
+            prop_assert_eq!(*p.segments.last().unwrap(), b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The weight codec round-trips arbitrary parameter stores exactly.
+    #[test]
+    fn weight_codec_roundtrip(seed in any::<u64>(), n_tensors in 1usize..6) {
+        use start_nn::params::{Init, ParamStore};
+        use start_nn::serialize::{load_params, save_params};
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut store = ParamStore::new();
+        let mut shapes = Vec::new();
+        for i in 0..n_tensors {
+            let r = rng.gen_range(1..8);
+            let c = rng.gen_range(1..8);
+            shapes.push((r, c));
+            store.param(format!("t{i}"), r, c, Init::Normal(1.0), &mut rng);
+        }
+        let blob = save_params(&store);
+
+        let mut restored = ParamStore::new();
+        for (i, (r, c)) in shapes.iter().enumerate() {
+            restored.param(format!("t{i}"), *r, *c, Init::Zeros, &mut rng);
+        }
+        let loaded = load_params(&mut restored, &blob).unwrap();
+        prop_assert_eq!(loaded, n_tensors);
+        for (a, b) in store.iter().zip(restored.iter()) {
+            prop_assert_eq!(a.1.data(), b.1.data());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Classic similarity measures: identity is zero, symmetry holds, and
+    /// DTW/Fréchet respect simple lower bounds.
+    #[test]
+    fn classic_measures_axioms(seed in any::<u64>(), n in 2usize..20, m in 2usize..20) {
+        use start_eval::classic::{dtw, edr, frechet, lcss};
+        use start_roadnet::Point;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut mk = |len: usize| -> Vec<Point> {
+            (0..len).map(|_| Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0))).collect()
+        };
+        let a = mk(n);
+        let b = mk(m);
+        prop_assert!(dtw(&a, &a).abs() < 1e-9);
+        prop_assert!(frechet(&a, &a).abs() < 1e-9);
+        prop_assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-9);
+        prop_assert!((frechet(&a, &b) - frechet(&b, &a)).abs() < 1e-9);
+        prop_assert!((edr(&a, &b, 10.0) - edr(&b, &a, 10.0)).abs() < 1e-9);
+        // Fréchet is at least the endpoint distances' max-min bound.
+        let d_start = a[0].distance(b[0]);
+        let d_end = a[n - 1].distance(b[m - 1]);
+        prop_assert!(frechet(&a, &b) + 1e-9 >= d_start.max(d_end) - 1e-9 || frechet(&a, &b) >= d_start.min(d_end) - 1e-9);
+        // LCSS/EDR are normalized distances in [0, 1].
+        for v in [lcss(&a, &b, 25.0), edr(&a, &b, 25.0)] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
