@@ -77,6 +77,7 @@ pub struct SeqEmbedder {
 }
 
 impl SeqEmbedder {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         rng: &mut StdRng,
@@ -88,12 +89,11 @@ impl SeqEmbedder {
         use_cls: bool,
     ) -> Self {
         let road_emb = Embedding::new(store, rng, &format!("{name}.road_emb"), num_roads, dim);
-        let minute_emb = use_time
-            .then(|| Embedding::new(store, rng, &format!("{name}.minute_emb"), 1441, dim));
+        let minute_emb =
+            use_time.then(|| Embedding::new(store, rng, &format!("{name}.minute_emb"), 1441, dim));
         let day_emb =
             use_time.then(|| Embedding::new(store, rng, &format!("{name}.day_emb"), 8, dim));
-        let mask_token =
-            store.param(format!("{name}.mask_tok"), 1, dim, Init::Normal(0.02), rng);
+        let mask_token = store.param(format!("{name}.mask_tok"), 1, dim, Init::Normal(0.02), rng);
         let cls_token = use_cls
             .then(|| store.param(format!("{name}.cls_tok"), 1, dim, Init::Normal(0.02), rng));
         let pe = sinusoidal_positional_encoding(max_len + 1, dim);
@@ -190,6 +190,9 @@ pub struct BaselineTrainConfig {
     pub max_steps_per_epoch: Option<usize>,
     pub grad_clip: f32,
     pub seed: u64,
+    /// Data-parallel workers per optimizer step (`1` = legacy sequential
+    /// loop; see `start_nn::train`).
+    pub workers: usize,
 }
 
 impl Default for BaselineTrainConfig {
@@ -201,6 +204,7 @@ impl Default for BaselineTrainConfig {
             max_steps_per_epoch: None,
             grad_clip: 5.0,
             seed: 77,
+            workers: 1,
         }
     }
 }

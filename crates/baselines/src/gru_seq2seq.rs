@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use start_nn::graph::{Graph, NodeId};
 use start_nn::layers::{GruCell, Linear};
 use start_nn::params::{GradStore, ParamStore};
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, Array, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -89,18 +90,12 @@ impl GruSeq2Seq {
     }
 
     /// Reconstruction loss of one trajectory (plus Trembr's time loss).
-    fn reconstruction_loss(
-        &self,
-        g: &mut Graph,
-        traj: &Trajectory,
-        rng: &mut StdRng,
-    ) -> NodeId {
+    fn reconstruction_loss(&self, g: &mut Graph, traj: &Trajectory, rng: &mut StdRng) -> NodeId {
         let full = clamp_view(TrajView::identity(traj), self.max_len);
         // t2vec encodes a downsampled input but reconstructs the full path.
         let input_view = if self.kind.downsamples_input() && full.len() > 4 {
             let mut v = full.clone();
-            let keep: Vec<usize> =
-                (0..v.len()).filter(|_| rng.gen::<f64>() >= 0.2).collect();
+            let keep: Vec<usize> = (0..v.len()).filter(|_| rng.gen::<f64>() >= 0.2).collect();
             let keep = if keep.len() < 2 { vec![0, v.len() - 1] } else { keep };
             v.roads = keep.iter().map(|&i| v.roads[i]).collect();
             v.times = keep.iter().map(|&i| v.times[i]).collect();
@@ -156,6 +151,7 @@ impl GruSeq2Seq {
         };
         let total = (steps_per_epoch * cfg.epochs) as u64;
         let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
+        let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
         let mut optimizer =
             AdamW::new(&self.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
         let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -163,30 +159,33 @@ impl GruSeq2Seq {
         let mut step = 0u64;
         for _ in 0..cfg.epochs {
             indices.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
+            let mut epoch_loss = 0.0f64;
+            let mut executed = 0usize;
             for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-                let mut grads = GradStore::new(&self.store);
-                let loss_val;
-                {
-                    let mut g = Graph::new(&self.store, true);
-                    let losses: Vec<NodeId> = batch
-                        .iter()
-                        .map(|&i| self.reconstruction_loss(&mut g, &train[i], &mut rng))
-                        .collect();
+                let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                    let losses: Vec<NodeId> =
+                        shard.iter().map(|&i| self.reconstruction_loss(g, &train[i], r)).collect();
                     let mut acc = losses[0];
                     for &l in &losses[1..] {
                         acc = g.add(acc, l);
                     }
                     let loss = g.scale(acc, 1.0 / losses.len() as f32);
-                    g.backward(loss, &mut grads);
-                    loss_val = g.value(loss).item();
-                }
+                    Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+                };
+                let mut grads = GradStore::new(&self.store);
+                let Some(stats) =
+                    trainer.step(&self.store, &mut grads, step, batch, 1, &mut rng, &shard_loss)
+                else {
+                    continue;
+                };
                 grads.clip_global_norm(cfg.grad_clip);
                 optimizer.step(&mut self.store, &grads, schedule.lr(step));
                 step += 1;
-                epoch_loss += loss_val;
+                executed += 1;
+                epoch_loss += f64::from(stats.loss);
             }
-            epoch_losses.push(epoch_loss / steps_per_epoch as f32);
+            // Mean over batches actually executed, not the planned count.
+            epoch_losses.push((epoch_loss / executed.max(1) as f64) as f32);
         }
         epoch_losses
     }

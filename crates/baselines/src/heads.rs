@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use start_nn::graph::Graph;
 use start_nn::layers::Linear;
 use start_nn::params::GradStore;
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, Array, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -48,28 +49,33 @@ pub fn fine_tune_eta<E: BaselineEncoder>(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let mut optimizer =
-        AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
+    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut optimizer = AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
 
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut step = 0u64;
     for _ in 0..cfg.epochs {
         indices.shuffle(&mut rng);
         for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-            let mut grads = GradStore::new(enc.store());
-            {
-                let mut g = Graph::new(enc.store(), true);
-                let mut pooled = Vec::with_capacity(batch.len());
-                let mut targets = Vec::with_capacity(batch.len());
-                for &i in batch {
+            let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                let mut pooled = Vec::with_capacity(shard.len());
+                let mut targets = Vec::with_capacity(shard.len());
+                for &i in shard {
                     let view = clamp_view(departure_only_view(&train[i]), enc.max_len());
-                    pooled.push(enc.pool(&mut g, &view, &mut rng));
+                    pooled.push(enc.pool(g, &view, r));
                     targets.push((train[i].travel_time_secs() - mean) / std);
                 }
                 let stacked = g.concat_rows(&pooled);
-                let preds = fc.forward(&mut g, stacked);
-                let loss = g.mse_loss(preds, Array::from_vec(batch.len(), 1, targets));
-                g.backward(loss, &mut grads);
+                let preds = fc.forward(g, stacked);
+                let loss = g.mse_loss(preds, Array::from_vec(shard.len(), 1, targets));
+                Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+            };
+            let mut grads = GradStore::new(enc.store());
+            if trainer
+                .step(enc.store(), &mut grads, step, batch, 1, &mut rng, &shard_loss)
+                .is_none()
+            {
+                continue;
             }
             grads.clip_global_norm(cfg.grad_clip);
             optimizer.step(enc.store_mut(), &grads, schedule.lr(step));
@@ -127,28 +133,33 @@ pub fn fine_tune_classifier<E: BaselineEncoder>(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let mut optimizer =
-        AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
+    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut optimizer = AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
 
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut step = 0u64;
     for _ in 0..cfg.epochs {
         indices.shuffle(&mut rng);
         for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-            let mut grads = GradStore::new(enc.store());
-            {
-                let mut g = Graph::new(enc.store(), true);
-                let mut pooled = Vec::with_capacity(batch.len());
-                let mut targets = Vec::with_capacity(batch.len());
-                for &i in batch {
+            let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                let mut pooled = Vec::with_capacity(shard.len());
+                let mut targets = Vec::with_capacity(shard.len());
+                for &i in shard {
                     let view = clamp_view(TrajView::identity(&train[i]), enc.max_len());
-                    pooled.push(enc.pool(&mut g, &view, &mut rng));
+                    pooled.push(enc.pool(g, &view, r));
                     targets.push(labels[i] as u32);
                 }
                 let stacked = g.concat_rows(&pooled);
-                let logits = fc.forward(&mut g, stacked);
+                let logits = fc.forward(g, stacked);
                 let loss = g.cross_entropy_rows(logits, Arc::new(targets));
-                g.backward(loss, &mut grads);
+                Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+            };
+            let mut grads = GradStore::new(enc.store());
+            if trainer
+                .step(enc.store(), &mut grads, step, batch, 1, &mut rng, &shard_loss)
+                .is_none()
+            {
+                continue;
             }
             grads.clip_global_norm(cfg.grad_clip);
             optimizer.step(enc.store_mut(), &grads, schedule.lr(step));

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 use start_nn::graph::{Graph, NodeId};
 use start_nn::layers::GruCell;
 use start_nn::params::{GradStore, ParamStore};
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, Array, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -47,7 +48,12 @@ impl Pim {
     }
 
     /// Hidden sequence and mean-pooled global vector.
-    fn encode_in_graph(&self, g: &mut Graph, view: &TrajView, rng: &mut StdRng) -> (NodeId, NodeId) {
+    fn encode_in_graph(
+        &self,
+        g: &mut Graph,
+        view: &TrajView,
+        rng: &mut StdRng,
+    ) -> (NodeId, NodeId) {
         let xs = self.emb.forward(g, view, rng);
         let hs = self.encoder.forward_sequence(g, xs);
         let t = view.len();
@@ -100,6 +106,7 @@ impl Pim {
         };
         let total = (steps_per_epoch * cfg.epochs) as u64;
         let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
+        let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
         let mut optimizer =
             AdamW::new(&self.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
         let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -107,21 +114,21 @@ impl Pim {
         let mut step = 0u64;
         for _ in 0..cfg.epochs {
             indices.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
+            let mut epoch_loss = 0.0f64;
+            let mut executed = 0usize;
             for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
                 if batch.len() < 2 {
                     continue;
                 }
-                let mut grads = GradStore::new(&self.store);
-                let loss_val;
-                {
-                    let mut g = Graph::new(&self.store, true);
-                    let losses: Vec<NodeId> = batch
+                // In-batch negatives come from the shard, so shards need at
+                // least two trajectories.
+                let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                    let losses: Vec<NodeId> = shard
                         .iter()
                         .enumerate()
                         .map(|(k, &i)| {
-                            let neg = batch[(k + 1) % batch.len()];
-                            self.mi_loss(&mut g, &train[i], &train[neg], &mut rng)
+                            let neg = shard[(k + 1) % shard.len()];
+                            self.mi_loss(g, &train[i], &train[neg], r)
                         })
                         .collect();
                     let mut acc = losses[0];
@@ -129,15 +136,22 @@ impl Pim {
                         acc = g.add(acc, l);
                     }
                     let loss = g.scale(acc, 1.0 / losses.len() as f32);
-                    g.backward(loss, &mut grads);
-                    loss_val = g.value(loss).item();
-                }
+                    Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+                };
+                let mut grads = GradStore::new(&self.store);
+                let Some(stats) =
+                    trainer.step(&self.store, &mut grads, step, batch, 2, &mut rng, &shard_loss)
+                else {
+                    continue;
+                };
                 grads.clip_global_norm(cfg.grad_clip);
                 optimizer.step(&mut self.store, &grads, schedule.lr(step));
                 step += 1;
-                epoch_loss += loss_val;
+                executed += 1;
+                epoch_loss += f64::from(stats.loss);
             }
-            epoch_losses.push(epoch_loss / steps_per_epoch as f32);
+            // Mean over batches actually executed, not the planned count.
+            epoch_losses.push((epoch_loss / executed.max(1) as f64) as f32);
         }
         epoch_losses
     }

@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 use start_nn::graph::{Graph, NodeId};
 use start_nn::layers::{Linear, TransformerEncoder};
 use start_nn::params::{GradStore, ParamStore};
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, WarmupCosine};
 use start_roadnet::SegmentId;
 use start_traj::{TrajView, Trajectory};
@@ -48,6 +49,7 @@ pub struct TransformerBaseline {
 }
 
 impl TransformerBaseline {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         kind: TfKind,
         num_roads: usize,
@@ -60,16 +62,12 @@ impl TransformerBaseline {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let emb = SeqEmbedder::new(
-            &mut store, &mut rng, "emb", num_roads, dim, max_len, false, true,
-        );
+        let emb =
+            SeqEmbedder::new(&mut store, &mut rng, "emb", num_roads, dim, max_len, false, true);
         if let Some(table) = node2vec_table {
             emb.init_road_table(&mut store, table);
         } else {
-            assert!(
-                kind != TfKind::Toast,
-                "Toast requires node2vec-initialized road embeddings"
-            );
+            assert!(kind != TfKind::Toast, "Toast requires node2vec-initialized road embeddings");
         }
         let encoder =
             TransformerEncoder::new(&mut store, &mut rng, "enc", layers, dim, heads, dim, 0.1);
@@ -84,7 +82,12 @@ impl TransformerBaseline {
     }
 
     /// Encode a view; returns `(hidden (T+1, d), pooled (1, d))`.
-    fn encode_in_graph(&self, g: &mut Graph, view: &TrajView, rng: &mut StdRng) -> (NodeId, NodeId) {
+    fn encode_in_graph(
+        &self,
+        g: &mut Graph,
+        view: &TrajView,
+        rng: &mut StdRng,
+    ) -> (NodeId, NodeId) {
         let x = self.emb.forward(g, view, rng);
         let hidden = self.encoder.forward(g, x, None, rng);
         let pooled = g.select_row(hidden, 0);
@@ -181,14 +184,25 @@ impl TransformerBaseline {
         let t = view.len();
         let ot = other_view.len();
         let mean_row =
-            g.input(start_nn::Array::from_fn(1, t + 1, |_, c| {
-                if c == 0 { 0.0 } else { 1.0 / t as f32 }
-            }));
+            g.input(start_nn::Array::from_fn(
+                1,
+                t + 1,
+                |_, c| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        1.0 / t as f32
+                    }
+                },
+            ));
         let local = g.matmul(mean_row, hidden);
-        let omean_row =
-            g.input(start_nn::Array::from_fn(1, ot + 1, |_, c| {
-                if c == 0 { 0.0 } else { 1.0 / ot as f32 }
-            }));
+        let omean_row = g.input(start_nn::Array::from_fn(1, ot + 1, |_, c| {
+            if c == 0 {
+                0.0
+            } else {
+                1.0 / ot as f32
+            }
+        }));
         let other_local = g.matmul(omean_row, other_hidden);
 
         let pos_score = score(g, pooled, local);
@@ -211,6 +225,10 @@ impl TransformerBaseline {
         };
         let total = (steps_per_epoch * cfg.epochs) as u64;
         let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
+        let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+        // PIM-TF draws its negative from the next trajectory in the shard,
+        // so shards must hold at least two trajectories.
+        let min_per_shard = if self.kind == TfKind::PimTf { 2 } else { 1 };
         let mut optimizer =
             AdamW::new(&self.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
         let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -218,36 +236,27 @@ impl TransformerBaseline {
         let mut step = 0u64;
         for _ in 0..cfg.epochs {
             indices.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
+            let mut epoch_loss = 0.0f64;
+            let mut executed = 0usize;
             for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-                let mut grads = GradStore::new(&self.store);
-                let loss_val;
-                {
-                    let mut g = Graph::new(&self.store, true);
+                let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
                     let mut losses = Vec::new();
-                    for (k, &i) in batch.iter().enumerate() {
+                    for (k, &i) in shard.iter().enumerate() {
                         match self.kind {
                             TfKind::TransformerMlm => {
-                                losses.push(self.mlm_loss(&mut g, &train[i], &mut rng));
+                                losses.push(self.mlm_loss(g, &train[i], r));
                             }
                             TfKind::Bert => {
-                                losses.push(self.mlm_loss(&mut g, &train[i], &mut rng));
-                                losses.push(self.bert_order_loss(&mut g, &train[i], &mut rng));
+                                losses.push(self.mlm_loss(g, &train[i], r));
+                                losses.push(self.bert_order_loss(g, &train[i], r));
                             }
                             TfKind::Toast => {
-                                losses.push(self.mlm_loss(&mut g, &train[i], &mut rng));
-                                losses.push(
-                                    self.toast_discrimination_loss(&mut g, &train[i], &mut rng),
-                                );
+                                losses.push(self.mlm_loss(g, &train[i], r));
+                                losses.push(self.toast_discrimination_loss(g, &train[i], r));
                             }
                             TfKind::PimTf => {
-                                let other = batch[(k + 1) % batch.len()];
-                                losses.push(self.pim_mi_loss(
-                                    &mut g,
-                                    &train[i],
-                                    &train[other],
-                                    &mut rng,
-                                ));
+                                let other = shard[(k + 1) % shard.len()];
+                                losses.push(self.pim_mi_loss(g, &train[i], &train[other], r));
                             }
                         }
                     }
@@ -256,15 +265,28 @@ impl TransformerBaseline {
                         acc = g.add(acc, l);
                     }
                     let loss = g.scale(acc, 1.0 / losses.len() as f32);
-                    g.backward(loss, &mut grads);
-                    loss_val = g.value(loss).item();
-                }
+                    Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+                };
+                let mut grads = GradStore::new(&self.store);
+                let Some(stats) = trainer.step(
+                    &self.store,
+                    &mut grads,
+                    step,
+                    batch,
+                    min_per_shard,
+                    &mut rng,
+                    &shard_loss,
+                ) else {
+                    continue;
+                };
                 grads.clip_global_norm(cfg.grad_clip);
                 optimizer.step(&mut self.store, &grads, schedule.lr(step));
                 step += 1;
-                epoch_loss += loss_val;
+                executed += 1;
+                epoch_loss += f64::from(stats.loss);
             }
-            epoch_losses.push(epoch_loss / steps_per_epoch as f32);
+            // Mean over batches actually executed, not the planned count.
+            epoch_losses.push((epoch_loss / executed.max(1) as f64) as f32);
         }
         epoch_losses
     }

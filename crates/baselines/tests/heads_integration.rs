@@ -35,8 +35,7 @@ fn eta_head_trains_on_gru_baseline() {
     assert!(preds.iter().all(|p| p.is_finite()));
     // Normalization constants reflect the training targets.
     assert!(head.target_std > 0.0);
-    let mean: f32 =
-        d[..64].iter().map(Trajectory::travel_time_secs).sum::<f32>() / 64.0;
+    let mean: f32 = d[..64].iter().map(Trajectory::travel_time_secs).sum::<f32>() / 64.0;
     assert!((head.target_mean - mean).abs() < 1.0);
 }
 
@@ -74,11 +73,7 @@ fn head_training_changes_encoder_weights() {
     // Full fine-tuning must reach back into the encoder, not just the head.
     let (city, d) = data();
     let mut model = GruSeq2Seq::new(Seq2SeqKind::Traj2Vec, city.net.num_segments(), 16, 64, 3);
-    let before = model
-        .store()
-        .lookup("enc.wz.w")
-        .map(|id| model.store().get(id).clone())
-        .unwrap();
+    let before = model.store().lookup("enc.wz.w").map(|id| model.store().get(id).clone()).unwrap();
     let cfg = BaselineTrainConfig {
         epochs: 1,
         batch_size: 8,
@@ -87,10 +82,6 @@ fn head_training_changes_encoder_weights() {
         ..Default::default()
     };
     let _ = fine_tune_eta(&mut model, &d, &cfg);
-    let after = model
-        .store()
-        .lookup("enc.wz.w")
-        .map(|id| model.store().get(id).clone())
-        .unwrap();
+    let after = model.store().lookup("enc.wz.w").map(|id| model.store().get(id).clone()).unwrap();
     assert_ne!(before, after, "encoder must move under full fine-tuning");
 }

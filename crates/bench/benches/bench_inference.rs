@@ -19,12 +19,7 @@ fn bench_inference(c: &mut Criterion) {
     group.throughput(Throughput::Elements(pool.len() as u64));
     // One per architecture family: START (GAT+transformer+interval), pure
     // transformer (Toast), RNN seq2seq (Trembr), RNN + node2vec (PIM).
-    for kind in [
-        ModelKind::start(&scale),
-        ModelKind::Toast,
-        ModelKind::Trembr,
-        ModelKind::Pim,
-    ] {
+    for kind in [ModelKind::start(&scale), ModelKind::Toast, ModelKind::Trembr, ModelKind::Pim] {
         let runner = Runner::build(&kind, &ds, &scale, Some(&n2v));
         group.bench_with_input(BenchmarkId::from_parameter(runner.name()), &pool, |b, pool| {
             b.iter(|| runner.encode(pool));

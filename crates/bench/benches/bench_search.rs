@@ -12,21 +12,16 @@ use start_roadnet::Point;
 fn bench_search(c: &mut Criterion) {
     let scale = Scale { bj_trajectories: 900, ..Scale::quick() };
     let ds = bj_mini(&scale);
-    let db: Vec<Vec<Point>> = ds
-        .test()
-        .iter()
-        .take(100)
-        .map(|t| midpoints(&ds.city.net, t))
-        .collect();
+    let db: Vec<Vec<Point>> =
+        ds.test().iter().take(100).map(|t| midpoints(&ds.city.net, t)).collect();
     let query = midpoints(&ds.city.net, &ds.test()[101]);
 
     // Embedding-space scan: O(d) per database entry. Uses fixed vectors so
     // only the scan cost is measured (embedding cost is bench_inference's
     // subject).
     let d = 64;
-    let db_embs: Vec<Vec<f32>> = (0..db.len())
-        .map(|i| (0..d).map(|j| ((i * d + j) as f32).sin()).collect())
-        .collect();
+    let db_embs: Vec<Vec<f32>> =
+        (0..db.len()).map(|i| (0..d).map(|j| ((i * d + j) as f32).sin()).collect()).collect();
     let q_emb: Vec<f32> = (0..d).map(|j| (j as f32).cos()).collect();
 
     let mut group = c.benchmark_group("per_query_scan_over_100_db_entries");
@@ -35,12 +30,7 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| {
             db_embs
                 .iter()
-                .map(|e| {
-                    e.iter()
-                        .zip(&q_emb)
-                        .map(|(x, y)| (x - y) * (x - y))
-                        .sum::<f32>()
-                })
+                .map(|e| e.iter().zip(&q_emb).map(|(x, y)| (x - y) * (x - y)).sum::<f32>())
                 .fold(f32::INFINITY, f32::min)
         })
     });
@@ -51,9 +41,7 @@ fn bench_search(c: &mut Criterion) {
         ("EDR", Box::new(|a: &[Point], b: &[Point]| edr(a, b, 150.0))),
     ] {
         group.bench_with_input(BenchmarkId::new("classic", name), &db, |bch, db| {
-            bch.iter(|| {
-                db.iter().map(|entry| f(&query, entry)).fold(f64::INFINITY, f64::min)
-            })
+            bch.iter(|| db.iter().map(|entry| f(&query, entry)).fold(f64::INFINITY, f64::min))
         });
     }
     group.finish();

@@ -1,0 +1,93 @@
+//! Training-throughput benchmark for the data-parallel engine: pre-trains
+//! the same START model at several worker counts and reports wall-clock,
+//! throughput and the speedup over the sequential loop.
+//!
+//! Results land in `BENCH_train.json` at the repo root. The speedup is only
+//! meaningful on a multi-core machine — the core count is recorded so
+//! single-core numbers are not mistaken for an engine regression.
+//!
+//! Run: `cargo run -p start-bench --release --bin bench_train`
+
+use std::fmt::Write as _;
+
+use start_bench::{porto_mini, start_config, timed, Scale};
+use start_core::{pretrain, PretrainConfig, StartModel};
+
+struct Run {
+    workers: usize,
+    wall_secs: f64,
+    steps: u64,
+    trajs_per_sec: f64,
+    final_loss: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("START reproduction — training throughput (scale: {}, cores: {cores})\n", scale.name);
+    let ds = porto_mini(&scale);
+
+    let base = PretrainConfig {
+        epochs: scale.pretrain_epochs,
+        batch_size: scale.batch_size,
+        max_steps_per_epoch: scale.pretrain_steps_per_epoch,
+        base_lr: 5e-4,
+        ..Default::default()
+    };
+
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let cfg = PretrainConfig { workers, ..base.clone() };
+        let mut model =
+            StartModel::new(start_config(&scale), &ds.city.net, Some(&ds.transfer), None, 1234);
+        let (report, t) = timed(|| pretrain(&mut model, ds.train(), &ds.historical, &cfg));
+        let wall = t.as_secs_f64();
+        let trajs = report.steps as f64 * cfg.batch_size as f64;
+        println!(
+            "  workers={workers}: {wall:.2}s, {} steps, {:.1} trajs/s, final loss {:.4}",
+            report.steps,
+            trajs / wall,
+            report.final_loss()
+        );
+        runs.push(Run {
+            workers,
+            wall_secs: wall,
+            steps: report.steps,
+            trajs_per_sec: trajs / wall,
+            final_loss: report.final_loss(),
+        });
+    }
+
+    let seq = runs[0].wall_secs;
+    let speedup4 = runs.iter().find(|r| r.workers == 4).map_or(f64::NAN, |r| seq / r.wall_secs);
+    println!("\n  speedup workers=4 vs workers=1: {speedup4:.2}x on {cores} core(s)");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"training_throughput\",");
+    let _ = writeln!(json, "  \"dataset\": \"porto-mini\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"machine_cores\": {cores},");
+    let _ = writeln!(json, "  \"epochs\": {},", base.epochs);
+    let _ = writeln!(json, "  \"batch_size\": {},", base.batch_size);
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"wall_secs\": {:.3}, \"steps\": {}, \
+             \"trajs_per_sec\": {:.2}, \"final_loss\": {:.6}}}{}",
+            r.workers,
+            r.wall_secs,
+            r.steps,
+            r.trajs_per_sec,
+            r.final_loss,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_workers4_vs_1\": {speedup4:.3}");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(path, &json).expect("write BENCH_train.json");
+    println!("  wrote {path}");
+}

@@ -19,10 +19,8 @@ fn main() {
     let ds = porto_mini(&scale);
 
     // ---- (a) inference time vs number of trajectories -------------------
-    let sizes: Vec<usize> = [100usize, 200, 400]
-        .iter()
-        .map(|&s| s.min(ds.split.trajectories.len()))
-        .collect();
+    let sizes: Vec<usize> =
+        [100usize, 200, 400].iter().map(|&s| s.min(ds.split.trajectories.len())).collect();
     let pool: Vec<Trajectory> =
         ds.split.trajectories.iter().take(*sizes.last().unwrap()).cloned().collect();
 
@@ -95,7 +93,12 @@ fn main() {
                 .map(|(qi, qp)| {
                     let dists: Vec<f64> = db_points.iter().map(|dp| f(qp, dp)).collect();
                     let truth_d = dists[bench.truth(qi)];
-                    dists.iter().enumerate().filter(|(i, d)| *i != bench.truth(qi) && **d < truth_d).count() + 1
+                    dists
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, d)| *i != bench.truth(qi) && **d < truth_d)
+                        .count()
+                        + 1
                 })
                 .collect::<Vec<usize>>()
         });

@@ -28,11 +28,17 @@ fn main() {
     let decile = visits.len() / 10;
     for d in 0..10 {
         let share: u64 = visits[d * decile..((d + 1) * decile).min(visits.len())].iter().sum();
-        ta.row(vec![format!("{}–{}%", d * 10, d * 10 + 10), format!("{:.1}%", 100.0 * share as f64 / total as f64)]);
+        ta.row(vec![
+            format!("{}–{}%", d * 10, d * 10 + 10),
+            format!("{:.1}%", 100.0 * share as f64 / total as f64),
+        ]);
     }
     ta.row(vec!["gini".into(), format!("{:.3}", ds.transfer.visit_gini())]);
     ta.print();
-    println!("Shape check: top-10% roads take {:.0}% of all visits (paper: arterials dominate).\n", top10 * 100.0);
+    println!(
+        "Shape check: top-10% roads take {:.0}% of all visits (paper: arterials dominate).\n",
+        top10 * 100.0
+    );
 
     // (b) Periodic pattern: trajectory counts per hour, weekday vs weekend.
     let mut weekday = [0usize; 24];

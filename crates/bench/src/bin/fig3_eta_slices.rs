@@ -45,8 +45,7 @@ fn main() {
     slice_table("Fig 3(a): MAPE by departure time", &test, &truth, &preds_by_model, hour_bucket);
 
     // (b) Weekday vs weekend.
-    let day_bucket =
-        |t: &Trajectory| if is_weekend(t.departure()) { "weekend" } else { "weekday" };
+    let day_bucket = |t: &Trajectory| if is_weekend(t.departure()) { "weekend" } else { "weekday" };
     slice_table("Fig 3(b): MAPE weekday vs weekend", &test, &truth, &preds_by_model, day_bucket);
 
     // (c) Hop buckets.
@@ -79,8 +78,7 @@ fn slice_table(
     }
     let mut table = Table::new(title, &header);
     for b in buckets {
-        let idx: Vec<usize> =
-            (0..test.len()).filter(|&i| bucket(&test[i]) == b).collect();
+        let idx: Vec<usize> = (0..test.len()).filter(|&i| bucket(&test[i]) == b).collect();
         if idx.is_empty() {
             continue;
         }

@@ -93,12 +93,7 @@ fn close_od(ds: &TrajDataset, a: &Trajectory, b: &Trajectory) -> bool {
     let span = {
         // Rough city diameter from two far segments.
         let p0 = ds.city.net.segment(start_roadnet::SegmentId(0)).midpoint();
-        ds.city
-            .net
-            .segments()
-            .iter()
-            .map(|s| s.midpoint().distance(p0))
-            .fold(0.0f64, f64::max)
+        ds.city.net.segments().iter().map(|s| s.midpoint().distance(p0)).fold(0.0f64, f64::max)
     };
     mid(a, false).distance(mid(b, false)) < span * 0.25
         && mid(a, true).distance(mid(b, true)) < span * 0.25

@@ -20,7 +20,13 @@ fn main() {
     let fractions = [0.25, 0.5, 0.75, 1.0];
     let mut table = Table::new(
         "Fig 6: performance when train size varies (BJ-mini)",
-        &["train size", "ETA MAPE (pretrain)", "ETA MAPE (no pretrain)", "ACC (pretrain)", "ACC (no pretrain)"],
+        &[
+            "train size",
+            "ETA MAPE (pretrain)",
+            "ETA MAPE (no pretrain)",
+            "ACC (pretrain)",
+            "ACC (no pretrain)",
+        ],
     );
 
     for frac in fractions {

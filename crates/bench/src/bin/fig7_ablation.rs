@@ -89,11 +89,8 @@ fn run(ds: &TrajDataset, is_bj: bool, scale: &Scale) {
 
         runner.restore(&snapshot);
         let probs = runner.classify(ds.train(), &train_labels, classes, &test, scale);
-        let cls = if is_bj {
-            accuracy(&test_labels, &probs)
-        } else {
-            micro_f1(&test_labels, &probs)
-        };
+        let cls =
+            if is_bj { accuracy(&test_labels, &probs) } else { micro_f1(&test_labels, &probs) };
 
         eprintln!("  [{vname}] done");
         table.row(vec![

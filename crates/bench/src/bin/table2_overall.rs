@@ -62,8 +62,7 @@ fn run_dataset(ds: &TrajDataset, is_bj: bool, scale: &Scale) {
         let q_embs = runner.encode(&bench.queries);
         let db_embs = runner.encode(&bench.database);
         let ranks = truth_ranks(&q_embs, &db_embs, |q| bench.truth(q));
-        let (mr, hr1, hr5) =
-            (mean_rank(&ranks), hit_ratio(&ranks, 1), hit_ratio(&ranks, 5));
+        let (mr, hr1, hr5) = (mean_rank(&ranks), hit_ratio(&ranks, 1), hit_ratio(&ranks, 5));
 
         // (2) Travel time estimation.
         let preds = runner.eta(ds.train(), &eta_test, scale);
@@ -71,10 +70,13 @@ fn run_dataset(ds: &TrajDataset, is_bj: bool, scale: &Scale) {
 
         // (3) Classification.
         runner.restore(&snapshot);
-        let probs =
-            runner.classify(ds.train(), &train_labels, num_classes, &test_pool, scale);
+        let probs = runner.classify(ds.train(), &train_labels, num_classes, &test_pool, scale);
         let (c1, c2, c3) = if is_bj {
-            (accuracy(&test_labels, &probs), f1_binary(&test_labels, &probs), auc(&test_labels, &probs))
+            (
+                accuracy(&test_labels, &probs),
+                f1_binary(&test_labels, &probs),
+                auc(&test_labels, &probs),
+            )
         } else {
             (
                 micro_f1(&test_labels, &probs),
@@ -101,10 +103,7 @@ fn run_dataset(ds: &TrajDataset, is_bj: bool, scale: &Scale) {
 }
 
 /// (train labels, usable test pool, test labels, num classes).
-fn labels_for(
-    ds: &TrajDataset,
-    is_bj: bool,
-) -> (Vec<usize>, Vec<Trajectory>, Vec<usize>, usize) {
+fn labels_for(ds: &TrajDataset, is_bj: bool) -> (Vec<usize>, Vec<Trajectory>, Vec<usize>, usize) {
     if is_bj {
         let train_labels = ds.train().iter().map(|t| t.occupied as usize).collect();
         let test: Vec<Trajectory> = ds.test().to_vec();
@@ -119,12 +118,8 @@ fn labels_for(
             mapping.entry(t.driver).or_insert(next);
         }
         let train_labels = ds.train().iter().map(|t| mapping[&t.driver]).collect();
-        let test: Vec<Trajectory> = ds
-            .test()
-            .iter()
-            .filter(|t| mapping.contains_key(&t.driver))
-            .cloned()
-            .collect();
+        let test: Vec<Trajectory> =
+            ds.test().iter().filter(|t| mapping.contains_key(&t.driver)).cloned().collect();
         let test_labels = test.iter().map(|t| mapping[&t.driver]).collect();
         (train_labels, test, test_labels, mapping.len())
     }

@@ -11,7 +11,7 @@
 
 use start_bench::{bj_mini, geolife_mini, porto_mini, ModelKind, Runner, Scale, Table};
 use start_eval::metrics::{macro_f1, micro_f1, recall_at_k, regression_report};
-use start_traj::{TrajDataset, TravelMode, Trajectory};
+use start_traj::{TrajDataset, Trajectory, TravelMode};
 
 fn main() {
     let scale = Scale::from_env();
@@ -70,30 +70,27 @@ fn main() {
     println!("Shape checks vs the paper: BJ-START > Porto-START > Pre-train Geolife > No Pre-train;\ntransferred Trembr should be the weakest (seq2seq does not transfer).");
 }
 
-fn evaluate(name: &str, runner: &mut Runner, geolife: &TrajDataset, scale: &Scale, table: &mut Table) {
+fn evaluate(
+    name: &str,
+    runner: &mut Runner,
+    geolife: &TrajDataset,
+    scale: &Scale,
+    table: &mut Table,
+) {
     let snapshot = runner.snapshot();
 
     // ETA on Car/Taxi trips only (as in the paper).
-    let car_train: Vec<Trajectory> = geolife
-        .train()
-        .iter()
-        .filter(|t| t.mode == TravelMode::CarTaxi)
-        .cloned()
-        .collect();
-    let car_test: Vec<Trajectory> = geolife
-        .test()
-        .iter()
-        .filter(|t| t.mode == TravelMode::CarTaxi)
-        .cloned()
-        .collect();
+    let car_train: Vec<Trajectory> =
+        geolife.train().iter().filter(|t| t.mode == TravelMode::CarTaxi).cloned().collect();
+    let car_test: Vec<Trajectory> =
+        geolife.test().iter().filter(|t| t.mode == TravelMode::CarTaxi).cloned().collect();
     let truth: Vec<f32> = car_test.iter().map(Trajectory::travel_time_secs).collect();
     let preds = runner.eta(&car_train, &car_test, scale);
     let reg = regression_report(&truth, &preds);
 
     // 4-way transport mode classification.
     runner.restore(&snapshot);
-    let train_labels: Vec<usize> =
-        geolife.train().iter().map(|t| t.mode.class_index()).collect();
+    let train_labels: Vec<usize> = geolife.train().iter().map(|t| t.mode.class_index()).collect();
     let test: Vec<Trajectory> = geolife.test().to_vec();
     let test_labels: Vec<usize> = test.iter().map(|t| t.mode.class_index()).collect();
     let probs = runner.classify(geolife.train(), &train_labels, 4, &test, scale);

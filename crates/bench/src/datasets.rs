@@ -39,8 +39,8 @@ pub fn geolife_mini() -> TrajDataset {
     city.name = "Geolife-mini".into();
     let mut sim = SimConfig::geolife_like();
     sim.num_drivers = 24;
-    let mut pre = PreprocessConfig::default();
-    pre.min_user_trajectories = 1; // tiny dataset, keep every user
+    // Tiny dataset, keep every user.
+    let pre = PreprocessConfig { min_user_trajectories: 1, ..Default::default() };
     TrajDataset::build(city, sim, &pre)
 }
 
@@ -51,10 +51,8 @@ pub fn driver_labels(trajs: &[start_traj::Trajectory]) -> (Vec<usize>, usize) {
     let mut ids: Vec<u32> = trajs.iter().map(|t| t.driver).collect();
     ids.sort_unstable();
     ids.dedup();
-    let labels = trajs
-        .iter()
-        .map(|t| ids.binary_search(&t.driver).expect("driver present") )
-        .collect();
+    let labels =
+        trajs.iter().map(|t| ids.binary_search(&t.driver).expect("driver present")).collect();
     (labels, ids.len())
 }
 

@@ -3,12 +3,11 @@
 //! uniformly.
 
 use start_baselines::{
-    BaselineEncoder, BaselineTrainConfig, GruSeq2Seq, Pim, Seq2SeqKind, TfKind,
-    TransformerBaseline,
+    BaselineEncoder, BaselineTrainConfig, GruSeq2Seq, Pim, Seq2SeqKind, TfKind, TransformerBaseline,
 };
 use start_core::{
-    fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, pretrain,
-    FineTuneConfig, PretrainConfig, StartConfig, StartModel,
+    fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, pretrain, FineTuneConfig,
+    PretrainConfig, StartConfig, StartModel,
 };
 use start_roadnet::{node2vec, Node2VecConfig, NodeEmbeddings};
 use start_traj::{TrajDataset, Trajectory};
@@ -78,11 +77,18 @@ pub fn start_config(scale: &Scale) -> StartConfig {
 pub fn dataset_node2vec(ds: &TrajDataset, dim: usize) -> NodeEmbeddings {
     node2vec(
         &ds.city.net,
-        &Node2VecConfig { dim, epochs: 1, walks_per_node: 3, walk_length: 16, ..Default::default() },
+        &Node2VecConfig {
+            dim,
+            epochs: 1,
+            walks_per_node: 3,
+            walk_length: 16,
+            ..Default::default()
+        },
     )
 }
 
 /// A pre-trainable, fine-tunable, encodable model.
+#[allow(clippy::large_enum_variant)]
 pub enum Runner {
     Start(Box<StartModel>),
     Gru(GruSeq2Seq),

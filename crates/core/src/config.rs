@@ -146,11 +146,11 @@ impl StartConfig {
             ));
         }
         for (l, &h) in self.gat_heads.iter().enumerate() {
-            if h == 0 || self.dim % h != 0 {
+            if h == 0 || !self.dim.is_multiple_of(h) {
                 return Err(format!("gat layer {l}: dim {} not divisible by heads {h}", self.dim));
             }
         }
-        if self.encoder_heads == 0 || self.dim % self.encoder_heads != 0 {
+        if self.encoder_heads == 0 || !self.dim.is_multiple_of(self.encoder_heads) {
             return Err(format!(
                 "dim {} not divisible by encoder heads {}",
                 self.dim, self.encoder_heads

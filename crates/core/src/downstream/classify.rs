@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use start_nn::graph::Graph;
 use start_nn::layers::Linear;
 use start_nn::params::GradStore;
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -50,29 +51,36 @@ pub fn fine_tune_classifier(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let mut optimizer =
-        AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
+    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
 
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut step = 0u64;
     for _ in 0..cfg.epochs {
         indices.shuffle(&mut rng);
         for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-            let mut g = Graph::new(&model.store, true);
-            let road_reprs = model.road_reprs(&mut g);
-            let mut pooled = Vec::with_capacity(batch.len());
-            let mut targets = Vec::with_capacity(batch.len());
-            for &i in batch {
-                let view = clamp_view(TrajView::identity(&train[i]), model.cfg.max_len);
-                let enc = model.encode_view(&mut g, &view, road_reprs, &mut rng);
-                pooled.push(enc.pooled);
-                targets.push(labels[i] as u32);
-            }
-            let stacked = g.concat_rows(&pooled);
-            let logits = fc.forward(&mut g, stacked);
-            let loss = g.cross_entropy_rows(logits, Arc::new(targets));
+            let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                let road_reprs = model.road_reprs(g);
+                let mut pooled = Vec::with_capacity(shard.len());
+                let mut targets = Vec::with_capacity(shard.len());
+                for &i in shard {
+                    let view = clamp_view(TrajView::identity(&train[i]), model.cfg.max_len);
+                    let enc = model.encode_view(g, &view, road_reprs, r);
+                    pooled.push(enc.pooled);
+                    targets.push(labels[i] as u32);
+                }
+                let stacked = g.concat_rows(&pooled);
+                let logits = fc.forward(g, stacked);
+                let loss = g.cross_entropy_rows(logits, Arc::new(targets));
+                Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+            };
             let mut grads = GradStore::new(&model.store);
-            g.backward(loss, &mut grads);
+            if trainer
+                .step(&model.store, &mut grads, step, batch, 1, &mut rng, &shard_loss)
+                .is_none()
+            {
+                continue;
+            }
             if cfg.freeze_encoder {
                 grads.retain(|id| id.index() >= head_w.index());
             }
@@ -90,10 +98,8 @@ pub fn predict_classes(
     head: &ClassifierHead,
     trajectories: &[Trajectory],
 ) -> Vec<Vec<f32>> {
-    let views: Vec<_> = trajectories
-        .iter()
-        .map(|t| clamp_view(TrajView::identity(t), model.cfg.max_len))
-        .collect();
+    let views: Vec<_> =
+        trajectories.iter().map(|t| clamp_view(TrajView::identity(t), model.cfg.max_len)).collect();
     let embs = model.encode_views(&views);
     let w = model.store.get(head.fc.weight_id());
     let b = model.store.lookup("cls_head.b").map(|id| model.store.get(id).clone());
@@ -140,8 +146,7 @@ mod tests {
             city.net.num_segments(),
             data.iter().map(|t| t.roads.as_slice()),
         );
-        let mut model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 19);
+        let mut model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 19);
         let labels: Vec<usize> = data.iter().map(|t| t.occupied as usize).collect();
         let cfg = FineTuneConfig {
             epochs: 2,
@@ -169,8 +174,7 @@ mod tests {
             SimConfig { num_trajectories: 10, num_drivers: 2, ..Default::default() },
         );
         let data = sim.generate();
-        let mut model =
-            StartModel::new(StartConfig::test_scale(), &city.net, None, None, 19);
+        let mut model = StartModel::new(StartConfig::test_scale(), &city.net, None, None, 19);
         let labels = vec![5usize; data.len()];
         fine_tune_classifier(&mut model, &data, &labels, 2, &FineTuneConfig::default());
     }

@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use start_nn::graph::Graph;
 use start_nn::layers::Linear;
 use start_nn::params::GradStore;
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, Array, WarmupCosine};
 use start_traj::Trajectory;
 
@@ -48,8 +49,8 @@ pub fn fine_tune_eta(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let mut optimizer =
-        AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
+    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
     let head_w = fc.weight_id();
 
     let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -57,24 +58,29 @@ pub fn fine_tune_eta(
     for _ in 0..cfg.epochs {
         indices.shuffle(&mut rng);
         for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
-            let mut g = Graph::new(&model.store, true);
-            let road_reprs = model.road_reprs(&mut g);
-            let mut pooled = Vec::with_capacity(batch.len());
-            let mut targets = Vec::with_capacity(batch.len());
-            for &i in batch {
-                let view = clamp_view(
-                    StartModel::departure_only_view(&train[i]),
-                    model.cfg.max_len,
-                );
-                let enc = model.encode_view(&mut g, &view, road_reprs, &mut rng);
-                pooled.push(enc.pooled);
-                targets.push((train[i].travel_time_secs() - mean) / std);
-            }
-            let stacked = g.concat_rows(&pooled);
-            let preds = fc.forward(&mut g, stacked);
-            let loss = g.mse_loss(preds, Array::from_vec(batch.len(), 1, targets));
+            let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                let road_reprs = model.road_reprs(g);
+                let mut pooled = Vec::with_capacity(shard.len());
+                let mut targets = Vec::with_capacity(shard.len());
+                for &i in shard {
+                    let view =
+                        clamp_view(StartModel::departure_only_view(&train[i]), model.cfg.max_len);
+                    let enc = model.encode_view(g, &view, road_reprs, r);
+                    pooled.push(enc.pooled);
+                    targets.push((train[i].travel_time_secs() - mean) / std);
+                }
+                let stacked = g.concat_rows(&pooled);
+                let preds = fc.forward(g, stacked);
+                let loss = g.mse_loss(preds, Array::from_vec(shard.len(), 1, targets));
+                Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
+            };
             let mut grads = GradStore::new(&model.store);
-            g.backward(loss, &mut grads);
+            if trainer
+                .step(&model.store, &mut grads, step, batch, 1, &mut rng, &shard_loss)
+                .is_none()
+            {
+                continue;
+            }
             if cfg.freeze_encoder {
                 // The head's parameters are the last ones allocated.
                 grads.retain(|id| id.index() >= head_w.index());
@@ -95,11 +101,7 @@ pub fn predict_eta(model: &StartModel, head: &EtaHead, trajectories: &[Trajector
         .collect();
     let embs = model.encode_views(&views);
     let w = model.store.get(head.fc.weight_id());
-    let b = model
-        .store
-        .lookup("eta_head.b")
-        .map(|id| model.store.get(id).item())
-        .unwrap_or(0.0);
+    let b = model.store.lookup("eta_head.b").map(|id| model.store.get(id).item()).unwrap_or(0.0);
     embs.iter()
         .map(|e| {
             let z: f32 = e.iter().zip(w.data()).map(|(x, wi)| x * wi).sum::<f32>() + b;
@@ -128,8 +130,7 @@ mod tests {
             city.net.num_segments(),
             data.iter().map(|t| t.roads.as_slice()),
         );
-        let mut model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 13);
+        let mut model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 13);
         let cfg = FineTuneConfig {
             epochs: 3,
             batch_size: 8,
@@ -154,8 +155,7 @@ mod tests {
             SimConfig { num_trajectories: 40, num_drivers: 4, ..Default::default() },
         );
         let data = sim.generate();
-        let mut model =
-            StartModel::new(StartConfig::test_scale(), &city.net, None, None, 13);
+        let mut model = StartModel::new(StartConfig::test_scale(), &city.net, None, None, 13);
         let before = model
             .store
             .lookup("enc.layer0.attn.wq.w")

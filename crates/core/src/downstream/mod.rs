@@ -21,6 +21,9 @@ pub struct FineTuneConfig {
     pub seed: u64,
     /// Freeze the encoder and train only the task head (linear probing).
     pub freeze_encoder: bool,
+    /// Data-parallel workers per optimizer step (`1` = legacy sequential
+    /// loop; see `start_nn::train`).
+    pub workers: usize,
 }
 
 impl Default for FineTuneConfig {
@@ -33,6 +36,7 @@ impl Default for FineTuneConfig {
             grad_clip: 5.0,
             seed: 31,
             freeze_encoder: false,
+            workers: 1,
         }
     }
 }

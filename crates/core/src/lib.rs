@@ -30,8 +30,8 @@ pub mod tpe_gat;
 
 pub use config::{IntervalMode, RoadEncoder, StartConfig};
 pub use downstream::{
-    encode_parallel, euclidean, fine_tune_classifier, fine_tune_eta, predict_classes,
-    predict_eta, ClassifierHead, EtaHead, FineTuneConfig,
+    encode_parallel, euclidean, fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta,
+    ClassifierHead, EtaHead, FineTuneConfig,
 };
 pub use model::{clamp_view, EncodedView, StartModel};
 pub use pretrain::{pretrain, PretrainConfig, PretrainReport};

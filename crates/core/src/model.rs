@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use start_nn::graph::{Graph, NodeId};
-use start_nn::layers::{
-    sinusoidal_positional_encoding, Embedding, Linear, TransformerEncoder,
-};
+use start_nn::layers::{sinusoidal_positional_encoding, Embedding, Linear, TransformerEncoder};
 use start_nn::params::{Init, ParamId, ParamStore};
 use start_nn::Array;
 use start_roadnet::{NodeEmbeddings, RoadNetwork, TransferMatrix};
@@ -100,8 +98,8 @@ impl StartModel {
             }
             RoadEncoder::Node2VecEmbedding => {
                 let emb = Embedding::new(&mut store, &mut rng, "road_emb", num_roads, d);
-                let init = node2vec_init
-                    .expect("Node2VecEmbedding requires node2vec_init embeddings");
+                let init =
+                    node2vec_init.expect("Node2VecEmbedding requires node2vec_init embeddings");
                 assert_eq!(init.dim, d, "node2vec dim must equal model dim");
                 let table = store.get_mut(emb.table_id());
                 table.data_mut().copy_from_slice(init.data());
@@ -267,9 +265,7 @@ impl StartModel {
     /// Embed a batch of trajectories into representation vectors (inference,
     /// no gradient, dropout off). Road representations are computed once.
     pub fn encode_trajectories(&self, trajectories: &[Trajectory]) -> Vec<Vec<f32>> {
-        self.encode_views(
-            &trajectories.iter().map(TrajView::identity).collect::<Vec<_>>(),
-        )
+        self.encode_views(&trajectories.iter().map(TrajView::identity).collect::<Vec<_>>())
     }
 
     /// Embed pre-built views (inference).
@@ -332,8 +328,7 @@ mod tests {
     #[test]
     fn encode_produces_d_dimensional_vectors() {
         let (city, data, tm) = setup();
-        let model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
         let embs = model.encode_trajectories(&data[..5]);
         assert_eq!(embs.len(), 5);
         for e in &embs {
@@ -345,8 +340,7 @@ mod tests {
     #[test]
     fn inference_is_deterministic() {
         let (city, data, tm) = setup();
-        let model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
         let a = model.encode_trajectories(&data[..3]);
         let b = model.encode_trajectories(&data[..3]);
         assert_eq!(a, b);
@@ -355,8 +349,7 @@ mod tests {
     #[test]
     fn masked_positions_change_the_embedding() {
         let (city, data, tm) = setup();
-        let model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
         let plain = TrajView::identity(&data[0]);
         let mut masked = TrajView::identity(&data[0]);
         masked.masked[1] = true;
@@ -368,10 +361,8 @@ mod tests {
     #[test]
     fn random_embedding_ablation_works() {
         let (city, data, _) = setup();
-        let cfg = StartConfig {
-            road_encoder: RoadEncoder::RandomEmbedding,
-            ..StartConfig::test_scale()
-        };
+        let cfg =
+            StartConfig { road_encoder: RoadEncoder::RandomEmbedding, ..StartConfig::test_scale() };
         let model = StartModel::new(cfg, &city.net, None, None, 7);
         let embs = model.encode_trajectories(&data[..2]);
         assert!(embs[0].iter().any(|v| *v != 0.0));
@@ -418,8 +409,7 @@ mod tests {
     #[test]
     fn mask_logits_shape_is_vocab_sized() {
         let (city, data, tm) = setup();
-        let model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
+        let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
         let mut rng = StdRng::seed_from_u64(1);
         let mut g = Graph::new(&model.store, false);
         let roads = model.road_reprs(&mut g);

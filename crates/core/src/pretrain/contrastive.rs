@@ -17,7 +17,7 @@ use start_nn::Array;
 /// mean loss over all `2N` anchors.
 pub fn nt_xent_loss(g: &mut Graph, pooled: &[NodeId], temperature: f32) -> NodeId {
     let n2 = pooled.len();
-    assert!(n2 >= 4 && n2 % 2 == 0, "need at least two pairs, got {n2} views");
+    assert!(n2 >= 4 && n2.is_multiple_of(2), "need at least two pairs, got {n2} views");
     let stacked = g.concat_rows(pooled);
     let normed = g.l2_normalize_rows(stacked);
     let normed_t = g.transpose(normed);
@@ -39,9 +39,7 @@ mod tests {
 
     fn pooled_from(store: &ParamStore, g: &mut Graph, rows: &[[f32; 4]]) -> Vec<NodeId> {
         let _ = store;
-        rows.iter()
-            .map(|r| g.input(Array::from_vec(1, 4, r.to_vec())))
-            .collect()
+        rows.iter().map(|r| g.input(Array::from_vec(1, 4, r.to_vec()))).collect()
     }
 
     #[test]
@@ -72,7 +70,12 @@ mod tests {
     fn loss_is_permutation_invariant_in_scale() {
         // Scaling all embeddings must not change the loss (cosine similarity).
         let store = ParamStore::new();
-        let rows = [[0.3, 0.1, -0.2, 0.5], [0.28, 0.12, -0.2, 0.5], [-0.4, 0.2, 0.3, 0.0], [-0.38, 0.22, 0.3, 0.0]];
+        let rows = [
+            [0.3, 0.1, -0.2, 0.5],
+            [0.28, 0.12, -0.2, 0.5],
+            [-0.4, 0.2, 0.3, 0.0],
+            [-0.38, 0.22, 0.3, 0.0],
+        ];
         let mut g = Graph::new(&store, false);
         let p = pooled_from(&store, &mut g, &rows);
         let loss1 = nt_xent_loss(&mut g, &p, 0.1);

@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 use start_nn::graph::Graph;
 use start_nn::params::GradStore;
+use start_nn::train::{BatchTrainer, ShardResult};
 use start_nn::{AdamW, AdamWConfig, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -32,6 +33,10 @@ pub struct PretrainConfig {
     pub max_steps_per_epoch: Option<usize>,
     pub grad_clip: f32,
     pub seed: u64,
+    /// Data-parallel workers per optimizer step. `1` runs the legacy
+    /// sequential loop; higher counts shard each batch across threads with
+    /// within-shard NT-Xent negatives (see `start_nn::train`).
+    pub workers: usize,
 }
 
 impl Default for PretrainConfig {
@@ -44,6 +49,7 @@ impl Default for PretrainConfig {
             max_steps_per_epoch: None,
             grad_clip: 5.0,
             seed: 2023,
+            workers: 1,
         }
     }
 }
@@ -85,13 +91,22 @@ pub fn pretrain(
         let full = train.len() / cfg.batch_size;
         cfg.max_steps_per_epoch.map_or(full, |m| m.min(full)).max(1)
     };
-    let total_steps = (steps_per_epoch * cfg.epochs) as u64;
+    // Batches shorter than 2 trajectories are skipped by the loop below.
+    // Chunk lengths are data-independent, so the skip count is known up
+    // front and the LR schedule can span the steps actually taken instead
+    // of the planned count (which overshot whenever batches were skipped).
+    let executable_steps = (0..steps_per_epoch)
+        .filter(|i| train.len().saturating_sub(i * cfg.batch_size).min(cfg.batch_size) >= 2)
+        .count();
+    let total_steps = ((executable_steps * cfg.epochs) as u64).max(1);
     let schedule = WarmupCosine::new(
         cfg.base_lr,
         ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
         total_steps,
     );
-    let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.base_lr, ..Default::default() });
+    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut optimizer =
+        AdamW::new(&model.store, AdamWConfig { lr: cfg.base_lr, ..Default::default() });
 
     let mut report = PretrainReport::default();
     let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -106,93 +121,122 @@ pub fn pretrain(
         let mut epoch_loss = 0.0f64;
         let mut epoch_mask = 0.0f64;
         let mut epoch_con = 0.0f64;
+        let mut executed = 0usize;
         for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
             if batch.len() < 2 {
                 continue;
             }
-            let mut g = Graph::new(&model.store, true);
-            let road_reprs = model.road_reprs(&mut g);
+            // Eq. 15 over one shard. With workers = 1 the shard is the whole
+            // batch and the RNG is the loop's, reproducing the legacy
+            // sequential loop exactly; with more workers each shard draws
+            // NT-Xent negatives only from its own trajectories.
+            let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
+                let road_reprs = model.road_reprs(g);
 
-            // Span-masked recovery over the batch.
-            let mut mask_losses = Vec::new();
-            if use_mask {
-                for &i in batch {
-                    let ex = make_masked_example(
-                        &train[i],
-                        model.cfg.mask_span,
-                        model.cfg.mask_ratio,
-                        max_len,
-                        &mut rng,
-                    );
-                    if let Some(l) = masked_recovery_loss(model, &mut g, road_reprs, &ex, &mut rng)
-                    {
-                        mask_losses.push(l);
+                // Span-masked recovery over the shard.
+                let mut mask_losses = Vec::new();
+                if use_mask {
+                    for &i in shard {
+                        let ex = make_masked_example(
+                            &train[i],
+                            model.cfg.mask_span,
+                            model.cfg.mask_ratio,
+                            max_len,
+                            r,
+                        );
+                        if let Some(l) = masked_recovery_loss(model, g, road_reprs, &ex, r) {
+                            mask_losses.push(l);
+                        }
                     }
                 }
-            }
 
-            // Contrastive views over the batch.
-            let mut pooled = Vec::new();
-            if use_con {
-                for &i in batch {
-                    let t = &train[i];
-                    for aug in [aug_a, aug_b] {
-                        let view = clamp_view(aug.apply(t, historical, &mut rng), max_len);
-                        let view = if view.is_empty() {
-                            clamp_view(TrajView::identity(t), max_len)
-                        } else {
-                            view
-                        };
-                        let enc = model.encode_view(&mut g, &view, road_reprs, &mut rng);
-                        pooled.push(enc.pooled);
+                // Contrastive views over the shard.
+                let mut pooled = Vec::new();
+                if use_con {
+                    for &i in shard {
+                        let t = &train[i];
+                        for aug in [aug_a, aug_b] {
+                            let view = clamp_view(aug.apply(t, historical, r), max_len);
+                            let view = if view.is_empty() {
+                                clamp_view(TrajView::identity(t), max_len)
+                            } else {
+                                view
+                            };
+                            let enc = model.encode_view(g, &view, road_reprs, r);
+                            pooled.push(enc.pooled);
+                        }
                     }
                 }
-            }
 
-            // Eq. 15.
-            let mask_term = if mask_losses.is_empty() {
-                None
-            } else {
-                let mut acc = mask_losses[0];
-                for &l in &mask_losses[1..] {
-                    acc = g.add(acc, l);
-                }
-                Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
-            };
-            let con_term = if pooled.len() >= 4 {
-                Some(nt_xent_loss(&mut g, &pooled, model.cfg.temperature))
-            } else {
-                None
-            };
-            let loss = match (mask_term, con_term) {
-                (Some(m), Some(c)) => {
-                    let lm = g.scale(m, lambda);
-                    let lc = g.scale(c, 1.0 - lambda);
-                    g.add(lm, lc)
-                }
-                (Some(m), None) => m,
-                (None, Some(c)) => c,
-                (None, None) => continue,
+                let mask_term = if mask_losses.is_empty() {
+                    None
+                } else {
+                    let mut acc = mask_losses[0];
+                    for &l in &mask_losses[1..] {
+                        acc = g.add(acc, l);
+                    }
+                    Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
+                };
+                let con_term = if pooled.len() >= 4 {
+                    Some(nt_xent_loss(g, &pooled, model.cfg.temperature))
+                } else {
+                    None
+                };
+                let loss = match (mask_term, con_term) {
+                    (Some(m), Some(c)) => {
+                        let lm = g.scale(m, lambda);
+                        let lc = g.scale(c, 1.0 - lambda);
+                        g.add(lm, lc)
+                    }
+                    (Some(m), None) => m,
+                    (None, Some(c)) => c,
+                    (None, None) => return None,
+                };
+                // Component accounting: [mask value, mask count, contrastive
+                // value, anchor count] per shard, combined below.
+                let mask_stats =
+                    mask_term.map_or([0.0, 0.0], |m| [g.value(m).item(), mask_losses.len() as f32]);
+                let con_stats =
+                    con_term.map_or([0.0, 0.0], |c| [g.value(c).item(), (pooled.len() / 2) as f32]);
+                Some(ShardResult {
+                    loss,
+                    weight: shard.len() as f32,
+                    components: vec![mask_stats[0], mask_stats[1], con_stats[0], con_stats[1]],
+                })
             };
 
             let mut grads = GradStore::new(&model.store);
-            g.backward(loss, &mut grads);
+            let Some(stats) =
+                trainer.step(&model.store, &mut grads, step, batch, 2, &mut rng, &shard_loss)
+            else {
+                continue;
+            };
             grads.clip_global_norm(cfg.grad_clip);
 
-            epoch_loss += g.value(loss).item() as f64;
-            if let Some(m) = mask_term {
-                epoch_mask += g.value(m).item() as f64;
+            epoch_loss += f64::from(stats.loss);
+            let (mut mask_sum, mut mask_n, mut con_sum, mut con_n) = (0.0f64, 0.0f64, 0.0, 0.0);
+            for c in &stats.shard_components {
+                mask_sum += f64::from(c[0]) * f64::from(c[1]);
+                mask_n += f64::from(c[1]);
+                con_sum += f64::from(c[2]) * f64::from(c[3]);
+                con_n += f64::from(c[3]);
             }
-            if let Some(c) = con_term {
-                epoch_con += g.value(c).item() as f64;
+            if mask_n > 0.0 {
+                epoch_mask += mask_sum / mask_n;
             }
-            drop(g);
+            if con_n > 0.0 {
+                epoch_con += con_sum / con_n;
+            }
 
             let lr = schedule.lr(step);
             optimizer.step(&mut model.store, &grads, lr);
             step += 1;
+            executed += 1;
         }
-        let denom = steps_per_epoch as f64;
+        // Mean over batches actually executed; dividing by the planned step
+        // count used to deflate the reported losses whenever a batch was
+        // skipped (too short, or no trainable loss).
+        let denom = executed.max(1) as f64;
         report.epoch_losses.push((epoch_loss / denom) as f32);
         report.final_mask_loss = (epoch_mask / denom) as f32;
         report.final_contrastive_loss = (epoch_con / denom) as f32;
@@ -227,8 +271,7 @@ mod tests {
     #[test]
     fn pretraining_reduces_the_loss() {
         let (city, data, tm, hist) = setup(64);
-        let mut model =
-            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
+        let mut model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
         let cfg = PretrainConfig {
             epochs: 4,
             batch_size: 8,
@@ -242,6 +285,170 @@ mod tests {
         let last = report.final_loss();
         assert!(last < first, "loss should drop: {first} -> {last}");
         assert!(last.is_finite());
+    }
+
+    /// Hand-rolled copy of the pre-engine sequential loop: one graph per
+    /// batch, the loop's RNG everywhere, losses in the legacy op order.
+    fn legacy_pretrain(
+        model: &mut StartModel,
+        train: &[Trajectory],
+        historical: &[f32],
+        cfg: &PretrainConfig,
+    ) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let steps_per_epoch = {
+            let full = train.len() / cfg.batch_size;
+            cfg.max_steps_per_epoch.map_or(full, |m| m.min(full)).max(1)
+        };
+        let executable_steps = (0..steps_per_epoch)
+            .filter(|i| train.len().saturating_sub(i * cfg.batch_size).min(cfg.batch_size) >= 2)
+            .count();
+        let total_steps = ((executable_steps * cfg.epochs) as u64).max(1);
+        let schedule = WarmupCosine::new(
+            cfg.base_lr,
+            ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
+            total_steps,
+        );
+        let mut optimizer =
+            AdamW::new(&model.store, AdamWConfig { lr: cfg.base_lr, ..Default::default() });
+        let mut indices: Vec<usize> = (0..train.len()).collect();
+        let (lambda, use_mask, use_con) =
+            (model.cfg.lambda, model.cfg.use_mask_loss, model.cfg.use_contrastive_loss);
+        let (aug_a, aug_b) = model.cfg.augmentations;
+        let max_len = model.cfg.max_len;
+        let mut epoch_losses = Vec::new();
+        let mut step = 0u64;
+        for _ in 0..cfg.epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            let mut executed = 0usize;
+            for batch in indices.chunks(cfg.batch_size).take(steps_per_epoch) {
+                if batch.len() < 2 {
+                    continue;
+                }
+                let mut g = Graph::new(&model.store, true);
+                let road_reprs = model.road_reprs(&mut g);
+                let mut mask_losses = Vec::new();
+                if use_mask {
+                    for &i in batch {
+                        let ex = make_masked_example(
+                            &train[i],
+                            model.cfg.mask_span,
+                            model.cfg.mask_ratio,
+                            max_len,
+                            &mut rng,
+                        );
+                        if let Some(l) =
+                            masked_recovery_loss(model, &mut g, road_reprs, &ex, &mut rng)
+                        {
+                            mask_losses.push(l);
+                        }
+                    }
+                }
+                let mut pooled = Vec::new();
+                if use_con {
+                    for &i in batch {
+                        let t = &train[i];
+                        for aug in [aug_a, aug_b] {
+                            let view = clamp_view(aug.apply(t, historical, &mut rng), max_len);
+                            let view = if view.is_empty() {
+                                clamp_view(TrajView::identity(t), max_len)
+                            } else {
+                                view
+                            };
+                            let enc = model.encode_view(&mut g, &view, road_reprs, &mut rng);
+                            pooled.push(enc.pooled);
+                        }
+                    }
+                }
+                let mask_term = if mask_losses.is_empty() {
+                    None
+                } else {
+                    let mut acc = mask_losses[0];
+                    for &l in &mask_losses[1..] {
+                        acc = g.add(acc, l);
+                    }
+                    Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
+                };
+                let con_term = if pooled.len() >= 4 {
+                    Some(nt_xent_loss(&mut g, &pooled, model.cfg.temperature))
+                } else {
+                    None
+                };
+                let loss = match (mask_term, con_term) {
+                    (Some(m), Some(c)) => {
+                        let lm = g.scale(m, lambda);
+                        let lc = g.scale(c, 1.0 - lambda);
+                        g.add(lm, lc)
+                    }
+                    (Some(m), None) => m,
+                    (None, Some(c)) => c,
+                    (None, None) => continue,
+                };
+                let mut grads = GradStore::new(&model.store);
+                g.backward(loss, &mut grads);
+                grads.clip_global_norm(cfg.grad_clip);
+                epoch_loss += f64::from(g.value(loss).item());
+                optimizer.step(&mut model.store, &grads, schedule.lr(step));
+                step += 1;
+                executed += 1;
+            }
+            epoch_losses.push((epoch_loss / executed.max(1) as f64) as f32);
+        }
+        epoch_losses
+    }
+
+    #[test]
+    fn workers_1_is_bitwise_the_legacy_sequential_loop() {
+        let (city, data, tm, hist) = setup(48);
+        let cfg = PretrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            base_lr: 1e-3,
+            max_steps_per_epoch: Some(3),
+            workers: 1,
+            ..Default::default()
+        };
+        let mut engine_model =
+            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
+        let report = pretrain(&mut engine_model, &data, &hist, &cfg);
+
+        let mut legacy_model =
+            StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
+        let legacy_losses = legacy_pretrain(&mut legacy_model, &data, &hist, &cfg);
+
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(
+            bits(&report.epoch_losses),
+            bits(&legacy_losses),
+            "workers = 1 must reproduce the sequential loss trace bitwise"
+        );
+        for ((name_a, a), (name_b, b)) in engine_model.store.iter().zip(legacy_model.store.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(a, b, "parameter {name_a} diverged from the sequential loop");
+        }
+    }
+
+    #[test]
+    fn workers_2_pretraining_is_deterministic() {
+        let (city, data, tm, hist) = setup(48);
+        let cfg = PretrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            base_lr: 1e-3,
+            max_steps_per_epoch: Some(3),
+            workers: 2,
+            ..Default::default()
+        };
+        let run = || {
+            let mut model =
+                StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 5);
+            pretrain(&mut model, &data, &hist, &cfg).epoch_losses
+        };
+        let (a, b) = (run(), run());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&a), bits(&b), "same-seed parallel runs must be bitwise identical");
+        assert!(a.iter().all(|l| l.is_finite()));
     }
 
     #[test]

@@ -91,17 +91,35 @@ impl TpeGat {
         let mut layers = Vec::with_capacity(heads_per_layer.len());
         let mut in_dim = features.cols();
         for (l, &num_heads) in heads_per_layer.iter().enumerate() {
-            assert!(num_heads > 0 && dim % num_heads == 0, "dim must divide heads");
+            assert!(num_heads > 0 && dim.is_multiple_of(num_heads), "dim must divide heads");
             let head_dim = dim / num_heads;
             let heads = (0..num_heads)
                 .map(|h| {
                     let p = format!("{name}.l{l}.h{h}");
                     GatHead {
-                        w1: store.param(format!("{p}.w1"), in_dim, head_dim, Init::XavierUniform, rng),
-                        w2: store.param(format!("{p}.w2"), in_dim, head_dim, Init::XavierUniform, rng),
+                        w1: store.param(
+                            format!("{p}.w1"),
+                            in_dim,
+                            head_dim,
+                            Init::XavierUniform,
+                            rng,
+                        ),
+                        w2: store.param(
+                            format!("{p}.w2"),
+                            in_dim,
+                            head_dim,
+                            Init::XavierUniform,
+                            rng,
+                        ),
                         w3: store.param(format!("{p}.w3"), 1, head_dim, Init::XavierUniform, rng),
                         w4: store.param(format!("{p}.w4"), head_dim, 1, Init::XavierUniform, rng),
-                        w5: store.param(format!("{p}.w5"), in_dim, head_dim, Init::XavierUniform, rng),
+                        w5: store.param(
+                            format!("{p}.w5"),
+                            in_dim,
+                            head_dim,
+                            Init::XavierUniform,
+                            rng,
+                        ),
                     }
                 })
                 .collect();
@@ -227,8 +245,7 @@ mod tests {
         let (city, tm) = setup();
         let mut rng = StdRng::seed_from_u64(2);
         let mut store_a = ParamStore::new();
-        let gat_a =
-            TpeGat::new(&mut store_a, &mut rng, "gat", &city.net, Some(&tm), 16, &[2]);
+        let gat_a = TpeGat::new(&mut store_a, &mut rng, "gat", &city.net, Some(&tm), 16, &[2]);
         let mut rng = StdRng::seed_from_u64(2); // identical init
         let mut store_b = ParamStore::new();
         let gat_b = TpeGat::new(&mut store_b, &mut rng, "gat", &city.net, None, 16, &[2]);

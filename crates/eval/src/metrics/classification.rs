@@ -152,12 +152,7 @@ mod tests {
     fn auc_matches_hand_example() {
         // scores: pos {0.9, 0.6}, neg {0.4, 0.7} -> pairs won: (0.9>0.4),(0.9>0.7),(0.6>0.4); lost (0.6<0.7)
         let truth = vec![1, 1, 0, 0];
-        let probs = vec![
-            vec![0.1, 0.9],
-            vec![0.4, 0.6],
-            vec![0.6, 0.4],
-            vec![0.3, 0.7],
-        ];
+        let probs = vec![vec![0.1, 0.9], vec![0.4, 0.6], vec![0.6, 0.4], vec![0.3, 0.7]];
         assert!((auc(&truth, &probs) - 0.75).abs() < 1e-6);
     }
 

@@ -133,7 +133,13 @@ impl Array {
 
     /// Reinterpret the buffer under a new shape with the same element count.
     pub fn reshaped(mut self, rows: usize, cols: usize) -> Self {
-        assert_eq!(self.data.len(), rows * cols, "reshape {}x{} -> {rows}x{cols}", self.rows, self.cols);
+        assert_eq!(
+            self.data.len(),
+            rows * cols,
+            "reshape {}x{} -> {rows}x{cols}",
+            self.rows,
+            self.cols
+        );
         self.rows = rows;
         self.cols = cols;
         self
@@ -244,20 +250,43 @@ fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: 
     }
 }
 
-/// `out = a @ b^T` without materializing the transpose.
+/// `out = a @ b^T` without materializing the transpose. Shards rows across
+/// threads above [`PARALLEL_FLOPS`], like [`matmul`].
 pub fn matmul_bt(a: &Array, b: &Array) -> Array {
     assert_eq!(a.cols, b.cols, "matmul_bt shape mismatch {:?} @ {:?}^T", a.shape(), b.shape());
     let (m, k, n) = (a.rows, a.cols, b.rows);
     let mut out = Array::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
+    let flops = m * k * n;
+    if flops >= PARALLEL_FLOPS && m >= 8 {
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        let chunk = m.div_ceil(threads);
+        let a_data = &a.data;
+        let b_data = &b.data;
+        crossbeam::scope(|s| {
+            for (t, out_chunk) in out.data.chunks_mut(chunk * n).enumerate() {
+                let row0 = t * chunk;
+                s.spawn(move |_| {
+                    matmul_bt_rows(a_data, b_data, out_chunk, row0, k, n);
+                });
+            }
+        })
+        .expect("matmul_bt worker panicked");
+    } else {
+        matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n);
+    }
+    out
+}
+
+fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
         for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &b.data[j * k..(j + 1) * k];
+            let brow = &b[j * k..(j + 1) * k];
             *o = dot(arow, brow);
         }
     }
-    out
 }
 
 /// `out = a^T @ b` without materializing the transpose.
@@ -347,6 +376,22 @@ mod tests {
         let via_t2 = matmul(&a.transposed(), &c);
         for (x, y) in via_at.data().iter().zip(via_t2.data()) {
             assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn matmul_bt_parallel_path_agrees_with_explicit_transpose() {
+        // 64 * 512 * 256 = 8.4M multiply-adds: past PARALLEL_FLOPS, so this
+        // exercises the threaded row-sharded path of matmul_bt.
+        let (m, k, n) = (64, 512, 256);
+        assert!(m * k * n >= PARALLEL_FLOPS && m >= 8);
+        let a = Array::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.21 - 1.3);
+        let b = Array::from_fn(n, k, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.13 - 0.7);
+        let via_bt = matmul_bt(&a, &b);
+        let via_t = matmul(&a, &b.transposed());
+        assert_eq!(via_bt.shape(), (m, n));
+        for (x, y) in via_bt.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
         }
     }
 

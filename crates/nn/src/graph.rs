@@ -94,9 +94,16 @@ enum Op {
     SumAll(NodeId),
     MeanAll(NodeId),
     /// Fused mean cross-entropy over rows; saves the softmax.
-    CrossEntropyRows { logits: NodeId, targets: Arc<Vec<u32>>, softmax: Array },
+    CrossEntropyRows {
+        logits: NodeId,
+        targets: Arc<Vec<u32>>,
+        softmax: Array,
+    },
     /// Fused mean squared error against a constant target.
-    MseLoss { pred: NodeId, target: Array },
+    MseLoss {
+        pred: NodeId,
+        target: Array,
+    },
 }
 
 struct Node {
@@ -308,13 +315,18 @@ impl<'s> Graph<'s> {
         let xv = self.value(x);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask = Array::from_fn(xv.rows(), xv.cols(), |_, _| {
-            if rng.gen::<f32>() < keep {
-                scale
-            } else {
-                0.0
-            }
-        });
+        let mask =
+            Array::from_fn(
+                xv.rows(),
+                xv.cols(),
+                |_, _| {
+                    if rng.gen::<f32>() < keep {
+                        scale
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let v = Array::from_vec(
             xv.rows(),
             xv.cols(),
@@ -466,12 +478,9 @@ impl<'s> Graph<'s> {
         array::softmax_rows_inplace(&mut softmax);
         let log_probs = array::log_softmax_rows(lv);
         let n = targets.len() as f32;
-        let loss = -targets
-            .iter()
-            .enumerate()
-            .map(|(r, &t)| log_probs.get(r, t as usize))
-            .sum::<f32>()
-            / n;
+        let loss =
+            -targets.iter().enumerate().map(|(r, &t)| log_probs.get(r, t as usize)).sum::<f32>()
+                / n;
         self.push(Array::scalar(loss), Op::CrossEntropyRows { logits, targets, softmax })
     }
 
@@ -479,12 +488,7 @@ impl<'s> Graph<'s> {
     pub fn mse_loss(&mut self, pred: NodeId, target: Array) -> NodeId {
         let pv = self.value(pred);
         assert_eq!(pv.shape(), target.shape(), "mse target shape mismatch");
-        let loss = pv
-            .data()
-            .iter()
-            .zip(target.data())
-            .map(|(p, t)| (p - t) * (p - t))
-            .sum::<f32>()
+        let loss = pv.data().iter().zip(target.data()).map(|(p, t)| (p - t) * (p - t)).sum::<f32>()
             / pv.len() as f32;
         self.push(Array::scalar(loss), Op::MseLoss { pred, target })
     }
@@ -618,12 +622,11 @@ impl<'s> Graph<'s> {
                     let yv = &self.nodes[idx].value;
                     let d = yv.cols() as f32;
                     let mut dx = g.clone();
-                    for r in 0..dx.rows() {
+                    for (r, &rstd) in rstds.iter().enumerate() {
                         let y = yv.row(r);
                         let gr = g.row(r);
                         let mean_g = gr.iter().sum::<f32>() / d;
                         let mean_gy = array::dot(gr, y) / d;
-                        let rstd = rstds[r];
                         for (o, (&gi, &yi)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(y)) {
                             *o = rstd * (gi - mean_g - yi * mean_gy);
                         }
@@ -634,11 +637,11 @@ impl<'s> Graph<'s> {
                 Op::L2NormalizeRows(x, norms) => {
                     let yv = &self.nodes[idx].value;
                     let mut dx = g.clone();
-                    for r in 0..dx.rows() {
+                    for (r, &norm) in norms.iter().enumerate() {
                         let y = yv.row(r);
                         let gr = g.row(r);
                         let s = array::dot(gr, y);
-                        let inv = 1.0 / norms[r];
+                        let inv = 1.0 / norm;
                         for (o, (&gi, &yi)) in dx.row_mut(r).iter_mut().zip(gr.iter().zip(y)) {
                             *o = (gi - yi * s) * inv;
                         }
@@ -703,9 +706,7 @@ impl<'s> Graph<'s> {
                         let y = &yv.data()[range.clone()];
                         let gr = &g.data()[range.clone()];
                         let dot = array::dot(gr, y);
-                        for ((o, &gi), &yi) in
-                            dx.data_mut()[range].iter_mut().zip(gr).zip(y)
-                        {
+                        for ((o, &gi), &yi) in dx.data_mut()[range].iter_mut().zip(gr).zip(y) {
                             *o = yi * (gi - dot);
                         }
                     }
@@ -751,11 +752,7 @@ fn accum(grads: &mut [Option<Array>], idx: usize, delta: Array) {
 
 fn ew_mul(a: &Array, b: &Array) -> Array {
     debug_assert_eq!(a.shape(), b.shape());
-    Array::from_vec(
-        a.rows(),
-        a.cols(),
-        a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect(),
-    )
+    Array::from_vec(a.rows(), a.cols(), a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect())
 }
 
 /// `out[i] = g[i] * f(source[i])`.

@@ -33,7 +33,7 @@ impl MultiHeadAttention {
         heads: usize,
         dropout: f32,
     ) -> Self {
-        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
         Self {
             wq: Linear::new(store, rng, &format!("{name}.wq"), dim, dim, true),
             wk: Linear::new(store, rng, &format!("{name}.wk"), dim, dim, true),

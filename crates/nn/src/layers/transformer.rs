@@ -63,6 +63,7 @@ pub struct TransformerEncoder {
 }
 
 impl TransformerEncoder {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
         rng: &mut StdRng,

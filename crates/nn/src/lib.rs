@@ -14,6 +14,9 @@
 //!   GRU (for the seq2seq baselines), sinusoidal positions;
 //! - [`optim::AdamW`] + [`schedule::WarmupCosine`] — the paper's §IV-C2
 //!   training recipe;
+//! - [`train::BatchTrainer`] — data-parallel minibatch engine: shards each
+//!   batch over scoped worker threads and merges per-worker gradients
+//!   deterministically;
 //! - [`serialize`] — checkpoint codec used by the transfer experiments
 //!   (Table III).
 //!
@@ -27,9 +30,11 @@ pub mod optim;
 pub mod params;
 pub mod schedule;
 pub mod serialize;
+pub mod train;
 
 pub use array::Array;
 pub use graph::{Graph, NodeId, Segments};
 pub use optim::{AdamW, AdamWConfig};
 pub use params::{GradStore, Init, ParamId, ParamStore};
 pub use schedule::WarmupCosine;
+pub use train::{BatchTrainer, ShardResult, StepStats};

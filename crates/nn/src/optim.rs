@@ -31,8 +31,14 @@ pub struct AdamW {
 
 impl AdamW {
     pub fn new(store: &ParamStore, cfg: AdamWConfig) -> Self {
-        let m = store.ids().map(|id| Array::zeros(store.get(id).rows(), store.get(id).cols())).collect();
-        let v = store.ids().map(|id| Array::zeros(store.get(id).rows(), store.get(id).cols())).collect();
+        let m = store
+            .ids()
+            .map(|id| Array::zeros(store.get(id).rows(), store.get(id).cols()))
+            .collect();
+        let v = store
+            .ids()
+            .map(|id| Array::zeros(store.get(id).rows(), store.get(id).cols()))
+            .collect();
         Self { cfg, m, v, step: 0 }
     }
 
@@ -59,12 +65,8 @@ impl AdamW {
             let v = &mut self.v[i];
             let param = store.get_mut(id);
             let (b1, b2, eps) = (self.cfg.beta1, self.cfg.beta2, self.cfg.eps);
-            for (((p, g), mi), vi) in param
-                .data_mut()
-                .iter_mut()
-                .zip(grad.data())
-                .zip(m.data_mut())
-                .zip(v.data_mut())
+            for (((p, g), mi), vi) in
+                param.data_mut().iter_mut().zip(grad.data()).zip(m.data_mut()).zip(v.data_mut())
             {
                 *mi = b1 * *mi + (1.0 - b1) * g;
                 *vi = b2 * *vi + (1.0 - b2) * g * g;
@@ -91,7 +93,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
         let w = store.param("w", 1, 1, Init::Zeros, &mut rng);
-        let mut opt = AdamW::new(&store, AdamWConfig { lr: 0.1, weight_decay: 0.0, ..Default::default() });
+        let mut opt =
+            AdamW::new(&store, AdamWConfig { lr: 0.1, weight_decay: 0.0, ..Default::default() });
         for _ in 0..300 {
             let mut grads = GradStore::new(&store);
             let g = &mut Graph::new(&store, true);

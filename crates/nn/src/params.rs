@@ -196,6 +196,36 @@ impl GradStore {
         }
     }
 
+    /// Element-wise add every gradient of `other` into `self`.
+    ///
+    /// This is the reduction step of the data-parallel
+    /// [`crate::train::BatchTrainer`]: each worker accumulates into a private
+    /// `GradStore` and the engine merges them in worker order, so the result
+    /// is deterministic for a fixed worker count. Both stores must have been
+    /// created from the same [`ParamStore`].
+    pub fn merge(&mut self, other: &GradStore) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "cannot merge grad stores of different parameter stores"
+        );
+        for (dst, src) in self.grads.iter_mut().zip(&other.grads) {
+            if let Some(src) = src {
+                match dst {
+                    Some(d) => d.add_assign(src),
+                    slot @ None => *slot = Some(src.clone()),
+                }
+            }
+        }
+    }
+
+    /// Multiply every gradient by `factor` (shard weighting before a merge).
+    pub fn scale(&mut self, factor: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(factor);
+        }
+    }
+
     /// Reset all gradients to `None` (cheaper than zeroing).
     pub fn clear(&mut self) {
         for g in &mut self.grads {

@@ -69,9 +69,8 @@ pub fn parse_params(mut blob: &[u8]) -> Result<HashMap<String, Array>, CodecErro
         if blob.remaining() < name_len + 8 {
             return Err(CodecError::Truncated);
         }
-        let name = std::str::from_utf8(&blob[..name_len])
-            .map_err(|_| CodecError::NameNotUtf8)?
-            .to_owned();
+        let name =
+            std::str::from_utf8(&blob[..name_len]).map_err(|_| CodecError::NameNotUtf8)?.to_owned();
         blob.advance(name_len);
         let rows = blob.get_u32_le() as usize;
         let cols = blob.get_u32_le() as usize;

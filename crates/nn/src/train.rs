@@ -1,0 +1,233 @@
+//! Data-parallel minibatch training engine.
+//!
+//! Every training loop in the workspace has the same per-step shape: build a
+//! [`Graph`] over the shared read-only [`ParamStore`], compute a batch loss,
+//! run [`Graph::backward`] into a [`GradStore`], then apply one optimizer
+//! step. [`BatchTrainer`] factors that shape out and adds data parallelism:
+//! the minibatch is split into contiguous shards, each shard is evaluated by
+//! its own worker thread (own graph, own gradient buffer, own derived RNG
+//! stream), and the per-worker gradients are reduced with
+//! [`GradStore::merge`] into the single gradient the caller feeds to the
+//! optimizer.
+//!
+//! Semantics and reproducibility:
+//!
+//! - A shard's loss is weighted by [`ShardResult::weight`] (normally the
+//!   shard length); the merged gradient equals `Σ wᵢ ∇lᵢ / Σ wᵢ`, which for
+//!   per-example mean losses is exactly the full-batch mean gradient, up to
+//!   f32 summation order.
+//! - Losses that compare examples *within* a batch (NT-Xent negatives, PIM's
+//!   next-in-batch negative sampling) see only their own shard, like
+//!   multi-device SimCLR. `min_per_shard` guarantees every shard is large
+//!   enough for such losses (≥ 2 anchors).
+//! - With `workers == 1` (or a batch too small to split) the step runs on
+//!   the caller's thread with the caller's RNG, reproducing the legacy
+//!   sequential loops bit for bit.
+//! - With `workers > 1`, worker `w` at optimizer step `s` uses an
+//!   [`StdRng`] stream derived from `(seed, s, w)`, so runs with the same
+//!   seed and worker count are bitwise identical regardless of thread
+//!   scheduling; the merge happens in shard order for the same reason.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{GradStore, ParamStore};
+
+/// What a shard closure hands back to the engine for one shard.
+pub struct ShardResult {
+    /// Root node of the shard loss (a scalar); the engine backprops it.
+    pub loss: NodeId,
+    /// Weight of this shard in the batch loss, normally the shard length.
+    pub weight: f32,
+    /// Free-form per-shard metrics (e.g. loss components and their counts);
+    /// reported raw in [`StepStats::shard_components`].
+    pub components: Vec<f32>,
+}
+
+/// Outcome of one [`BatchTrainer::step`].
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Weight-averaged loss over the executed shards.
+    pub loss: f32,
+    /// Total shard weight (the effective batch size of this step).
+    pub weight: f32,
+    /// Number of shards that produced a loss.
+    pub shards: usize,
+    /// Raw [`ShardResult::components`] of each executed shard, in shard
+    /// order. With one shard this is the closure's vector untouched, so
+    /// sequential accounting stays exact.
+    pub shard_components: Vec<Vec<f32>>,
+}
+
+/// Shards minibatches across scoped worker threads and merges gradients.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTrainer {
+    workers: usize,
+    seed: u64,
+}
+
+/// SplitMix64 finalizer; decorrelates the per-worker seed lanes.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BatchTrainer {
+    /// `workers == 1` keeps the legacy single-thread behaviour; higher
+    /// counts shard each batch over that many scoped threads.
+    pub fn new(workers: usize, seed: u64) -> Self {
+        assert!(workers >= 1, "BatchTrainer needs at least one worker");
+        Self { workers, seed }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Deterministic RNG stream for `(seed, step, worker)`. Public so tests
+    /// and custom loops can reproduce exactly what a worker saw.
+    pub fn worker_rng(&self, step: u64, worker: usize) -> StdRng {
+        let lane = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(step.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(worker as u64);
+        StdRng::seed_from_u64(mix64(lane))
+    }
+
+    /// Contiguous near-even split of `batch` into at most `workers` shards,
+    /// each at least `min_per_shard` long (losses with in-batch negatives
+    /// pass 2). Returns a single shard when the batch cannot be split.
+    pub fn plan<'a>(&self, batch: &'a [usize], min_per_shard: usize) -> Vec<&'a [usize]> {
+        let min = min_per_shard.max(1);
+        let shards = self.workers.min((batch.len() / min).max(1)).max(1);
+        let base = batch.len() / shards;
+        let rem = batch.len() % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < rem);
+            out.push(&batch[start..start + len]);
+            start += len;
+        }
+        out
+    }
+
+    /// Run one data-parallel training step.
+    ///
+    /// `shard_loss` builds the loss of one shard into the supplied graph; it
+    /// returns `None` when the shard yields no trainable loss (the engine
+    /// skips it). The merged, weight-normalized gradient lands in `grads`;
+    /// the caller clips and applies the optimizer. Returns `None` when no
+    /// shard produced a loss (the caller should not step the optimizer).
+    ///
+    /// `rng` is only consumed on the sequential path, preserving the legacy
+    /// single-thread RNG stream; parallel workers draw from
+    /// [`Self::worker_rng`] instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step<F>(
+        &self,
+        store: &ParamStore,
+        grads: &mut GradStore,
+        step: u64,
+        batch: &[usize],
+        min_per_shard: usize,
+        rng: &mut StdRng,
+        shard_loss: &F,
+    ) -> Option<StepStats>
+    where
+        F: Fn(&mut Graph, &[usize], &mut StdRng) -> Option<ShardResult> + Sync,
+    {
+        let shards = self.plan(batch, min_per_shard);
+        if self.workers == 1 || shards.len() == 1 {
+            let mut g = Graph::new(store, true);
+            let res = shard_loss(&mut g, batch, rng)?;
+            g.backward(res.loss, grads);
+            return Some(StepStats {
+                loss: g.value(res.loss).item(),
+                weight: res.weight,
+                shards: 1,
+                shard_components: vec![res.components],
+            });
+        }
+
+        type WorkerOut = Option<(GradStore, f32, f32, Vec<f32>)>;
+        let results: Vec<WorkerOut> = crossbeam::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let shard: &[usize] = shard;
+                    s.spawn(move |_| -> WorkerOut {
+                        let mut wrng = self.worker_rng(step, w);
+                        let mut g = Graph::new(store, true);
+                        let res = shard_loss(&mut g, shard, &mut wrng)?;
+                        let mut wgrads = GradStore::new(store);
+                        g.backward(res.loss, &mut wgrads);
+                        // Pre-scale so the merge below is a plain sum.
+                        wgrads.scale(res.weight);
+                        Some((wgrads, g.value(res.loss).item(), res.weight, res.components))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("training worker panicked")).collect()
+        })
+        .expect("training scope failed");
+
+        let mut total_weight = 0.0f32;
+        let mut loss_acc = 0.0f64;
+        let mut shard_components = Vec::new();
+        for (wgrads, loss, weight, components) in results.into_iter().flatten() {
+            grads.merge(&wgrads);
+            loss_acc += f64::from(loss) * f64::from(weight);
+            total_weight += weight;
+            shard_components.push(components);
+        }
+        if shard_components.is_empty() || total_weight <= 0.0 {
+            return None;
+        }
+        grads.scale(1.0 / total_weight);
+        Some(StepStats {
+            loss: (loss_acc / f64::from(total_weight)) as f32,
+            weight: total_weight,
+            shards: shard_components.len(),
+            shard_components,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_contiguous_even_and_respects_minimum() {
+        let batch: Vec<usize> = (0..10).collect();
+        let trainer = BatchTrainer::new(4, 0);
+        let shards = trainer.plan(&batch, 2);
+        assert_eq!(shards.len(), 4);
+        let lens: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(lens, [3, 3, 2, 2]);
+        let flat: Vec<usize> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, batch);
+
+        // A batch of 3 with min 2 per shard cannot be split.
+        assert_eq!(trainer.plan(&batch[..3], 2).len(), 1);
+        // min_per_shard = 0 is treated as 1.
+        assert_eq!(trainer.plan(&batch[..3], 0).len(), 3);
+    }
+
+    #[test]
+    fn worker_rng_streams_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let trainer = BatchTrainer::new(4, 99);
+        let draw = |step, worker| trainer.worker_rng(step, worker).gen::<u64>();
+        assert_eq!(draw(3, 1), draw(3, 1));
+        assert_ne!(draw(3, 1), draw(3, 2));
+        assert_ne!(draw(3, 1), draw(4, 1));
+        let other = BatchTrainer::new(4, 100);
+        assert_ne!(draw(3, 1), other.worker_rng(3, 1).gen::<u64>());
+    }
+}

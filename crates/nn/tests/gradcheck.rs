@@ -57,10 +57,7 @@ fn check_grad(rows: usize, cols: usize, build: impl Fn(&mut Graph, NodeId) -> No
         let denom = a.abs().max(numeric.abs()).max(1e-2);
         let rel = (a - numeric).abs() / denom;
         max_rel = max_rel.max(rel);
-        assert!(
-            rel < 5e-2,
-            "grad mismatch at {i}: analytic {a}, numeric {numeric} (rel {rel})"
-        );
+        assert!(rel < 5e-2, "grad mismatch at {i}: analytic {a}, numeric {numeric} (rel {rel})");
     }
     // The whole op family should be well under tolerance on average.
     assert!(max_rel < 5e-2);
@@ -237,9 +234,7 @@ fn grad_segment_softmax() {
 
 #[test]
 fn grad_cross_entropy() {
-    check_grad(4, 5, |g, p| {
-        g.cross_entropy_rows(p, Arc::new(vec![1, 0, 4, 2]))
-    });
+    check_grad(4, 5, |g, p| g.cross_entropy_rows(p, Arc::new(vec![1, 0, 4, 2])));
 }
 
 #[test]

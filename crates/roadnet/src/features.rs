@@ -126,7 +126,8 @@ mod tests {
 
     #[test]
     fn scalars_are_standardized() {
-        let net = net_with(&[RoadKind::Primary, RoadKind::Primary, RoadKind::Primary, RoadKind::Primary]);
+        let net =
+            net_with(&[RoadKind::Primary, RoadKind::Primary, RoadKind::Primary, RoadKind::Primary]);
         let f = road_features(&net);
         // Column 6 is z-scored length: mean ~0.
         let mean: f32 = (0..4).map(|r| f.row(r)[6]).sum::<f32>() / 4.0;

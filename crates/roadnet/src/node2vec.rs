@@ -151,11 +151,10 @@ pub fn node2vec(net: &RoadNetwork, cfg: &Node2VecConfig) -> NodeEmbeddings {
             for (i, &center) in walk.iter().enumerate() {
                 let lo = i.saturating_sub(cfg.window);
                 let hi = (i + cfg.window + 1).min(walk.len());
-                for j in lo..hi {
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
                     if j == i {
                         continue;
                     }
-                    let context = walk[j];
                     grad_center.fill(0.0);
                     // Positive + negative samples, standard SGNS update.
                     for neg in 0..=cfg.negatives {

@@ -131,8 +131,7 @@ pub fn yen_ksp(
             if let Some(spur_path) = spur {
                 let mut segments = root[..spur_idx].to_vec();
                 segments.extend_from_slice(&spur_path.segments);
-                let total_cost: f64 =
-                    segments.windows(2).map(|w| cost(w[0], w[1])).sum();
+                let total_cost: f64 = segments.windows(2).map(|w| cost(w[0], w[1])).sum();
                 let candidate = Path { segments, cost: total_cost };
                 if !shortest.contains(&candidate) && !candidates.contains(&candidate) {
                     candidates.push(candidate);

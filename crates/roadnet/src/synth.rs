@@ -97,11 +97,11 @@ pub fn generate_city(name: &str, cfg: &CityConfig) -> City {
         let on_ring = |x: usize, y: usize| x == 0 || y == 0 || x == w - 1 || y == h - 1;
         if on_ring(x0, y0) && on_ring(x1, y1) {
             RoadKind::Trunk
-        } else if (x0 == x1 && x0 % cfg.arterial_every == 0)
-            || (y0 == y1 && y0 % cfg.arterial_every == 0)
+        } else if (x0 == x1 && x0.is_multiple_of(cfg.arterial_every))
+            || (y0 == y1 && y0.is_multiple_of(cfg.arterial_every))
         {
             RoadKind::Primary
-        } else if (x0 == x1 && x0 % 2 == 0) || (y0 == y1 && y0 % 2 == 0) {
+        } else if (x0 == x1 && x0.is_multiple_of(2)) || (y0 == y1 && y0.is_multiple_of(2)) {
             RoadKind::Secondary
         } else {
             RoadKind::Residential
@@ -113,10 +113,18 @@ pub fn generate_city(name: &str, cfg: &CityConfig) -> City {
                 continue;
             }
             if x + 1 < w && alive(x + 1, y) {
-                physicals.push(Physical { a: (x, y), b: (x + 1, y), kind: kind_for(x, y, x + 1, y) });
+                physicals.push(Physical {
+                    a: (x, y),
+                    b: (x + 1, y),
+                    kind: kind_for(x, y, x + 1, y),
+                });
             }
             if y + 1 < h && alive(x, y + 1) {
-                physicals.push(Physical { a: (x, y), b: (x, y + 1), kind: kind_for(x, y, x, y + 1) });
+                physicals.push(Physical {
+                    a: (x, y),
+                    b: (x, y + 1),
+                    kind: kind_for(x, y, x, y + 1),
+                });
             }
         }
     }
@@ -130,7 +138,8 @@ pub fn generate_city(name: &str, cfg: &CityConfig) -> City {
 
     // Two directed segments per physical road.
     let mut net = RoadNetwork::new();
-    let pt = |(x, y): (usize, usize)| Point::new(x as f64 * cfg.spacing_m, y as f64 * cfg.spacing_m);
+    let pt =
+        |(x, y): (usize, usize)| Point::new(x as f64 * cfg.spacing_m, y as f64 * cfg.spacing_m);
     // node -> (incoming segment ends here, outgoing segment starts here)
     let mut starts_at: Vec<Vec<SegmentId>> = vec![Vec::new(); w * h];
     let mut ends_at: Vec<Vec<SegmentId>> = vec![Vec::new(); w * h];
@@ -295,10 +304,7 @@ mod tests {
             let s = city.net.segment(id);
             for &next in city.net.successors(id) {
                 let t = city.net.segment(next);
-                assert!(
-                    !(s.start == t.end && s.end == t.start),
-                    "U-turn edge {id:?} -> {next:?}"
-                );
+                assert!(!(s.start == t.end && s.end == t.start), "U-turn edge {id:?} -> {next:?}");
             }
         }
     }

@@ -57,11 +57,7 @@ impl TransferMatrix {
 
     /// Segments never covered by any trajectory (the paper drops these, §IV-A).
     pub fn uncovered(&self) -> impl Iterator<Item = SegmentId> + '_ {
-        self.visits
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v == 0)
-            .map(|(i, _)| SegmentId(i as u32))
+        self.visits.iter().enumerate().filter(|(_, &v)| v == 0).map(|(i, _)| SegmentId(i as u32))
     }
 
     pub fn num_observed_transitions(&self) -> usize {

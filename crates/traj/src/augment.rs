@@ -141,9 +141,9 @@ fn temporal_shift(traj: &Trajectory, historical: &[f32], rng: &mut StdRng) -> Tr
     }
     // Rebuild visit timestamps cumulatively from the original departure.
     let mut t = traj.departure() as f64;
-    for i in 0..n {
-        v.times[i] = t as Timestamp;
-        t += durations[i];
+    for (time, &d) in v.times.iter_mut().zip(&durations) {
+        *time = t as Timestamp;
+        t += d;
     }
     v
 }
@@ -168,9 +168,10 @@ pub fn choose_span_mask(len: usize, span_len: usize, ratio: f64, rng: &mut StdRn
     while count < budget && guard < len * 10 {
         guard += 1;
         let start = rng.gen_range(0..len);
-        for i in start..(start + span_len).min(len) {
-            if !masked[i] {
-                masked[i] = true;
+        let end = (start + span_len).min(len);
+        for m in &mut masked[start..end] {
+            if !*m {
+                *m = true;
                 count += 1;
                 if count >= budget {
                     break;

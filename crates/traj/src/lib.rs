@@ -34,6 +34,6 @@ pub use map_match::{map_match, MatchConfig, MatchError};
 pub use preprocess::{preprocess, PreprocessConfig, PreprocessStats, SplitDataset};
 pub use simulate::{historical_mean_durations, SimConfig, Simulator};
 pub use types::{
-    day_of_week_index, hour_of_day, is_weekend, minute_index, GpsPoint, RawTrajectory,
-    Timestamp, Trajectory, TravelMode,
+    day_of_week_index, hour_of_day, is_weekend, minute_index, GpsPoint, RawTrajectory, Timestamp,
+    Trajectory, TravelMode,
 };

@@ -150,9 +150,9 @@ pub fn map_match(
         }
         if let Some(&prev) = roads.last() {
             if !net.successors(prev).contains(&seg) {
-                if let Some(path) = dijkstra(net, prev, seg, |_, next| {
-                    net.segment(next).length_m as f64
-                }) {
+                if let Some(path) =
+                    dijkstra(net, prev, seg, |_, next| net.segment(next).length_m as f64)
+                {
                     let t_prev = *visit_times.last().expect("non-empty");
                     let gap = path.segments.len() - 1;
                     for (k, &mid) in path.segments[1..path.segments.len() - 1].iter().enumerate() {

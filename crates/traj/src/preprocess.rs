@@ -105,7 +105,8 @@ pub fn preprocess(mut trajectories: Vec<Trajectory>, cfg: &PreprocessConfig) -> 
     trajectories.sort_by_key(Trajectory::departure);
     let n = trajectories.len();
     stats.kept = n;
-    stats.num_users = trajectories.iter().map(|t| t.driver).collect::<std::collections::HashSet<_>>().len();
+    stats.num_users =
+        trajectories.iter().map(|t| t.driver).collect::<std::collections::HashSet<_>>().len();
     let train_end = (n as f64 * cfg.train_frac).round() as usize;
     let eval_end = train_end + (n as f64 * cfg.eval_frac).round() as usize;
     SplitDataset { trajectories, train_end, eval_end: eval_end.min(n), stats }
@@ -114,7 +115,7 @@ pub fn preprocess(mut trajectories: Vec<Trajectory>, cfg: &PreprocessConfig) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{TravelMode};
+    use crate::types::TravelMode;
     use start_roadnet::SegmentId;
 
     fn traj(len: usize, driver: u32, depart: i64, looped: bool) -> Trajectory {
@@ -132,10 +133,10 @@ mod tests {
     fn filters_apply_in_order() {
         let cfg = PreprocessConfig { min_user_trajectories: 2, ..Default::default() };
         let data = vec![
-            traj(3, 0, 0, false),      // too short
-            traj(200, 0, 10, false),   // too long
-            traj(10, 0, 20, true),     // loop
-            traj(10, 1, 30, false),    // rare user (only 1 traj)
+            traj(3, 0, 0, false),    // too short
+            traj(200, 0, 10, false), // too long
+            traj(10, 0, 20, true),   // loop
+            traj(10, 1, 30, false),  // rare user (only 1 traj)
             traj(10, 2, 40, false),
             traj(12, 2, 50, false),
         ];

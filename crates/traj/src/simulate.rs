@@ -15,9 +15,7 @@ use rand::{Rng, SeedableRng};
 use start_roadnet::{dijkstra, Point, RoadNetwork, SegmentId};
 
 use crate::congestion::{congestion_factor, demand_intensity};
-use crate::types::{
-    GpsPoint, RawTrajectory, Timestamp, Trajectory, TravelMode, SECS_PER_DAY,
-};
+use crate::types::{GpsPoint, RawTrajectory, Timestamp, Trajectory, TravelMode, SECS_PER_DAY};
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -327,12 +325,8 @@ mod tests {
 
     fn small_sim() -> (start_roadnet::City, SimConfig) {
         let city = generate_city("test", &CityConfig::tiny());
-        let cfg = SimConfig {
-            num_trajectories: 300,
-            num_drivers: 8,
-            days: 14,
-            ..Default::default()
-        };
+        let cfg =
+            SimConfig { num_trajectories: 300, num_drivers: 8, days: 14, ..Default::default() };
         (city, cfg)
     }
 
@@ -363,10 +357,8 @@ mod tests {
                 in_range(h, 7.0, 10.0) || in_range(h, 17.0, 20.0)
             })
             .count();
-        let night = weekday
-            .iter()
-            .filter(|t| in_range(hour_of_day(t.departure()), 0.0, 6.0))
-            .count();
+        let night =
+            weekday.iter().filter(|t| in_range(hour_of_day(t.departure()), 0.0, 6.0)).count();
         // 6 peak hours should hold far more than 6 night hours.
         assert!(peak > night * 2, "peak {peak} vs night {night}");
     }
@@ -438,11 +430,7 @@ mod tests {
     #[test]
     fn multimodal_config_produces_all_modes() {
         let city = generate_city("test", &CityConfig::tiny());
-        let cfg = SimConfig {
-            num_trajectories: 200,
-            num_drivers: 8,
-            ..SimConfig::geolife_like()
-        };
+        let cfg = SimConfig { num_trajectories: 200, num_drivers: 8, ..SimConfig::geolife_like() };
         let sim = Simulator::new(&city.net, cfg);
         let data = sim.generate();
         let modes: std::collections::HashSet<_> = data.iter().map(|t| t.mode).collect();
@@ -453,8 +441,7 @@ mod tests {
             dist / t.travel_time_secs()
         };
         let avg = |m: TravelMode| {
-            let xs: Vec<f32> =
-                data.iter().filter(|t| t.mode == m).map(speed).collect();
+            let xs: Vec<f32> = data.iter().filter(|t| t.mode == m).map(speed).collect();
             xs.iter().sum::<f32>() / xs.len() as f32
         };
         assert!(avg(TravelMode::CarTaxi) > avg(TravelMode::Walk) * 2.0);

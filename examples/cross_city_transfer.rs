@@ -9,8 +9,8 @@
 //! Run: `cargo run --release --example cross_city_transfer`
 
 use start_core::{
-    fine_tune_classifier, predict_classes, pretrain, FineTuneConfig, PretrainConfig,
-    StartConfig, StartModel,
+    fine_tune_classifier, predict_classes, pretrain, FineTuneConfig, PretrainConfig, StartConfig,
+    StartModel,
 };
 use start_eval::metrics::accuracy;
 use start_nn::serialize::{load_params, save_params};
@@ -32,7 +32,8 @@ fn small_config() -> StartConfig {
 fn main() {
     // Source: a bigger city with plenty of unlabelled trajectories.
     println!("[1/4] source city + self-supervised pre-training...");
-    let source_city = generate_city("Source", &CityConfig { width: 8, height: 8, ..CityConfig::tiny() });
+    let source_city =
+        generate_city("Source", &CityConfig { width: 8, height: 8, ..CityConfig::tiny() });
     let source = TrajDataset::build(
         source_city,
         SimConfig { num_trajectories: 900, num_drivers: 16, ..Default::default() },
@@ -44,7 +45,12 @@ fn main() {
         &mut source_model,
         source.train(),
         &source.historical,
-        &PretrainConfig { epochs: 3, batch_size: 12, max_steps_per_epoch: Some(30), ..Default::default() },
+        &PretrainConfig {
+            epochs: 3,
+            batch_size: 12,
+            max_steps_per_epoch: Some(30),
+            ..Default::default()
+        },
     );
     let blob = save_params(&source_model.store);
     println!("      checkpoint: {} bytes", blob.len());
@@ -53,7 +59,14 @@ fn main() {
     println!("[2/4] target city (heterogeneous road network, small dataset)...");
     let target_city = generate_city(
         "Target",
-        &CityConfig { width: 6, height: 5, corner_cut: 3, removal_rate: 0.1, seed: 99, ..CityConfig::tiny() },
+        &CityConfig {
+            width: 6,
+            height: 5,
+            corner_cut: 3,
+            removal_rate: 0.1,
+            seed: 99,
+            ..CityConfig::tiny()
+        },
     );
     let target = TrajDataset::build(
         target_city,
@@ -69,7 +82,12 @@ fn main() {
     let labels: Vec<usize> = target.train().iter().map(|t| t.occupied as usize).collect();
     let test: Vec<Trajectory> = target.test().to_vec();
     let test_labels: Vec<usize> = test.iter().map(|t| t.occupied as usize).collect();
-    let ft = FineTuneConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(15), ..Default::default() };
+    let ft = FineTuneConfig {
+        epochs: 2,
+        batch_size: 8,
+        max_steps_per_epoch: Some(15),
+        ..Default::default()
+    };
 
     // (a) From scratch on the target.
     println!("[3/4] fine-tuning from scratch...");
@@ -84,7 +102,10 @@ fn main() {
     let mut transferred =
         StartModel::new(small_config(), &target.city.net, Some(&target.transfer), None, 11);
     let loaded = load_params(&mut transferred.store, &blob).expect("valid checkpoint");
-    println!("      transferred {loaded}/{} tensors (road-count-dependent ones skipped)", transferred.store.len());
+    println!(
+        "      transferred {loaded}/{} tensors (road-count-dependent ones skipped)",
+        transferred.store.len()
+    );
     let head = fine_tune_classifier(&mut transferred, target.train(), &labels, 2, &ft);
     let acc_transfer = accuracy(&test_labels, &predict_classes(&transferred, &head, &test));
 

@@ -36,9 +36,9 @@ fn main() {
                 let rec_set: std::collections::HashSet<_> = recovered.roads.iter().collect();
                 let hit = t.roads.iter().filter(|r| rec_set.contains(r)).count();
                 let recall = hit as f64 / t.roads.len() as f64;
-                let precision =
-                    recovered.roads.iter().filter(|r| truth_set.contains(r)).count() as f64
-                        / recovered.roads.len() as f64;
+                let precision = recovered.roads.iter().filter(|r| truth_set.contains(r)).count()
+                    as f64
+                    / recovered.roads.len() as f64;
                 total_recall += recall;
                 total_precision += precision;
                 matched_count += 1;

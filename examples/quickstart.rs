@@ -6,8 +6,7 @@
 
 use start_bench::{f3, Table};
 use start_core::{
-    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig,
-    StartModel,
+    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig, StartModel,
 };
 use start_eval::metrics::{hit_ratio, mean_rank, regression_report, truth_ranks};
 use start_roadnet::synth::{generate_city, CityConfig};
@@ -26,7 +25,15 @@ fn main() {
 
     // 2. The START model: TPE-GAT over the road network + TAT-Enc.
     println!("[2/5] building START...");
-    let cfg = StartConfig { dim: 32, gat_layers: 1, gat_heads: vec![2], encoder_layers: 2, encoder_heads: 2, ffn_hidden: 32, ..Default::default() };
+    let cfg = StartConfig {
+        dim: 32,
+        gat_layers: 1,
+        gat_heads: vec![2],
+        encoder_layers: 2,
+        encoder_heads: 2,
+        ffn_hidden: 32,
+        ..Default::default()
+    };
     let mut model = StartModel::new(cfg, &ds.city.net, Some(&ds.transfer), None, 42);
 
     // 3. Self-supervised pre-training: span-masked recovery + contrastive.
@@ -35,7 +42,12 @@ fn main() {
         &mut model,
         ds.train(),
         &ds.historical,
-        &PretrainConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(10), ..Default::default() },
+        &PretrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_steps_per_epoch: Some(10),
+            ..Default::default()
+        },
     );
     println!("      loss per epoch: {:?}", report.epoch_losses);
 
@@ -57,7 +69,12 @@ fn main() {
     let head = fine_tune_eta(
         &mut model,
         ds.train(),
-        &FineTuneConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(12), ..Default::default() },
+        &FineTuneConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_steps_per_epoch: Some(12),
+            ..Default::default()
+        },
     );
     let test: Vec<Trajectory> = ds.test().iter().take(100).cloned().collect();
     let truth: Vec<f32> = test.iter().map(Trajectory::travel_time_secs).collect();

@@ -7,8 +7,7 @@
 
 use start_bench::{bj_mini, ModelKind, Runner, Scale};
 use start_core::{
-    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig,
-    StartModel,
+    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig, StartModel,
 };
 use start_eval::metrics::{accuracy, hit_ratio, mean_rank, regression_report, truth_ranks};
 use start_roadnet::synth::{generate_city, CityConfig};
@@ -18,12 +17,7 @@ use start_traj::{
 
 /// A reduced quick scale so the integration suite stays fast.
 fn test_scale() -> Scale {
-    Scale {
-        bj_trajectories: 1700,
-        eval_subset: 150,
-        num_queries: 30,
-        ..Scale::quick()
-    }
+    Scale { bj_trajectories: 1700, eval_subset: 150, num_queries: 30, ..Scale::quick() }
 }
 
 /// START's contrastive pre-training must keep the zero-shot representation
@@ -78,10 +72,7 @@ fn classifier_beats_majority_vote() {
 
     let pos = test_labels.iter().filter(|&&l| l == 1).count() as f32 / test_labels.len() as f32;
     let majority = pos.max(1.0 - pos);
-    assert!(
-        acc > majority - 0.02,
-        "accuracy {acc:.3} should approach/beat majority {majority:.3}"
-    );
+    assert!(acc > majority - 0.02, "accuracy {acc:.3} should approach/beat majority {majority:.3}");
 }
 
 fn tiny_dataset(n: usize, seed: u64) -> TrajDataset {
@@ -112,12 +103,22 @@ fn eta_fine_tuning_beats_mean_predictor() {
         &mut model,
         ds.train(),
         &ds.historical,
-        &PretrainConfig { epochs: 2, batch_size: 8, max_steps_per_epoch: Some(15), ..Default::default() },
+        &PretrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            max_steps_per_epoch: Some(15),
+            ..Default::default()
+        },
     );
     let head = fine_tune_eta(
         &mut model,
         ds.train(),
-        &FineTuneConfig { epochs: 3, batch_size: 8, max_steps_per_epoch: Some(25), ..Default::default() },
+        &FineTuneConfig {
+            epochs: 3,
+            batch_size: 8,
+            max_steps_per_epoch: Some(25),
+            ..Default::default()
+        },
     );
     let test: Vec<Trajectory> = ds.test().to_vec();
     let truth: Vec<f32> = test.iter().map(Trajectory::travel_time_secs).collect();
@@ -145,7 +146,12 @@ fn checkpoint_roundtrip_preserves_embeddings() {
         &mut model,
         ds.train(),
         &ds.historical,
-        &PretrainConfig { epochs: 1, batch_size: 8, max_steps_per_epoch: Some(5), ..Default::default() },
+        &PretrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            max_steps_per_epoch: Some(5),
+            ..Default::default()
+        },
     );
     let blob = start_nn::serialize::save_params(&model.store);
     let before = model.encode_trajectories(&ds.test()[..5]);

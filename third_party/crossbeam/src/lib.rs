@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam::scope` API, layered over
+//! `std::thread::scope` (which supplanted crossbeam's scoped threads in
+//! Rust 1.63). Only the surface this workspace uses is provided:
+//!
+//! ```ignore
+//! crossbeam::scope(|s| {
+//!     let h = s.spawn(|_| work());
+//!     h.join().expect("worker panicked")
+//! })
+//! .expect("scope failed");
+//! ```
+//!
+//! As in crossbeam, `scope` returns `Err` when a worker panic propagates out
+//! of the closure instead of unwinding through the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+
+    /// Mirror of `crossbeam::thread::Result`.
+    pub type Result<T> = std::thread::Result<T>;
+}
+
+/// Scope handle passed to the `scope` closure; spawns scoped workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle of a scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker. The closure's argument mirrors crossbeam's nested-scope
+    /// parameter; every call site in this workspace ignores it (`|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&())) }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope that joins all spawned workers before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_run_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().expect("worker panicked")
+        });
+        assert!(r.is_err());
+    }
+}

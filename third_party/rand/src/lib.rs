@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: `StdRng` (here xoshiro256++ seeded via SplitMix64), the `Rng`
+//! sampling methods `gen`/`gen_range`/`gen_bool`, `SeedableRng::seed_from_u64`
+//! and the `SliceRandom` helpers `shuffle`/`choose`.
+//!
+//! The build environment has no registry access, so the workspace vendors the
+//! APIs it needs rather than pulling the real crates. The generator is a
+//! high-quality deterministic PRNG; streams differ from upstream `rand`, which
+//! is fine because every consumer seeds explicitly and only relies on
+//! within-build determinism.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core random source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Construction from a `u64` seed (the only constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from their "standard" distribution:
+/// full range for integers, `[0, 1)` for floats, fair coin for `bool`.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Primitives that support uniform sampling inside a half-open or inclusive
+/// range (the `SampleUniform` analogue).
+pub trait UniformPrim: PartialOrd + Copy {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformPrim for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "gen_range called with an empty range");
+                (lo as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformPrim for f64 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, _: bool, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range called with an empty range");
+        lo + (hi - lo) * f64::sample_standard(rng)
+    }
+}
+
+impl UniformPrim for f32 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, _: bool, rng: &mut R) -> Self {
+        assert!(lo <= hi, "gen_range called with an empty range");
+        lo + (hi - lo) * f32::sample_standard(rng)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformPrim> SampleRange<T> for std::ops::Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: UniformPrim> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T: UniformPrim, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_in(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let u = rng.gen_range(0..=3u32);
+            assert!(u <= 3);
+            let f = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let p = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`. The workspace derives `Serialize` /
+//! `Deserialize` on config and data types for forward compatibility but never
+//! drives an actual serializer (checkpointing uses the hand-rolled binary
+//! codec in `start-nn`). The traits are therefore marker-only, blanket
+//! implemented for every type, and the derives are no-ops.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

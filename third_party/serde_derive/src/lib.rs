@@ -1,0 +1,15 @@
+//! No-op `Serialize` / `Deserialize` derives. The vendored `serde` stub
+//! blanket-implements both marker traits, so the derives only need to accept
+//! the attribute syntax and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
