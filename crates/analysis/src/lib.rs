@@ -1,0 +1,434 @@
+//! Syntactic workspace lints — repo invariants clippy cannot express.
+//!
+//! Three rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//!
+//! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
+//!    of `crates/nn`, `crates/core`, `crates/baselines`. Test modules
+//!    (`#[cfg(test)]`) and `tests/` trees are exempt; a deliberate site can
+//!    carry a `// lint-ok: <reason>` justification on the same line.
+//! 2. **f64-kernels**: no `f64` in `crates/nn/src/array.rs` kernels unless
+//!    the line (or the one above) carries `// f64-ok: <reason>` — keeps
+//!    accidental double-precision accumulation out of the hot kernels while
+//!    allowing deliberate, documented uses.
+//! 3. **bench-registry**: every experiment binary in `crates/bench/src/bin`
+//!    (the `results_*` producers) must be registered by name in
+//!    `EXPERIMENTS.md`, so no figure/table can silently drop out of the
+//!    report.
+//!
+//! The scanner is line-based with a small state machine that strips string
+//! literals and comments before matching, so occurrences inside strings,
+//! docs, or comments do not trip the rules.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        }
+    }
+}
+
+/// Crates whose library code must stay panic-free (rule 1).
+pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines"];
+
+// ---------------------------------------------------------------------------
+// Line scanner
+// ---------------------------------------------------------------------------
+
+/// Split one source line into its code part and its comment part, tracking
+/// block-comment state across lines. String/char-literal contents are
+/// blanked in the code part (the quotes remain), so rule patterns never
+/// match inside literals. Lifetimes (`'a`, `'static`) are left intact.
+fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let bytes: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if *block_depth > 0 {
+            if c == '*' && next == Some('/') {
+                *block_depth -= 1;
+                i += 2;
+            } else if c == '/' && next == Some('*') {
+                *block_depth += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_str {
+            match c {
+                '\\' => i += 2, // skip escaped char
+                '"' => {
+                    in_str = false;
+                    code.push('"');
+                    i += 1;
+                }
+                _ => {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        match c {
+            '/' if next == Some('/') => {
+                comment = line[line.len() - (bytes.len() - i)..].to_string();
+                break;
+            }
+            '/' if next == Some('*') => {
+                *block_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                in_str = true;
+                code.push('"');
+                i += 1;
+            }
+            '\'' => {
+                // Char literal iff a closing quote follows within 2 chars
+                // (escaped or plain); otherwise it is a lifetime.
+                if next == Some('\\') && bytes.get(i + 3) == Some(&'\'') {
+                    code.push_str("' '");
+                    i += 4;
+                } else if bytes.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                    code.push_str("' '");
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Does `code` contain `needle` at an identifier boundary?
+fn has_token(code: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !code[at + needle.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no unwrap/expect in non-test library code
+// ---------------------------------------------------------------------------
+
+/// Scan one library source file for `.unwrap()` / `.expect(` outside
+/// `#[cfg(test)]` modules. `file` is the label used in findings.
+pub fn lint_no_panics(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut brace_depth = 0isize;
+    let mut pending_cfg_test = false;
+    // Brace depth at which the current #[cfg(test)] item began; while set,
+    // lines are exempt until the depth drops back.
+    let mut test_mod_floor: Option<isize> = None;
+
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let trimmed = code.trim();
+
+        if test_mod_floor.is_none() {
+            if trimmed.contains("cfg(test)") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // The item the attribute applies to starts on this line.
+                test_mod_floor = Some(brace_depth);
+                pending_cfg_test = false;
+            }
+        }
+
+        let in_test = test_mod_floor.is_some();
+        if !in_test
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !comment.contains("lint-ok:")
+        {
+            let what = if code.contains(".unwrap()") { ".unwrap()" } else { ".expect(" };
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "no-panic-lib",
+                message: format!(
+                    "{what} in library code; return a typed error or use assert!/panic! \
+                     with a message (or justify with `// lint-ok: <reason>`)"
+                ),
+            });
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => brace_depth += 1,
+                '}' => brace_depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = test_mod_floor {
+            // The item is closed once depth returns to its floor after
+            // having been entered (i.e. a closing brace on or below floor).
+            if brace_depth <= floor && code.contains('}') {
+                test_mod_floor = None;
+            }
+        }
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: f64 in array.rs kernels needs a justification
+// ---------------------------------------------------------------------------
+
+/// Scan the kernel file for `f64` tokens without a `// f64-ok:` marker on
+/// the same or previous line.
+pub fn lint_f64_kernels(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut prev_comment = String::new();
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        if has_token(&code, "f64")
+            && !comment.contains("f64-ok:")
+            && !prev_comment.contains("f64-ok:")
+        {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "f64-kernels",
+                message: "f64 accumulation in a kernel without a `// f64-ok: <reason>` \
+                          justification"
+                    .to_string(),
+            });
+        }
+        prev_comment = comment;
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: experiment binaries registered in EXPERIMENTS.md
+// ---------------------------------------------------------------------------
+
+/// Every bench binary stem must appear in the experiments report.
+pub fn lint_bench_registry(bin_stems: &[String], experiments_md: &str) -> Vec<Lint> {
+    bin_stems
+        .iter()
+        .filter(|stem| !experiments_md.contains(stem.as_str()))
+        .map(|stem| Lint {
+            file: "EXPERIMENTS.md".to_string(),
+            line: 0,
+            rule: "bench-registry",
+            message: format!(
+                "bench binary `{stem}` produces results but is not registered in EXPERIMENTS.md"
+            ),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string()
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
+    let mut lints = Vec::new();
+
+    for krate in PANIC_FREE_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            lints.extend(lint_no_panics(&rel(root, &file), &source));
+        }
+    }
+
+    let kernels = root.join("crates/nn/src/array.rs");
+    lints.extend(lint_f64_kernels(&rel(root, &kernels), &std::fs::read_to_string(&kernels)?));
+
+    let bin_dir = root.join("crates/bench/src/bin");
+    let mut bins = Vec::new();
+    rust_files(&bin_dir, &mut bins)?;
+    let stems: Vec<String> = bins
+        .iter()
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()))
+        .map(str::to_string)
+        .collect();
+    let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md"))?;
+    lints.extend(lint_bench_registry(&stems, &experiments));
+
+    Ok(lints)
+}
+
+/// Workspace root: two levels above this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_and_expect_in_library_code() {
+        let src =
+            "fn f() {\n    let x = maybe().unwrap();\n    let y = other().expect(\"boom\");\n}\n";
+        let lints = lint_no_panics("lib.rs", src);
+        assert_eq!(lints.len(), 2);
+        assert_eq!(lints[0].line, 2);
+        assert_eq!(lints[1].line, 3);
+        assert_eq!(lints[0].rule, "no-panic-lib");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = concat!(
+            "fn f() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use super::*;\n",
+            "    #[test]\n",
+            "    fn t() { maybe().unwrap(); }\n",
+            "}\n",
+            "fn g() { maybe().unwrap(); }\n",
+        );
+        let lints = lint_no_panics("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 8);
+    }
+
+    #[test]
+    fn lint_ok_justification_is_honoured() {
+        let src = "fn f() { scope().expect(\"worker panicked\"); // lint-ok: propagates panic\n}\n";
+        assert!(lint_no_panics("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_the_rule() {
+        let src = concat!(
+            "fn f() {\n",
+            "    // calling .unwrap() here would be wrong\n",
+            "    let s = \"docs say .unwrap() panics\";\n",
+            "    /* .expect( is also mentioned here */\n",
+            "}\n",
+        );
+        assert!(lint_no_panics("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_block_comments_are_skipped() {
+        let src = "/* start\n .unwrap() inside\n end */\nfn f() { x.unwrap(); }\n";
+        let lints = lint_no_panics("lib.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].line, 4);
+    }
+
+    #[test]
+    fn f64_requires_justification() {
+        let bad = "fn k(acc: f64) {}\n";
+        assert_eq!(lint_f64_kernels("array.rs", bad).len(), 1);
+        let same_line = "fn k(acc: f64) {} // f64-ok: Kahan-style accumulator\n";
+        assert!(lint_f64_kernels("array.rs", same_line).is_empty());
+        let prev_line = "// f64-ok: long reduction needs the headroom\nlet acc: f64 = 0.0;\n";
+        assert!(lint_f64_kernels("array.rs", prev_line).is_empty());
+    }
+
+    #[test]
+    fn f64_token_boundaries_are_respected() {
+        // `f64` inside a longer identifier is not a use of the type.
+        let src = "fn f64_free_kernel() {}\nlet x = my_f64;\n";
+        assert!(lint_f64_kernels("array.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unregistered_bench_binary_is_flagged() {
+        let stems = vec!["fig1_regularities".to_string(), "table2_overall".to_string()];
+        let md = "### Table II (`table2_overall`)\n";
+        let lints = lint_bench_registry(&stems, md);
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].message.contains("fig1_regularities"));
+    }
+
+    #[test]
+    fn cfg_test_fn_item_is_exempt_until_close() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "fn helper() {\n",
+            "    x.unwrap();\n",
+            "}\n",
+            "fn real() { y.unwrap(); }\n",
+        );
+        let lints = lint_no_panics("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 5);
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_the_scanner() {
+        let src = "impl<'s> Graph<'s> {\n    fn f(&self) { x.unwrap(); }\n}\n";
+        let lints = lint_no_panics("lib.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].line, 2);
+    }
+
+    #[test]
+    fn whole_workspace_is_clean() {
+        let lints = lint_workspace(&workspace_root()).expect("workspace must be readable");
+        assert!(
+            lints.is_empty(),
+            "workspace lint found {} issue(s):\n{}",
+            lints.len(),
+            lints.iter().map(Lint::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

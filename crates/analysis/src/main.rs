@@ -1,0 +1,41 @@
+//! `start-analysis` — the workspace lint driver.
+//!
+//! Usage: `cargo run -p start-analysis -- lint`
+//!
+//! Exits non-zero when any rule fires; CI runs this on every push.
+
+use start_analysis::{lint_workspace, workspace_root};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; usage: start-analysis lint");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("usage: start-analysis lint");
+            std::process::exit(2);
+        }
+    }
+
+    let root = workspace_root();
+    let lints = match lint_workspace(&root) {
+        Ok(lints) => lints,
+        Err(e) => {
+            eprintln!("start-analysis: failed to read workspace at {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+
+    if lints.is_empty() {
+        println!("start-analysis: workspace clean ({} rules)", 3);
+        return;
+    }
+    for lint in &lints {
+        eprintln!("{lint}");
+    }
+    eprintln!("start-analysis: {} issue(s) found", lints.len());
+    std::process::exit(1);
+}

@@ -139,7 +139,10 @@ impl TransformerBaseline {
             view
         };
         let (_, pooled) = self.encode_in_graph(g, &view, rng);
-        let logits = self.disc_head.as_ref().expect("BERT has disc head").forward(g, pooled);
+        let Some(head) = self.disc_head.as_ref() else {
+            panic!("BERT sentence-order loss requires disc_head (built in Self::new)")
+        };
+        let logits = head.forward(g, pooled);
         let label = u32::from(!(swap && half >= 2));
         g.cross_entropy_rows(logits, Arc::new(vec![label]))
     }
@@ -162,7 +165,10 @@ impl TransformerBaseline {
             }
         }
         let (_, pooled) = self.encode_in_graph(g, &view, rng);
-        let logits = self.disc_head.as_ref().expect("Toast has disc head").forward(g, pooled);
+        let Some(head) = self.disc_head.as_ref() else {
+            panic!("Toast discrimination loss requires disc_head (built in Self::new)")
+        };
+        let logits = head.forward(g, pooled);
         g.cross_entropy_rows(logits, Arc::new(vec![u32::from(!corrupt)]))
     }
 

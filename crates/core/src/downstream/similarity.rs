@@ -39,10 +39,10 @@ pub fn encode_parallel(
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("encoder worker panicked"));
+            results.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     })
-    .expect("encode scope failed");
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
     results.into_iter().flatten().collect()
 }
 

@@ -68,7 +68,9 @@ impl StartModel {
         node2vec_init: Option<&NodeEmbeddings>,
         seed: u64,
     ) -> Self {
-        cfg.validate().expect("invalid StartConfig");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid StartConfig: {e}");
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let num_roads = net.num_segments();
@@ -98,8 +100,9 @@ impl StartModel {
             }
             RoadEncoder::Node2VecEmbedding => {
                 let emb = Embedding::new(&mut store, &mut rng, "road_emb", num_roads, d);
-                let init =
-                    node2vec_init.expect("Node2VecEmbedding requires node2vec_init embeddings");
+                let Some(init) = node2vec_init else {
+                    panic!("RoadEncoder::Node2VecEmbedding requires node2vec_init embeddings")
+                };
                 assert_eq!(init.dim, d, "node2vec dim must equal model dim");
                 let table = store.get_mut(emb.table_id());
                 table.data_mut().copy_from_slice(init.data());
@@ -247,11 +250,24 @@ impl StartModel {
         road_reprs: NodeId,
         rng: &mut StdRng,
     ) -> EncodedView {
-        let x = self.embed_view(g, view, road_reprs, rng);
-        let bias = self.interval.forward(g, &view.times);
-        let hidden = self.encoder.forward(g, x, bias, rng);
+        let hidden = self.encode_view_hidden(g, view, road_reprs, rng);
         let pooled = g.select_row(hidden, 0);
         EncodedView { hidden, pooled }
+    }
+
+    /// TAT-Enc token states only, without the `[CLS]` pooling gather —
+    /// consumers that never read `pooled` (span-mask recovery) use this so
+    /// the tape carries no dead nodes (see `start_nn::audit`).
+    pub fn encode_view_hidden(
+        &self,
+        g: &mut Graph,
+        view: &TrajView,
+        road_reprs: NodeId,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let x = self.embed_view(g, view, road_reprs, rng);
+        let bias = self.interval.forward(g, &view.times);
+        self.encoder.forward(g, x, bias, rng)
     }
 
     /// Masked-road logits for selected positions (Eq. 12). `positions` are

@@ -50,8 +50,8 @@ pub fn masked_recovery_loss(
     if example.positions.is_empty() {
         return None;
     }
-    let enc = model.encode_view(g, &example.view, road_reprs, rng);
-    let logits = model.mask_logits(g, enc.hidden, &example.positions);
+    let hidden = model.encode_view_hidden(g, &example.view, road_reprs, rng);
+    let logits = model.mask_logits(g, hidden, &example.positions);
     Some(g.cross_entropy_rows(logits, Arc::new(example.targets.clone())))
 }
 

@@ -116,6 +116,14 @@ pub fn pretrain(
     let max_len = model.cfg.max_len;
     let mut step: u64 = 0;
 
+    // Static tape verification (debug builds, or START_AUDIT=1): the first
+    // shard graph of the run is audited — shapes re-derived op-by-op,
+    // unreachable parameters and dead nodes reported — and every shard's
+    // loss is checked finite, with the first poisoned op named on failure.
+    // See `start_nn::audit` and DESIGN.md §8.
+    let audit_on = start_nn::audit::audit_enabled();
+    let audit_pending = std::sync::atomic::AtomicBool::new(audit_on);
+
     for _epoch in 0..cfg.epochs {
         indices.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -194,6 +202,29 @@ pub fn pretrain(
                 };
                 // Component accounting: [mask value, mask count, contrastive
                 // value, anchor count] per shard, combined below.
+                if audit_on {
+                    use std::sync::atomic::Ordering;
+                    if audit_pending.swap(false, Ordering::Relaxed) {
+                        let audit = g.audit(loss);
+                        assert!(
+                            !audit.has_errors(),
+                            "pretrain tape failed its static audit:\n{audit}"
+                        );
+                        for finding in audit.warnings() {
+                            eprintln!("pretrain audit: {finding}");
+                        }
+                    }
+                    let lv = g.value(loss).item();
+                    if !lv.is_finite() {
+                        match g.trace_nonfinite() {
+                            Some(trace) => panic!("non-finite pretrain loss ({lv}); {trace}"),
+                            None => panic!(
+                                "non-finite pretrain loss ({lv}) but every tape value is \
+                                 finite — loss readback is inconsistent"
+                            ),
+                        }
+                    }
+                }
                 let mask_stats =
                     mask_term.map_or([0.0, 0.0], |m| [g.value(m).item(), mask_losses.len() as f32]);
                 let con_stats =

@@ -226,7 +226,7 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
                 });
             }
         })
-        .expect("matmul worker panicked");
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
     } else {
         matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n);
     }
@@ -270,7 +270,7 @@ pub fn matmul_bt(a: &Array, b: &Array) -> Array {
                 });
             }
         })
-        .expect("matmul_bt worker panicked");
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
     } else {
         matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n);
     }

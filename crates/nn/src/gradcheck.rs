@@ -1,0 +1,89 @@
+//! Central-difference gradient verification, shared by `tests/gradcheck.rs`
+//! and any model-level check that wants to validate a composite block.
+//!
+//! Tolerance policy: values are `f32`, perturbations are `±2e-3`, and the
+//! acceptance threshold is **relative error ≤ 1e-2** against
+//! `max(|analytic|, |numeric|, 0.01)`. Systematic backward-rule errors are
+//! orders of magnitude above that; f32 rounding noise is well below it.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::graph::{Graph, NodeId, OpKind};
+use crate::params::{GradStore, Init, ParamStore};
+
+/// Default relative-error acceptance threshold (see module docs).
+pub const DEFAULT_TOL: f32 = 1e-2;
+
+/// Perturbation used for central differences.
+pub const EPS: f32 = 2e-3;
+
+/// Outcome of one [`check_grad`] run.
+pub struct GradCheckReport {
+    /// Worst relative error over all perturbed coordinates.
+    pub max_rel_err: f32,
+    /// Op kinds that appeared on the checked tape (coverage accounting).
+    pub kinds: BTreeSet<OpKind>,
+}
+
+/// Verify `build`'s backward rule by central differences over a single
+/// `rows x cols` parameter. `build` must construct a scalar loss node from
+/// the bound parameter node; it is re-invoked for every perturbation, so any
+/// randomness inside it must be seeded per call. Panics on mismatch beyond
+/// `tol`; returns the worst error and the op kinds covered.
+pub fn check_grad(
+    rows: usize,
+    cols: usize,
+    train: bool,
+    tol: f32,
+    build: impl Fn(&mut Graph, NodeId) -> NodeId,
+) -> GradCheckReport {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut store = ParamStore::new();
+    let pid = store.param("p", rows, cols, Init::Uniform(0.8), &mut rng);
+
+    // Analytic gradient (and tape coverage) from one backward sweep.
+    let mut grads = GradStore::new(&store);
+    let kinds = {
+        let mut g = Graph::new(&store, train);
+        let p = g.param(pid);
+        let loss = build(&mut g, p);
+        assert_eq!(g.value(loss).len(), 1, "loss must be scalar");
+        g.backward(loss, &mut grads);
+        g.op_kinds_used()
+    };
+    let analytic = match grads.get(pid) {
+        Some(grad) => grad.clone(),
+        None => panic!("gradient did not reach the parameter: `build` must use the given node"),
+    };
+
+    let eval = |store: &ParamStore| {
+        let mut g = Graph::new(store, train);
+        let p = g.param(pid);
+        let loss = build(&mut g, p);
+        g.value(loss).item()
+    };
+
+    let mut max_rel = 0.0f32;
+    for i in 0..rows * cols {
+        let orig = store.get(pid).data()[i];
+        store.get_mut(pid).data_mut()[i] = orig + EPS;
+        let up = eval(&store);
+        store.get_mut(pid).data_mut()[i] = orig - EPS;
+        let down = eval(&store);
+        store.get_mut(pid).data_mut()[i] = orig;
+
+        let numeric = (up - down) / (2.0 * EPS);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1e-2);
+        let rel = (a - numeric).abs() / denom;
+        max_rel = max_rel.max(rel);
+        assert!(
+            rel <= tol,
+            "grad mismatch at coordinate {i}: analytic {a}, numeric {numeric} (rel {rel} > {tol})"
+        );
+    }
+    GradCheckReport { max_rel_err: max_rel, kinds }
+}

@@ -20,8 +20,15 @@ use crate::array::{self, Array};
 use crate::params::{GradStore, ParamId, ParamStore};
 
 /// Handle to a node on the tape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NodeId(usize);
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Position on the tape (node ids are dense and creation-ordered).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Segment boundaries for [`Graph::segment_sum`] / [`Graph::segment_softmax`]:
 /// rows `offsets[s]..offsets[s+1]` of the input belong to segment `s`.
@@ -32,7 +39,10 @@ pub struct Segments {
 
 impl Segments {
     /// Build from boundary offsets. Must start at 0, be non-decreasing, and
-    /// end at the total row count of the arrays it will be used with.
+    /// end at the total row count of the arrays it will be used with — the
+    /// final-offset condition cannot be checked here (the array is not known
+    /// yet), so [`Graph::segment_sum`] / [`Graph::segment_softmax`] assert it
+    /// at use time.
     pub fn from_offsets(offsets: Vec<u32>) -> Self {
         assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
         assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be sorted");
@@ -44,7 +54,8 @@ impl Segments {
     }
 
     pub fn total_rows(&self) -> usize {
-        *self.offsets.last().expect("non-empty") as usize
+        // The constructor rejects empty offset vectors.
+        self.offsets[self.offsets.len() - 1] as usize
     }
 
     fn range(&self, s: usize) -> std::ops::Range<usize> {
@@ -52,7 +63,74 @@ impl Segments {
     }
 }
 
-enum Op {
+/// Defines [`OpKind`] (the data-free mirror of [`Op`] used by the auditor and
+/// the grad-check coverage guard) together with its `ALL` listing, so the two
+/// can never drift apart. The exhaustive `match` in [`Op::kind`] is the
+/// compile-time guard: adding an `Op` variant without extending this list
+/// fails the build.
+macro_rules! op_kinds {
+    ($($variant:ident),+ $(,)?) => {
+        /// The kind of a tape operation, without its payload.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum OpKind {
+            $($variant),+
+        }
+
+        impl OpKind {
+            /// Every operator kind the tape can record.
+            pub const ALL: &'static [OpKind] = &[$(OpKind::$variant),+];
+
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(OpKind::$variant => stringify!($variant)),+
+                }
+            }
+        }
+
+        impl std::fmt::Display for OpKind {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+    };
+}
+
+op_kinds! {
+    Input,
+    Param,
+    MatMul,
+    Transpose,
+    Reshape,
+    Add,
+    Sub,
+    Mul,
+    Scale,
+    AddScalar,
+    AddRow,
+    MulRow,
+    MulCol,
+    Relu,
+    LeakyRelu,
+    Elu,
+    Sigmoid,
+    Tanh,
+    SoftmaxRows,
+    LayerNormRows,
+    Dropout,
+    L2NormalizeRows,
+    ConcatCols,
+    ConcatRows,
+    SliceCols,
+    GatherRows,
+    SegmentSum,
+    SegmentSoftmax,
+    SumAll,
+    MeanAll,
+    CrossEntropyRows,
+    MseLoss,
+}
+
+pub(crate) enum Op {
     /// Leaf: constant input, no gradient flows past it.
     Input,
     /// Leaf bound to a trainable parameter.
@@ -106,17 +184,89 @@ enum Op {
     },
 }
 
-struct Node {
-    value: Array,
-    op: Op,
+impl Op {
+    /// The payload-free kind of this op. The exhaustive match doubles as the
+    /// build-time guard that keeps [`OpKind::ALL`] in sync with the tape.
+    pub(crate) fn kind(&self) -> OpKind {
+        match self {
+            Op::Input => OpKind::Input,
+            Op::Param(..) => OpKind::Param,
+            Op::MatMul(..) => OpKind::MatMul,
+            Op::Transpose(..) => OpKind::Transpose,
+            Op::Reshape(..) => OpKind::Reshape,
+            Op::Add(..) => OpKind::Add,
+            Op::Sub(..) => OpKind::Sub,
+            Op::Mul(..) => OpKind::Mul,
+            Op::Scale(..) => OpKind::Scale,
+            Op::AddScalar(..) => OpKind::AddScalar,
+            Op::AddRow(..) => OpKind::AddRow,
+            Op::MulRow(..) => OpKind::MulRow,
+            Op::MulCol(..) => OpKind::MulCol,
+            Op::Relu(..) => OpKind::Relu,
+            Op::LeakyRelu(..) => OpKind::LeakyRelu,
+            Op::Elu(..) => OpKind::Elu,
+            Op::Sigmoid(..) => OpKind::Sigmoid,
+            Op::Tanh(..) => OpKind::Tanh,
+            Op::SoftmaxRows(..) => OpKind::SoftmaxRows,
+            Op::LayerNormRows(..) => OpKind::LayerNormRows,
+            Op::Dropout(..) => OpKind::Dropout,
+            Op::L2NormalizeRows(..) => OpKind::L2NormalizeRows,
+            Op::ConcatCols(..) => OpKind::ConcatCols,
+            Op::ConcatRows(..) => OpKind::ConcatRows,
+            Op::SliceCols(..) => OpKind::SliceCols,
+            Op::GatherRows(..) => OpKind::GatherRows,
+            Op::SegmentSum(..) => OpKind::SegmentSum,
+            Op::SegmentSoftmax(..) => OpKind::SegmentSoftmax,
+            Op::SumAll(..) => OpKind::SumAll,
+            Op::MeanAll(..) => OpKind::MeanAll,
+            Op::CrossEntropyRows { .. } => OpKind::CrossEntropyRows,
+            Op::MseLoss { .. } => OpKind::MseLoss,
+        }
+    }
+
+    /// Tape nodes this op reads from, in argument order.
+    pub(crate) fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            Op::Input | Op::Param(..) => Vec::new(),
+            Op::MatMul(a, b) | Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => vec![*a, *b],
+            Op::AddRow(a, b) | Op::MulRow(a, b) | Op::MulCol(a, b) => vec![*a, *b],
+            Op::Transpose(x)
+            | Op::Reshape(x)
+            | Op::Scale(x, _)
+            | Op::AddScalar(x)
+            | Op::Relu(x)
+            | Op::LeakyRelu(x, _)
+            | Op::Elu(x)
+            | Op::Sigmoid(x)
+            | Op::Tanh(x)
+            | Op::SoftmaxRows(x)
+            | Op::LayerNormRows(x, _)
+            | Op::Dropout(x, _)
+            | Op::L2NormalizeRows(x, _)
+            | Op::SliceCols(x, _)
+            | Op::GatherRows(x, _)
+            | Op::SegmentSum(x, _)
+            | Op::SegmentSoftmax(x, _)
+            | Op::SumAll(x)
+            | Op::MeanAll(x) => vec![*x],
+            Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
+            Op::CrossEntropyRows { logits, .. } => vec![*logits],
+            Op::MseLoss { pred, .. } => vec![*pred],
+        }
+    }
+}
+
+pub(crate) struct Node {
+    pub(crate) value: Array,
+    pub(crate) op: Op,
 }
 
 /// A define-by-run computation tape.
 pub struct Graph<'s> {
-    store: &'s ParamStore,
-    nodes: Vec<Node>,
+    pub(crate) store: &'s ParamStore,
+    pub(crate) nodes: Vec<Node>,
     /// Whether dropout is active.
-    train: bool,
+    pub(crate) train: bool,
 }
 
 impl<'s> Graph<'s> {
@@ -126,6 +276,32 @@ impl<'s> Graph<'s> {
 
     pub fn is_train(&self) -> bool {
         self.train
+    }
+
+    /// Switch dropout on or off for subsequently recorded ops. The auditor
+    /// flags [`Op::Dropout`] nodes left on an eval-mode tape.
+    pub fn set_train(&mut self, train: bool) {
+        self.train = train;
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids on the tape, in creation (= topological) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Kind of the op that produced `id`.
+    pub fn op_kind(&self, id: NodeId) -> OpKind {
+        self.nodes[id.0].op.kind()
+    }
+
+    /// Tape nodes the op at `id` reads from.
+    pub fn op_inputs(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes[id.0].op.inputs()
     }
 
     /// Value of a node (eagerly computed at creation).

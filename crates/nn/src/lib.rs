@@ -18,12 +18,18 @@
 //!   batch over scoped worker threads and merges per-worker gradients
 //!   deterministically;
 //! - [`serialize`] — checkpoint codec used by the transfer experiments
-//!   (Table III).
+//!   (Table III);
+//! - [`audit`] — static tape verification: shape re-derivation, dead-node /
+//!   zero-gradient-parameter detection, and a first-NaN tracer;
+//! - [`gradcheck`] — central-difference verification helpers.
 //!
 //! Gradient correctness is enforced by finite-difference checks over every
-//! operator in `tests/gradcheck.rs`.
+//! operator in `tests/gradcheck.rs`; an exhaustiveness guard there fails as
+//! soon as a [`graph::OpKind`] has no covering check.
 
 pub mod array;
+pub mod audit;
+pub mod gradcheck;
 pub mod graph;
 pub mod layers;
 pub mod optim;
@@ -33,7 +39,8 @@ pub mod serialize;
 pub mod train;
 
 pub use array::Array;
-pub use graph::{Graph, NodeId, Segments};
+pub use audit::{AuditReport, Finding, FindingKind, NonFiniteTrace, Severity};
+pub use graph::{Graph, NodeId, OpKind, Segments};
 pub use optim::{AdamW, AdamWConfig};
 pub use params::{GradStore, Init, ParamId, ParamStore};
 pub use schedule::WarmupCosine;

@@ -20,16 +20,32 @@ const MAGIC: &[u8; 8] = b"STRTNN01";
 #[derive(Debug, PartialEq, Eq)]
 pub enum CodecError {
     BadMagic,
-    Truncated,
+    /// Blob ends mid-record; carries the tensor being read when known.
+    Truncated {
+        tensor: Option<String>,
+    },
     NameNotUtf8,
+    /// Declared shape is too large to represent (`rows * cols * 4` would
+    /// overflow) — corrupt or adversarial input, rejected before allocating.
+    ShapeOverflow {
+        tensor: String,
+        rows: u32,
+        cols: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::BadMagic => write!(f, "not a START weight blob (bad magic)"),
-            CodecError::Truncated => write!(f, "weight blob ends mid-record"),
+            CodecError::Truncated { tensor: Some(name) } => {
+                write!(f, "weight blob ends mid-record while reading tensor `{name}`")
+            }
+            CodecError::Truncated { tensor: None } => write!(f, "weight blob ends mid-record"),
             CodecError::NameNotUtf8 => write!(f, "tensor name is not valid UTF-8"),
+            CodecError::ShapeOverflow { tensor, rows, cols } => {
+                write!(f, "tensor `{tensor}` declares impossible shape {rows}x{cols}")
+            }
         }
     }
 }
@@ -63,25 +79,30 @@ pub fn parse_params(mut blob: &[u8]) -> Result<HashMap<String, Array>, CodecErro
     let mut out = HashMap::with_capacity(count);
     for _ in 0..count {
         if blob.remaining() < 4 {
-            return Err(CodecError::Truncated);
+            return Err(CodecError::Truncated { tensor: None });
         }
         let name_len = blob.get_u32_le() as usize;
-        if blob.remaining() < name_len + 8 {
-            return Err(CodecError::Truncated);
+        if blob.remaining() < name_len.saturating_add(8) {
+            return Err(CodecError::Truncated { tensor: None });
         }
         let name =
             std::str::from_utf8(&blob[..name_len]).map_err(|_| CodecError::NameNotUtf8)?.to_owned();
         blob.advance(name_len);
-        let rows = blob.get_u32_le() as usize;
-        let cols = blob.get_u32_le() as usize;
-        if blob.remaining() < rows * cols * 4 {
-            return Err(CodecError::Truncated);
+        let rows = blob.get_u32_le();
+        let cols = blob.get_u32_le();
+        // Widen before multiplying: a corrupt header can declare shapes whose
+        // byte count overflows usize; reject before any allocation.
+        let cells = u64::from(rows) * u64::from(cols);
+        match cells.checked_mul(4).filter(|b| *b <= usize::MAX as u64) {
+            Some(bytes) if blob.remaining() as u64 >= bytes => {}
+            Some(_) => return Err(CodecError::Truncated { tensor: Some(name) }),
+            None => return Err(CodecError::ShapeOverflow { tensor: name, rows, cols }),
         }
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
+        let mut data = Vec::with_capacity(cells as usize);
+        for _ in 0..cells {
             data.push(blob.get_f32_le());
         }
-        out.insert(name, Array::from_vec(rows, cols, data));
+        out.insert(name, Array::from_vec(rows as usize, cols as usize, data));
     }
     Ok(out)
 }
@@ -133,13 +154,33 @@ mod tests {
     }
 
     #[test]
-    fn truncated_blob_rejected() {
+    fn truncated_blob_rejected_with_tensor_context() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut src = ParamStore::new();
         src.param("w", 10, 10, Init::Normal(1.0), &mut rng);
         let blob = save_params(&src);
         let cut = &blob[..blob.len() - 7];
-        assert_eq!(parse_params(cut).unwrap_err(), CodecError::Truncated);
+        assert_eq!(
+            parse_params(cut).unwrap_err(),
+            CodecError::Truncated { tensor: Some("w".to_string()) }
+        );
+    }
+
+    #[test]
+    fn impossible_declared_shape_rejected_before_allocating() {
+        // Hand-craft a record claiming a u32::MAX x u32::MAX tensor: the byte
+        // count overflows, so the parser must error instead of allocating.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_slice(b"w");
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        assert_eq!(
+            parse_params(&buf.freeze()).unwrap_err(),
+            CodecError::ShapeOverflow { tensor: "w".to_string(), rows: u32::MAX, cols: u32::MAX }
+        );
     }
 
     #[test]

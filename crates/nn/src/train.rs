@@ -172,9 +172,12 @@ impl BatchTrainer {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("training worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
         })
-        .expect("training scope failed");
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
 
         let mut total_weight = 0.0f32;
         let mut loss_acc = 0.0f64;

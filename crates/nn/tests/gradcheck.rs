@@ -1,103 +1,67 @@
 //! Finite-difference gradient checks for every differentiable operator.
 //!
 //! Strategy: wrap each op in a scalar-valued function of one parameter
-//! matrix, compute the analytic gradient via `Graph::backward`, and compare
-//! against central differences. f32 noise means tolerances are loose-ish
-//! (1e-2 relative); systematic errors in a backward rule show up orders of
-//! magnitude above that.
+//! matrix and let `start_nn::gradcheck::check_grad` compare the analytic
+//! gradient against central differences (f32, rel-err ≤ 1e-2 — see the
+//! module docs for the tolerance policy).
+//!
+//! Exhaustiveness guard: every check records the `OpKind`s that appeared on
+//! its tape, and [`every_op_variant_has_a_gradcheck`] asserts the union
+//! covers `OpKind::ALL`. Adding an `Op` variant therefore fails the build
+//! (the exhaustive match in `Op::kind`) and then this test, until a
+//! grad-check exercises the new op.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use start_nn::array::Array;
-use start_nn::graph::{Graph, NodeId, Segments};
-use start_nn::params::{GradStore, Init, ParamId, ParamStore};
+use start_nn::gradcheck::{check_grad, DEFAULT_TOL};
+use start_nn::graph::{Graph, NodeId, OpKind, Segments};
+use start_nn::params::{GradStore, Init, ParamStore};
 
-/// Analytic-vs-numeric check for `f(param)` where `build` constructs the
-/// scalar loss node from the bound parameter node.
-fn check_grad(rows: usize, cols: usize, build: impl Fn(&mut Graph, NodeId) -> NodeId) {
-    let mut rng = StdRng::seed_from_u64(99);
-    let mut store = ParamStore::new();
-    let pid: ParamId = store.param("p", rows, cols, Init::Uniform(0.8), &mut rng);
-
-    // Analytic gradient.
-    let mut grads = GradStore::new(&store);
-    {
-        let mut g = Graph::new(&store, false);
-        let p = g.param(pid);
-        let loss = build(&mut g, p);
-        assert_eq!(g.value(loss).len(), 1, "loss must be scalar");
-        g.backward(loss, &mut grads);
-    }
-    let analytic = grads.get(pid).expect("gradient must reach the parameter").clone();
-
-    // Numeric gradient by central differences.
-    let eps = 2e-3f32;
-    let mut max_rel = 0.0f32;
-    for i in 0..rows * cols {
-        let orig = store.get(pid).data()[i];
-
-        store.get_mut(pid).data_mut()[i] = orig + eps;
-        let mut g = Graph::new(&store, false);
-        let p = g.param(pid);
-        let loss = build(&mut g, p);
-        let up = g.value(loss).item();
-
-        store.get_mut(pid).data_mut()[i] = orig - eps;
-        let mut g = Graph::new(&store, false);
-        let p = g.param(pid);
-        let loss = build(&mut g, p);
-        let down = g.value(loss).item();
-
-        store.get_mut(pid).data_mut()[i] = orig;
-
-        let numeric = (up - down) / (2.0 * eps);
-        let a = analytic.data()[i];
-        let denom = a.abs().max(numeric.abs()).max(1e-2);
-        let rel = (a - numeric).abs() / denom;
-        max_rel = max_rel.max(rel);
-        assert!(rel < 5e-2, "grad mismatch at {i}: analytic {a}, numeric {numeric} (rel {rel})");
-    }
-    // The whole op family should be well under tolerance on average.
-    assert!(max_rel < 5e-2);
+/// Eval-mode check with the default tolerance; returns covered op kinds.
+fn check(
+    rows: usize,
+    cols: usize,
+    build: impl Fn(&mut Graph, NodeId) -> NodeId,
+) -> BTreeSet<OpKind> {
+    check_grad(rows, cols, false, DEFAULT_TOL, build).kinds
 }
 
 fn const_input(g: &mut Graph, rows: usize, cols: usize, seed: f32) -> NodeId {
     g.input(Array::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.37 + seed).sin()))
 }
 
-#[test]
-fn grad_matmul() {
-    check_grad(3, 4, |g, p| {
+// Each op family gets a named check so failures point at the family; the
+// coverage test below runs them all and audits the union.
+
+fn check_matmul() -> BTreeSet<OpKind> {
+    let mut kinds = check(3, 4, |g, p| {
         let b = const_input(g, 4, 5, 0.3);
         let y = g.matmul(p, b);
         g.sum_all(y)
     });
-}
-
-#[test]
-fn grad_matmul_rhs() {
-    check_grad(4, 5, |g, p| {
+    kinds.extend(check(4, 5, |g, p| {
         let a = const_input(g, 3, 4, 0.7);
         let y = g.matmul(a, p);
         g.sum_all(y)
-    });
+    }));
+    kinds
 }
 
-#[test]
-fn grad_transpose_and_reshape() {
-    check_grad(3, 4, |g, p| {
+fn check_transpose_reshape() -> BTreeSet<OpKind> {
+    check(3, 4, |g, p| {
         let t = g.transpose(p);
         let r = g.reshape(t, 2, 6);
         let sq = g.mul(r, r);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_add_sub_mul_scale() {
-    check_grad(3, 3, |g, p| {
+fn check_arithmetic() -> BTreeSet<OpKind> {
+    check(3, 3, |g, p| {
         let b = const_input(g, 3, 3, 1.1);
         let s = g.add(p, b);
         let d = g.sub(s, p);
@@ -105,151 +69,147 @@ fn grad_add_sub_mul_scale() {
         let sc = g.scale(m, 0.5);
         let a = g.add_scalar(sc, 2.0);
         g.mean_all(a)
-    });
+    })
 }
 
-#[test]
-fn grad_add_row_broadcast() {
-    check_grad(1, 4, |g, p| {
+fn check_add_row() -> BTreeSet<OpKind> {
+    check(1, 4, |g, p| {
         let x = const_input(g, 5, 4, 0.2);
         let y = g.add_row(x, p);
         let sq = g.mul(y, y);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_mul_row_broadcast() {
-    check_grad(1, 4, |g, p| {
+fn check_mul_row() -> BTreeSet<OpKind> {
+    let mut kinds = check(1, 4, |g, p| {
         let x = const_input(g, 5, 4, 0.9);
         let y = g.mul_row(x, p);
         g.sum_all(y)
     });
-}
-
-#[test]
-fn grad_mul_row_through_x() {
-    check_grad(5, 4, |g, p| {
+    kinds.extend(check(5, 4, |g, p| {
         let row = const_input(g, 1, 4, 0.4);
         let y = g.mul_row(p, row);
         let sq = g.mul(y, y);
         g.sum_all(sq)
-    });
+    }));
+    kinds
 }
 
-#[test]
-fn grad_mul_col_broadcast() {
-    check_grad(5, 1, |g, p| {
+fn check_mul_col() -> BTreeSet<OpKind> {
+    check(5, 1, |g, p| {
         let x = const_input(g, 5, 4, 0.6);
         let y = g.mul_col(x, p);
         let sq = g.mul(y, y);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_activations() {
-    check_grad(4, 4, |g, p| {
+fn check_activations() -> BTreeSet<OpKind> {
+    check(4, 4, |g, p| {
         let r = g.relu(p);
         let l = g.leaky_relu(r, 0.2);
         let e = g.elu(l);
         let s = g.sigmoid(e);
         let t = g.tanh(s);
         g.sum_all(t)
-    });
+    })
 }
 
-#[test]
-fn grad_softmax_rows() {
-    check_grad(3, 5, |g, p| {
+fn check_softmax_rows() -> BTreeSet<OpKind> {
+    check(3, 5, |g, p| {
         let sm = g.softmax_rows(p);
         let w = const_input(g, 3, 5, 0.8);
         let y = g.mul(sm, w);
         g.sum_all(y)
-    });
+    })
 }
 
-#[test]
-fn grad_layer_norm() {
-    check_grad(3, 6, |g, p| {
+fn check_layer_norm() -> BTreeSet<OpKind> {
+    check(3, 6, |g, p| {
         let n = g.layer_norm_rows(p);
         let w = const_input(g, 3, 6, 0.5);
         let y = g.mul(n, w);
         g.sum_all(y)
-    });
+    })
 }
 
-#[test]
-fn grad_l2_normalize() {
-    check_grad(3, 4, |g, p| {
+fn check_dropout() -> BTreeSet<OpKind> {
+    // Train mode so the op is recorded; the rng is re-seeded on every build
+    // so all finite-difference evaluations see the same keep-mask.
+    check_grad(4, 5, true, DEFAULT_TOL, |g, p| {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let d = g.dropout(p, 0.3, &mut rng);
+        let w = const_input(g, 4, 5, 0.45);
+        let y = g.mul(d, w);
+        g.sum_all(y)
+    })
+    .kinds
+}
+
+fn check_l2_normalize() -> BTreeSet<OpKind> {
+    check(3, 4, |g, p| {
         let n = g.l2_normalize_rows(p);
         let w = const_input(g, 3, 4, 1.3);
         let y = g.mul(n, w);
         g.sum_all(y)
-    });
+    })
 }
 
-#[test]
-fn grad_concat_and_slice() {
-    check_grad(3, 4, |g, p| {
+fn check_concat_slice() -> BTreeSet<OpKind> {
+    check(3, 4, |g, p| {
         let q = g.scale(p, 2.0);
         let cat = g.concat_cols(&[p, q]);
         let sl = g.slice_cols(cat, 2, 6);
         let rcat = g.concat_rows(&[sl, sl]);
         let sq = g.mul(rcat, rcat);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_gather_rows() {
-    check_grad(4, 3, |g, p| {
+fn check_gather_rows() -> BTreeSet<OpKind> {
+    check(4, 3, |g, p| {
         // Repeated indices exercise scatter-add accumulation.
         let gathered = g.gather_rows(p, Arc::new(vec![0, 2, 2, 3, 0]));
         let sq = g.mul(gathered, gathered);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_segment_sum() {
-    check_grad(6, 3, |g, p| {
+fn check_segment_sum() -> BTreeSet<OpKind> {
+    check(6, 3, |g, p| {
         let segs = Segments::from_offsets(vec![0, 2, 2, 5, 6]);
         let s = g.segment_sum(p, &segs);
         let sq = g.mul(s, s);
         g.sum_all(sq)
-    });
+    })
 }
 
-#[test]
-fn grad_segment_softmax() {
-    check_grad(6, 1, |g, p| {
+fn check_segment_softmax() -> BTreeSet<OpKind> {
+    check(6, 1, |g, p| {
         let segs = Segments::from_offsets(vec![0, 3, 6]);
         let sm = g.segment_softmax(p, &segs);
         let w = const_input(g, 6, 1, 0.25);
         let y = g.mul(sm, w);
         g.sum_all(y)
-    });
+    })
 }
 
-#[test]
-fn grad_cross_entropy() {
-    check_grad(4, 5, |g, p| g.cross_entropy_rows(p, Arc::new(vec![1, 0, 4, 2])));
+fn check_cross_entropy() -> BTreeSet<OpKind> {
+    check(4, 5, |g, p| g.cross_entropy_rows(p, Arc::new(vec![1, 0, 4, 2])))
 }
 
-#[test]
-fn grad_mse() {
-    check_grad(4, 2, |g, p| {
+fn check_mse() -> BTreeSet<OpKind> {
+    check(4, 2, |g, p| {
         let target = Array::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.5);
         g.mse_loss(p, target)
-    });
+    })
 }
 
-#[test]
-fn grad_through_attention_style_block() {
+fn check_attention_style_block() -> BTreeSet<OpKind> {
     // Composite: scores = scale(P P^T) + bias; softmax; weighted sum — the
     // exact dataflow of time-interval-aware attention (Eq. 7).
-    check_grad(4, 4, |g, p| {
+    check(4, 4, |g, p| {
         let pt = g.transpose(p);
         let scores = g.matmul(p, pt);
         let scaled = g.scale(scores, 0.5);
@@ -259,7 +219,141 @@ fn grad_through_attention_style_block() {
         let out = g.matmul(attn, p);
         let sq = g.mul(out, out);
         g.sum_all(sq)
-    });
+    })
+}
+
+type CheckFn = fn() -> BTreeSet<OpKind>;
+
+/// Registry of every check, run both individually (tests below) and by the
+/// coverage guard. New ops must add themselves here.
+const CHECKS: &[(&str, CheckFn)] = &[
+    ("matmul", check_matmul),
+    ("transpose_reshape", check_transpose_reshape),
+    ("arithmetic", check_arithmetic),
+    ("add_row", check_add_row),
+    ("mul_row", check_mul_row),
+    ("mul_col", check_mul_col),
+    ("activations", check_activations),
+    ("softmax_rows", check_softmax_rows),
+    ("layer_norm", check_layer_norm),
+    ("dropout", check_dropout),
+    ("l2_normalize", check_l2_normalize),
+    ("concat_slice", check_concat_slice),
+    ("gather_rows", check_gather_rows),
+    ("segment_sum", check_segment_sum),
+    ("segment_softmax", check_segment_softmax),
+    ("cross_entropy", check_cross_entropy),
+    ("mse", check_mse),
+    ("attention_block", check_attention_style_block),
+];
+
+/// The exhaustiveness guard: the union of all checked tapes must cover every
+/// `OpKind` the tape can record.
+#[test]
+fn every_op_variant_has_a_gradcheck() {
+    let mut covered: BTreeSet<OpKind> = BTreeSet::new();
+    for (name, run) in CHECKS {
+        let kinds = run();
+        assert!(!kinds.is_empty(), "check {name} recorded an empty tape");
+        covered.extend(kinds);
+    }
+    let missing: Vec<OpKind> =
+        OpKind::ALL.iter().copied().filter(|k| !covered.contains(k)).collect();
+    assert!(
+        missing.is_empty(),
+        "op variants without a gradient check: {missing:?} — add a check to CHECKS in tests/gradcheck.rs"
+    );
+}
+
+#[test]
+fn grad_matmul() {
+    check_matmul();
+}
+
+#[test]
+fn grad_transpose_and_reshape() {
+    check_transpose_reshape();
+}
+
+#[test]
+fn grad_add_sub_mul_scale() {
+    check_arithmetic();
+}
+
+#[test]
+fn grad_add_row_broadcast() {
+    check_add_row();
+}
+
+#[test]
+fn grad_mul_row_broadcast() {
+    check_mul_row();
+}
+
+#[test]
+fn grad_mul_col_broadcast() {
+    check_mul_col();
+}
+
+#[test]
+fn grad_activations() {
+    check_activations();
+}
+
+#[test]
+fn grad_softmax_rows() {
+    check_softmax_rows();
+}
+
+#[test]
+fn grad_layer_norm() {
+    check_layer_norm();
+}
+
+#[test]
+fn grad_dropout_fixed_mask() {
+    let kinds = check_dropout();
+    assert!(kinds.contains(&OpKind::Dropout), "dropout must be recorded in train mode");
+}
+
+#[test]
+fn grad_l2_normalize() {
+    check_l2_normalize();
+}
+
+#[test]
+fn grad_concat_and_slice() {
+    check_concat_slice();
+}
+
+#[test]
+fn grad_gather_rows() {
+    check_gather_rows();
+}
+
+#[test]
+fn grad_segment_sum() {
+    check_segment_sum();
+}
+
+#[test]
+fn grad_segment_softmax() {
+    check_segment_softmax();
+}
+
+#[test]
+fn grad_cross_entropy() {
+    check_cross_entropy();
+}
+
+#[test]
+fn grad_mse() {
+    check_mse();
+}
+
+#[test]
+fn grad_through_attention_style_block() {
+    check_attention_style_block();
 }
 
 #[test]

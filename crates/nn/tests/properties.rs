@@ -140,6 +140,22 @@ proptest! {
         }
     }
 
+    /// Segment ops reject inputs whose row count disagrees with the final
+    /// offset, for any (rows, claimed) mismatch — the constructor cannot
+    /// check this (the array is not known yet), so the ops must.
+    #[test]
+    fn segment_sum_rejects_any_row_mismatch(rows in 1usize..8, delta in 1usize..4) {
+        let store = ParamStore::new();
+        let mut g = Graph::new(&store, false);
+        let node = g.input(Array::zeros(rows, 2));
+        let segs = Segments::from_offsets(vec![0, (rows + delta) as u32]);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            g.segment_sum(node, &segs);
+        }))
+        .is_err();
+        prop_assert!(panicked, "segment_sum accepted {rows} rows against final offset {}", rows + delta);
+    }
+
     /// Gradient accumulation is additive: running backward twice doubles the
     /// gradient of a linear loss.
     #[test]
@@ -163,4 +179,39 @@ proptest! {
             prop_assert!((2.0 * a - b).abs() < 1e-5);
         }
     }
+}
+
+// Deterministic regression tests for the Segments final-offset contract
+// (ISSUE 2 satellite: `from_offsets` defers the total-row check to use time).
+
+#[test]
+#[should_panic(expected = "segment_sum row mismatch")]
+fn segment_sum_panics_when_final_offset_undershoots() {
+    let store = ParamStore::new();
+    let mut g = Graph::new(&store, false);
+    let x = g.input(Array::zeros(5, 3));
+    let segs = Segments::from_offsets(vec![0, 2, 4]); // claims 4 rows, x has 5
+    g.segment_sum(x, &segs);
+}
+
+#[test]
+#[should_panic(expected = "segment_softmax row mismatch")]
+fn segment_softmax_panics_when_final_offset_overshoots() {
+    let store = ParamStore::new();
+    let mut g = Graph::new(&store, false);
+    let x = g.input(Array::zeros(4, 1));
+    let segs = Segments::from_offsets(vec![0, 3, 6]); // claims 6 rows, x has 4
+    g.segment_softmax(x, &segs);
+}
+
+#[test]
+#[should_panic(expected = "offsets must start at 0")]
+fn segments_reject_nonzero_first_offset() {
+    Segments::from_offsets(vec![1, 3]);
+}
+
+#[test]
+#[should_panic(expected = "offsets must be sorted")]
+fn segments_reject_decreasing_offsets() {
+    Segments::from_offsets(vec![0, 4, 2]);
 }

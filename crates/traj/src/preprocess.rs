@@ -64,6 +64,9 @@ impl SplitDataset {
 #[derive(Debug, Clone, Default)]
 pub struct PreprocessStats {
     pub input: usize,
+    /// Structurally malformed records (see [`Trajectory::validate`]) dropped
+    /// before any paper filter runs.
+    pub dropped_invalid: usize,
     pub dropped_short: usize,
     pub dropped_long: usize,
     pub dropped_loops: usize,
@@ -75,6 +78,17 @@ pub struct PreprocessStats {
 /// Apply the paper's filters and chronological split.
 pub fn preprocess(mut trajectories: Vec<Trajectory>, cfg: &PreprocessConfig) -> SplitDataset {
     let mut stats = PreprocessStats { input: trajectories.len(), ..Default::default() };
+
+    // Guard against malformed user data first: downstream code (interval
+    // matrices, splits) indexes roads/times in lockstep and assumes sorted
+    // timestamps, so structurally invalid records are dropped, not crashed on.
+    trajectories.retain(|t| {
+        if t.validate().is_err() {
+            stats.dropped_invalid += 1;
+            return false;
+        }
+        true
+    });
 
     trajectories.retain(|t| {
         if t.len() < cfg.min_len {
@@ -132,6 +146,10 @@ mod tests {
     #[test]
     fn filters_apply_in_order() {
         let cfg = PreprocessConfig { min_user_trajectories: 2, ..Default::default() };
+        let mut unsorted_times = traj(10, 0, 60, false);
+        unsorted_times.times.swap(2, 3);
+        let mut length_mismatch = traj(10, 0, 70, false);
+        length_mismatch.times.pop();
         let data = vec![
             traj(3, 0, 0, false),    // too short
             traj(200, 0, 10, false), // too long
@@ -139,8 +157,11 @@ mod tests {
             traj(10, 1, 30, false),  // rare user (only 1 traj)
             traj(10, 2, 40, false),
             traj(12, 2, 50, false),
+            unsorted_times,  // malformed: timestamps out of order
+            length_mismatch, // malformed: roads/times disagree
         ];
         let out = preprocess(data, &cfg);
+        assert_eq!(out.stats.dropped_invalid, 2);
         assert_eq!(out.stats.dropped_short, 1);
         assert_eq!(out.stats.dropped_long, 1);
         assert_eq!(out.stats.dropped_loops, 1);

@@ -127,6 +127,62 @@ tuple_strategy!(A.0, B.1, C.2, D.3);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 
+/// Namespaced strategies mirroring `proptest::prop` (`collection::vec`,
+/// `sample::select`).
+pub mod prop {
+    pub mod collection {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with lengths drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generate a vector of `element` values with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(!size.is_empty(), "vec strategy needs a non-empty size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy that picks one of a fixed set of options.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
 #[doc(hidden)]
 pub fn run_case<F>(f: F) -> Result<(), TestCaseError>
 where

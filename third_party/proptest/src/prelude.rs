@@ -1,4 +1,4 @@
 //! Glob-import surface mirroring `proptest::prelude`.
 
-pub use crate::{any, Any, Map, ProptestConfig, Strategy, TestCaseError};
+pub use crate::{any, prop, Any, Map, ProptestConfig, Strategy, TestCaseError};
 pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
