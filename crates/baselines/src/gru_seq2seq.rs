@@ -151,7 +151,7 @@ impl GruSeq2Seq {
         };
         let total = (steps_per_epoch * cfg.epochs) as u64;
         let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-        let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+        let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
         let mut optimizer =
             AdamW::new(&self.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
         let mut indices: Vec<usize> = (0..train.len()).collect();

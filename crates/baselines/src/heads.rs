@@ -49,7 +49,7 @@ pub fn fine_tune_eta<E: BaselineEncoder>(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
     let mut optimizer = AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
 
     let mut indices: Vec<usize> = (0..train.len()).collect();
@@ -133,7 +133,7 @@ pub fn fine_tune_classifier<E: BaselineEncoder>(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
     let mut optimizer = AdamW::new(enc.store(), AdamWConfig { lr: cfg.lr, ..Default::default() });
 
     let mut indices: Vec<usize> = (0..train.len()).collect();

@@ -231,7 +231,7 @@ impl TransformerBaseline {
         };
         let total = (steps_per_epoch * cfg.epochs) as u64;
         let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-        let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+        let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
         // PIM-TF draws its negative from the next trajectory in the shard,
         // so shards must hold at least two trajectories.
         let min_per_shard = if self.kind == TfKind::PimTf { 2 } else { 1 };

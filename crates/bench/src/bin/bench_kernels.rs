@@ -1,0 +1,361 @@
+//! Kernel microbenchmarks for the blocked matmul family and the fused
+//! multi-head attention tape op.
+//!
+//! Two layers of measurement:
+//!
+//! 1. Raw kernels — the pre-blocking reference implementations (branchy
+//!    zero-skip triple loops, kept verbatim in this binary as `naive_*`)
+//!    against the shipped `start_nn::array` kernels, reported as GFLOP/s per
+//!    shape.
+//! 2. A full Transformer encoder layer, forward + backward — "current main"
+//!    (zero-skip reference kernels via `set_reference_kernels`, legacy
+//!    per-head attention tape, a fresh graph each step) against this PR
+//!    (blocked kernels, fused [`Graph::mh_attention`] op, pooled reused
+//!    graph), reported as tokens/sec. Both paths run the same seed and must
+//!    agree on the loss to 1e-4 at every step.
+//!
+//! Results land in `BENCH_kernels.json` at the repo root.
+//!
+//! Run: `cargo run -p start-bench --release --bin bench_kernels`
+//! CI smoke: `cargo run -p start-bench --release --bin bench_kernels -- --smoke`
+//! (tiny shapes, asserts fused == unfused and finiteness, no timing, no JSON).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use start_nn::array::{self, Array};
+use start_nn::graph::Graph;
+use start_nn::layers::TransformerEncoderLayer;
+use start_nn::params::{GradStore, ParamStore};
+use start_nn::BufferPool;
+
+// ---------------------------------------------------------------------------
+// The "before" side: the pre-blocking zero-skip kernels preserved verbatim
+// in `start_nn::array::reference`.
+
+fn naive_matmul(a: &Array, b: &Array) -> Array {
+    let mut out = Array::zeros(a.shape().0, b.shape().1);
+    array::reference::matmul_into(a, b, &mut out);
+    out
+}
+
+fn naive_matmul_bt(a: &Array, b: &Array) -> Array {
+    let mut out = Array::zeros(a.shape().0, b.shape().0);
+    array::reference::matmul_bt_into(a, b, &mut out);
+    out
+}
+
+fn naive_matmul_at(a: &Array, b: &Array) -> Array {
+    let mut out = Array::zeros(a.shape().1, b.shape().1);
+    array::reference::matmul_at_into(a, b, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+
+fn fill(rows: usize, cols: usize, seed: f32) -> Array {
+    Array::from_fn(rows, cols, |r, c| ((r * cols + c) as f32 * 0.61 + seed).sin())
+}
+
+fn max_abs_diff(a: &Array, b: &Array) -> f32 {
+    a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// Wall-time `f` enough times to exceed ~80ms and return GFLOP/s.
+fn gflops(flops_per_call: f64, mut f: impl FnMut() -> Array) -> f64 {
+    // Warmup + sanity.
+    let out = f();
+    assert!(out.all_finite(), "kernel produced non-finite values");
+    let mut reps = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.08 || reps >= 1 << 14 {
+            return flops_per_call * f64::from(reps) / dt / 1e9;
+        }
+        reps *= 4;
+    }
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    gflops_before: f64,
+    gflops_after: f64,
+}
+
+fn bench_kernel_shapes(shapes: &[(usize, usize, usize)]) -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+
+        let a = fill(m, k, 0.1);
+        let b = fill(k, n, 0.7);
+        rows.push(KernelRow {
+            kernel: "matmul",
+            m,
+            k,
+            n,
+            gflops_before: gflops(flops, || naive_matmul(&a, &b)),
+            gflops_after: gflops(flops, || array::matmul(&a, &b)),
+        });
+
+        let bt = fill(n, k, 0.7);
+        rows.push(KernelRow {
+            kernel: "matmul_bt",
+            m,
+            k,
+            n,
+            gflops_before: gflops(flops, || naive_matmul_bt(&a, &bt)),
+            gflops_after: gflops(flops, || array::matmul_bt(&a, &bt)),
+        });
+
+        let at = fill(k, m, 0.1);
+        rows.push(KernelRow {
+            kernel: "matmul_at",
+            m,
+            k,
+            n,
+            gflops_before: gflops(flops, || naive_matmul_at(&at, &b)),
+            gflops_after: gflops(flops, || array::matmul_at(&at, &b)),
+        });
+    }
+    rows
+}
+
+/// Assert the shipped kernels agree with the naive references on one shape.
+fn check_kernels_agree(m: usize, k: usize, n: usize) {
+    let a = fill(m, k, 0.3);
+    let b = fill(k, n, 0.9);
+    let d = max_abs_diff(&naive_matmul(&a, &b), &array::matmul(&a, &b));
+    assert!(d <= 1e-4, "matmul diverged from reference: {d}");
+    let bt = fill(n, k, 0.9);
+    let d = max_abs_diff(&naive_matmul_bt(&a, &bt), &array::matmul_bt(&a, &bt));
+    assert!(d <= 1e-4, "matmul_bt diverged from reference: {d}");
+    let at = fill(k, m, 0.3);
+    let d = max_abs_diff(&naive_matmul_at(&at, &b), &array::matmul_at(&at, &b));
+    assert!(d <= 1e-4, "matmul_at diverged from reference: {d}");
+}
+
+// ---------------------------------------------------------------------------
+
+struct EncoderBench {
+    t: usize,
+    dim: usize,
+    heads: usize,
+    ffn_hidden: usize,
+    steps: usize,
+    tokens_per_sec_main: f64,
+    tokens_per_sec_optimized: f64,
+    speedup: f64,
+    max_loss_diff: f32,
+}
+
+struct EncoderSetup {
+    store: ParamStore,
+    layer: TransformerEncoderLayer,
+    x: Array,
+    bias: Array,
+}
+
+fn encoder_setup(t: usize, dim: usize, heads: usize, ffn_hidden: usize) -> EncoderSetup {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let layer =
+        TransformerEncoderLayer::new(&mut store, &mut rng, "enc", dim, heads, ffn_hidden, 0.0);
+    let x = fill(t, dim, 0.2);
+    let bias = Array::from_fn(t, t, |r, c| (r as f32 - c as f32) * 0.03);
+    EncoderSetup { store, layer, x, bias }
+}
+
+/// One forward + backward through the encoder layer; returns the loss.
+fn encoder_step(setup: &EncoderSetup, g: &mut Graph, fused: bool) -> f32 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let x = g.input(setup.x.clone());
+    let bias = g.input(setup.bias.clone());
+    let y = if fused {
+        setup.layer.forward(g, x, Some(bias), &mut rng)
+    } else {
+        setup.layer.forward_unfused(g, x, Some(bias), &mut rng)
+    };
+    let sq = g.mul(y, y);
+    let loss = g.mean_all(sq);
+    let mut grads = GradStore::new(&setup.store);
+    g.backward(loss, &mut grads);
+    g.value(loss).item()
+}
+
+fn bench_encoder(
+    t: usize,
+    dim: usize,
+    heads: usize,
+    ffn_hidden: usize,
+    steps: usize,
+) -> EncoderBench {
+    let setup = encoder_setup(t, dim, heads, ffn_hidden);
+
+    // The two paths are timed in interleaved rounds and scored by their
+    // fastest round, so slow-timer noise (frequency scaling, co-tenant
+    // interference on shared machines) hits both sides equally instead of
+    // whichever path happened to run second.
+    const ROUNDS: usize = 6;
+    let chunk = steps.div_ceil(ROUNDS).max(1);
+    let mut main_losses = Vec::new();
+    let mut opt_losses = Vec::new();
+    let mut best_main = f64::INFINITY;
+    let mut best_opt = f64::INFINITY;
+    let mut pool = BufferPool::new();
+    for _ in 0..ROUNDS {
+        // "Current main": zero-skip reference kernels, per-head attention
+        // tape, a fresh graph every step.
+        array::set_reference_kernels(true);
+        let t0 = Instant::now();
+        for _ in 0..chunk {
+            let mut g = Graph::new(&setup.store, true);
+            main_losses.push(encoder_step(&setup, &mut g, false));
+        }
+        best_main = best_main.min(t0.elapsed().as_secs_f64());
+        array::set_reference_kernels(false);
+
+        // This PR: blocked kernels, fused attention op, one pooled graph
+        // reused across steps.
+        let t1 = Instant::now();
+        for _ in 0..chunk {
+            let mut g = Graph::with_pool(&setup.store, true, pool);
+            opt_losses.push(encoder_step(&setup, &mut g, true));
+            pool = g.into_pool();
+        }
+        best_opt = best_opt.min(t1.elapsed().as_secs_f64());
+    }
+
+    let mut max_loss_diff = 0.0f32;
+    for (a, b) in main_losses.iter().zip(&opt_losses) {
+        assert!(a.is_finite() && b.is_finite(), "encoder loss went non-finite");
+        max_loss_diff = max_loss_diff.max((a - b).abs());
+    }
+    assert!(max_loss_diff <= 1e-4, "fused and unfused encoder losses diverged: {max_loss_diff}");
+
+    let tokens = (t * chunk) as f64;
+    EncoderBench {
+        t,
+        dim,
+        heads,
+        ffn_hidden,
+        steps: chunk * ROUNDS,
+        tokens_per_sec_main: tokens / best_main,
+        tokens_per_sec_optimized: tokens / best_opt,
+        speedup: best_main / best_opt,
+        max_loss_diff,
+    }
+}
+
+/// Tiny-shape correctness pass for CI: no timing, no JSON.
+fn smoke() {
+    check_kernels_agree(5, 7, 3);
+    check_kernels_agree(8, 8, 8);
+
+    let setup = encoder_setup(8, 16, 4, 32);
+    let mut g1 = Graph::new(&setup.store, true);
+    let unfused = encoder_step(&setup, &mut g1, false);
+    let mut g2 = Graph::new(&setup.store, true);
+    let fused = encoder_step(&setup, &mut g2, true);
+    assert!(unfused.is_finite() && fused.is_finite(), "smoke losses must be finite");
+    assert!(
+        (unfused - fused).abs() <= 1e-5,
+        "smoke: fused {fused} vs unfused {unfused} loss mismatch"
+    );
+
+    // Pooled reuse must reproduce the fresh-graph loss bitwise.
+    let mut pool = BufferPool::new();
+    for _ in 0..2 {
+        let mut g = Graph::with_pool(&setup.store, true, pool);
+        let pooled = encoder_step(&setup, &mut g, true);
+        assert_eq!(pooled.to_bits(), fused.to_bits(), "pooled graph changed the loss");
+        pool = g.into_pool();
+    }
+    println!("bench_kernels --smoke: fused == unfused, all finite, pooled reuse stable");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("START reproduction — kernel throughput (cores: {cores})\n");
+
+    check_kernels_agree(33, 65, 17);
+
+    let shapes = [(64, 64, 64), (128, 256, 64), (256, 64, 256)];
+    let rows = bench_kernel_shapes(&shapes);
+    for r in &rows {
+        println!(
+            "  {:<10} {:>3}x{:<3}x{:<3}: {:6.2} -> {:6.2} GFLOP/s ({:.2}x)",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.gflops_before,
+            r.gflops_after,
+            r.gflops_after / r.gflops_before
+        );
+    }
+
+    let enc = bench_encoder(256, 64, 4, 128, 30);
+    println!(
+        "\n  encoder layer T={} d={} h={} ffn={} ({} steps, fwd+bwd):",
+        enc.t, enc.dim, enc.heads, enc.ffn_hidden, enc.steps
+    );
+    println!(
+        "    main (zero-skip kernels, per-head tape, fresh graphs): {:8.0} tokens/s\n    this PR (blocked kernels, fused op, pooled graph):     {:8.0} tokens/s\n    speedup: {:.2}x (max loss diff {:.2e})",
+        enc.tokens_per_sec_main, enc.tokens_per_sec_optimized, enc.speedup, enc.max_loss_diff
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"kernel_throughput\",");
+    let _ = writeln!(json, "  \"machine_cores\": {cores},");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"gflops_before\": {:.3}, \"gflops_after\": {:.3}, \"speedup\": {:.3}}}{}",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.gflops_before,
+            r.gflops_after,
+            r.gflops_after / r.gflops_before,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"encoder_layer\": {{");
+    let _ = writeln!(
+        json,
+        "    \"t\": {}, \"dim\": {}, \"heads\": {}, \"ffn_hidden\": {},",
+        enc.t, enc.dim, enc.heads, enc.ffn_hidden
+    );
+    let _ = writeln!(json, "    \"steps\": {}, \"direction\": \"forward+backward\",", enc.steps);
+    let _ = writeln!(json, "    \"tokens_per_sec_main\": {:.1},", enc.tokens_per_sec_main);
+    let _ =
+        writeln!(json, "    \"tokens_per_sec_optimized\": {:.1},", enc.tokens_per_sec_optimized);
+    let _ = writeln!(json, "    \"speedup_vs_main\": {:.3},", enc.speedup);
+    let _ = writeln!(json, "    \"max_loss_diff\": {:.3e}", enc.max_loss_diff);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("\n  wrote {path}");
+}

@@ -49,7 +49,7 @@ pub fn fine_tune_eta(
     };
     let total = (steps_per_epoch * cfg.epochs) as u64;
     let schedule = WarmupCosine::new(cfg.lr, (total / 10).max(1), total);
-    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
     let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
     let head_w = fc.weight_id();
 

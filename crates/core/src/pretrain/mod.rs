@@ -104,7 +104,7 @@ pub fn pretrain(
         ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
         total_steps,
     );
-    let trainer = BatchTrainer::new(cfg.workers, cfg.seed);
+    let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
     let mut optimizer =
         AdamW::new(&model.store, AdamWConfig { lr: cfg.base_lr, ..Default::default() });
 

@@ -207,113 +207,599 @@ impl Array {
     }
 }
 
-/// `out = a @ b`. Row-major ikj loop; shards rows across threads when large.
-pub fn matmul(a: &Array, b: &Array) -> Array {
+/// Worker count for the parallel kernel paths, derived from
+/// `available_parallelism` exactly once and reused by every call.
+fn kernel_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map_or(4, |p| p.get()).min(8))
+        .max(&1)
+}
+
+/// Shard `m` output rows of width `n` across threads, running `body` on each
+/// contiguous chunk. All three matmul kernels funnel through here so the
+/// thread-count derivation and the chunk-size invariant live in one place.
+fn parallel_rows(out: &mut [f32], m: usize, n: usize, body: impl Fn(&mut [f32], usize) + Sync) {
+    let threads = kernel_threads();
+    let chunk = m.div_ceil(threads);
+    // chunks_mut(0) panics opaquely; fail with the actual dimensions instead
+    // (reachable only if a caller ever passes m == 0 or n == 0 rows here).
+    assert!(chunk * n > 0, "parallel matmul over an empty chunk ({m} rows x {n} cols)");
+    crossbeam::scope(|s| {
+        for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+            let body = &body;
+            s.spawn(move |_| body(out_chunk, t * chunk));
+        }
+    })
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
+}
+
+/// Routes the matmul family through [`reference`] when set — a bench-only
+/// escape hatch so `bench_kernels` can time this crate's kernels against
+/// the pre-blocking loops in one process. Never enable in production code.
+static REFERENCE_KERNELS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enable or disable the [`reference`] kernel routing (see
+/// [`REFERENCE_KERNELS`]); returns the previous setting.
+pub fn set_reference_kernels(enabled: bool) -> bool {
+    REFERENCE_KERNELS.swap(enabled, std::sync::atomic::Ordering::Relaxed)
+}
+
+#[inline]
+fn reference_kernels() -> bool {
+    REFERENCE_KERNELS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The pre-blocking matmul family, kept verbatim: branchy zero-skip scalar
+/// loops, single-threaded. `bench_kernels` measures the blocked kernels
+/// against these, and [`set_reference_kernels`] routes the whole tape
+/// through them to reproduce pre-optimization training throughput.
+pub mod reference {
+    use super::Array;
+
+    /// Zero-skip ikj loop, the original [`super::matmul`] inner kernel.
+    pub fn matmul_into(a: &Array, b: &Array, out: &mut Array) {
+        let (m, k) = a.shape();
+        let n = b.cols;
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.data[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Zero-skip dot-product loop, the original [`super::matmul_bt`] kernel.
+    pub fn matmul_bt_into(a: &Array, b: &Array, out: &mut Array) {
+        let (m, k) = a.shape();
+        let n = b.rows;
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    let av = a.data[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    s += av * b.data[j * k + p];
+                }
+                out.data[i * n + j] += s;
+            }
+        }
+    }
+
+    /// Zero-skip column-gather loop, the original [`super::matmul_at`]
+    /// kernel (never had a parallel path).
+    pub fn matmul_at_into(a: &Array, b: &Array, out: &mut Array) {
+        let (k, m) = a.shape();
+        let n = b.cols;
+        for p in 0..k {
+            for i in 0..m {
+                let av = a.data[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out += a @ b`. `out` must be `(m, n)` and is accumulated into (callers
+/// pass a zeroed buffer for a plain product). Row-major blocked ikj loop,
+/// 4-wide over the inner dimension; shards rows across threads when large.
+pub fn matmul_into(a: &Array, b: &Array, out: &mut Array) {
     assert_eq!(a.cols, b.rows, "matmul shape mismatch {:?} @ {:?}", a.shape(), b.shape());
     let (m, k, n) = (a.rows, a.cols, b.cols);
-    let mut out = Array::zeros(m, n);
-    let flops = m * k * n;
-    if flops >= PARALLEL_FLOPS && m >= 8 {
-        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
-        let chunk = m.div_ceil(threads);
-        let a_data = &a.data;
-        let b_data = &b.data;
-        crossbeam::scope(|s| {
-            for (t, out_chunk) in out.data.chunks_mut(chunk * n).enumerate() {
-                let row0 = t * chunk;
-                s.spawn(move |_| {
-                    matmul_rows(a_data, b_data, out_chunk, row0, k, n);
-                });
-            }
-        })
-        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+    if reference_kernels() {
+        reference::matmul_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| matmul_rows(a, b, chunk, row0, k, n));
     } else {
         matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n);
     }
+}
+
+/// `out = a @ b`. See [`matmul_into`] for the kernel.
+pub fn matmul(a: &Array, b: &Array) -> Array {
+    let mut out = Array::zeros(a.rows, b.cols);
+    matmul_into(a, b, &mut out);
     out
 }
 
+/// Blocked ikj microkernel: 4 rows of `b` are combined per pass over the
+/// output row, so each `out` element gets 4 multiply-adds per load/store.
+/// No zero-skip on `a`: the branch defeats vectorization on dense data
+/// (DESIGN.md §9).
 fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        let mut p = 0;
+        while p + 4 <= k {
+            let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
             }
-            let brow = &b[p * n..(p + 1) * n];
+            p += 4;
+        }
+        for (pp, &av) in arow.iter().enumerate().skip(p) {
+            let brow = &b[pp * n..(pp + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
         }
+    }
+}
+
+/// `out += a @ b^T` without materializing the transpose. Same contract as
+/// [`matmul_into`]: `out` is `(a.rows, b.rows)` and accumulated into.
+pub fn matmul_bt_into(a: &Array, b: &Array, out: &mut Array) {
+    assert_eq!(a.cols, b.cols, "matmul_bt shape mismatch {:?} @ {:?}^T", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    assert_eq!(out.shape(), (m, n), "matmul_bt output shape mismatch");
+    if reference_kernels() {
+        reference::matmul_bt_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| matmul_bt_rows(a, b, chunk, row0, k, n));
+    } else {
+        matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n);
     }
 }
 
 /// `out = a @ b^T` without materializing the transpose. Shards rows across
 /// threads above [`PARALLEL_FLOPS`], like [`matmul`].
 pub fn matmul_bt(a: &Array, b: &Array) -> Array {
-    assert_eq!(a.cols, b.cols, "matmul_bt shape mismatch {:?} @ {:?}^T", a.shape(), b.shape());
-    let (m, k, n) = (a.rows, a.cols, b.rows);
-    let mut out = Array::zeros(m, n);
-    let flops = m * k * n;
-    if flops >= PARALLEL_FLOPS && m >= 8 {
-        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(8);
-        let chunk = m.div_ceil(threads);
-        let a_data = &a.data;
-        let b_data = &b.data;
-        crossbeam::scope(|s| {
-            for (t, out_chunk) in out.data.chunks_mut(chunk * n).enumerate() {
-                let row0 = t * chunk;
-                s.spawn(move |_| {
-                    matmul_bt_rows(a_data, b_data, out_chunk, row0, k, n);
-                });
-            }
-        })
-        .unwrap_or_else(|e| std::panic::resume_unwind(e));
-    } else {
-        matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n);
-    }
+    let mut out = Array::zeros(a.rows, b.rows);
+    matmul_bt_into(a, b, &mut out);
     out
 }
 
+/// Blocked dot-product microkernel: 4 rows of `b` share one pass over the
+/// `a` row, giving 4 independent accumulator chains.
 fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            *o = dot(arow, brow);
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&x, &y0), &y1), &y2), &y3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += x * y0;
+                s1 += x * y1;
+                s2 += x * y2;
+                s3 += x * y3;
+            }
+            orow[j] += s0;
+            orow[j + 1] += s1;
+            orow[j + 2] += s2;
+            orow[j + 3] += s3;
+            j += 4;
         }
+        for jj in j..n {
+            orow[jj] += dot(arow, &b[jj * k..(jj + 1) * k]);
+        }
+    }
+}
+
+/// `out += a^T @ b` without materializing the transpose. `out` is
+/// `(a.cols, b.cols)` and accumulated into; shards output rows (columns of
+/// `a`) across threads above [`PARALLEL_FLOPS`], like the other two kernels.
+pub fn matmul_at_into(a: &Array, b: &Array, out: &mut Array) {
+    assert_eq!(a.rows, b.rows, "matmul_at shape mismatch {:?}^T @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.cols, a.rows, b.cols);
+    assert_eq!(out.shape(), (m, n), "matmul_at output shape mismatch");
+    if reference_kernels() {
+        reference::matmul_at_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_at_rows(a, b, chunk, row0, k, m, n);
+        });
+    } else {
+        matmul_at_rows(&a.data, &b.data, &mut out.data, 0, k, m, n);
     }
 }
 
 /// `out = a^T @ b` without materializing the transpose.
 pub fn matmul_at(a: &Array, b: &Array) -> Array {
-    assert_eq!(a.rows, b.rows, "matmul_at shape mismatch {:?}^T @ {:?}", a.shape(), b.shape());
-    let (m, k, n) = (a.cols, a.rows, b.cols);
-    let mut out = Array::zeros(m, n);
-    for p in 0..k {
-        let arow = &a.data[p * m..(p + 1) * m];
-        let brow = &b.data[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let mut out = Array::zeros(a.cols, b.cols);
+    matmul_at_into(a, b, &mut out);
+    out
+}
+
+/// Blocked kernel for `a^T @ b`: output row `i` reads column `i` of `a`
+/// (stride `m`) 4 inner-dim steps at a time, combining 4 rows of `b` per
+/// pass over the output row.
+fn matmul_at_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let col = row0 + i;
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut p = 0;
+        while p + 4 <= k {
+            let (a0, a1, a2, a3) =
+                (a[p * m + col], a[(p + 1) * m + col], a[(p + 2) * m + col], a[(p + 3) * m + col]);
+            let b0 = &b[p * n..(p + 1) * n];
+            let b1 = &b[(p + 1) * n..(p + 2) * n];
+            let b2 = &b[(p + 2) * n..(p + 3) * n];
+            let b3 = &b[(p + 3) * n..(p + 4) * n];
+            for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
             }
-            let orow = &mut out.data[i * n..(i + 1) * n];
+            p += 4;
+        }
+        for pp in p..k {
+            let av = a[pp * m + col];
+            let brow = &b[pp * n..(pp + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
         }
     }
-    out
 }
 
+/// Dot product with 4 independent accumulator chains (unrolled over
+/// `chunks_exact(4)`), so the compiler can keep 4 FMA pipes busy.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `out += alpha * x`, 4-wide unrolled; the axpy core of the fused
+/// attention kernel's context accumulation.
+#[inline]
+fn axpy_slice(alpha: f32, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// `out += Σ_p alpha[p] * b[p*n .. p*n+n]` — the 1×k×n matmul core shared
+/// by the fused attention kernel's score and `d_attn` passes. Same 4-wide
+/// row-blocking as [`matmul`], so a score row runs at axpy speed instead of
+/// dot-product speed.
+#[inline]
+fn gemv_rows(alpha: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n);
+    debug_assert!(b.len() >= alpha.len() * n);
+    let mut p = 0;
+    while p + 4 <= alpha.len() {
+        let (a0, a1, a2, a3) = (alpha[p], alpha[p + 1], alpha[p + 2], alpha[p + 3]);
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        for ((((o, &v0), &v1), &v2), &v3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+        }
+        p += 4;
+    }
+    for (pp, &a) in alpha.iter().enumerate().skip(p) {
+        axpy_slice(a, &b[pp * n..(pp + 1) * n], out);
+    }
+}
+
+/// Strided-row variant of [`gemv_rows`]: `out += Σ_p alpha[p] *
+/// b[p*stride .. p*stride + out.len()]`. This is how the fused attention
+/// kernel runs per-head column-segment products (stride `d`, width `dh`)
+/// without materializing the head slice.
+#[inline]
+fn gemv_rows_strided(alpha: &[f32], b: &[f32], stride: usize, out: &mut [f32]) {
+    let w = out.len();
+    debug_assert!(alpha.is_empty() || b.len() >= (alpha.len() - 1) * stride + w);
+    let mut p = 0;
+    while p + 4 <= alpha.len() {
+        let (a0, a1, a2, a3) = (alpha[p], alpha[p + 1], alpha[p + 2], alpha[p + 3]);
+        let b0 = &b[p * stride..p * stride + w];
+        let b1 = &b[(p + 1) * stride..(p + 1) * stride + w];
+        let b2 = &b[(p + 2) * stride..(p + 2) * stride + w];
+        let b3 = &b[(p + 3) * stride..(p + 3) * stride + w];
+        for ((((o, &v0), &v1), &v2), &v3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+        }
+        p += 4;
+    }
+    for (pp, &a) in alpha.iter().enumerate().skip(p) {
+        axpy_slice(a, &b[pp * stride..pp * stride + w], out);
+    }
+}
+
+/// Transpose `src` (rows × cols, row-major) into `dst` (cols × rows).
+#[inline]
+fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for (r, row) in src.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}
+
+/// Fused multi-head attention forward (Eq. 7 dataflow, all heads).
+///
+/// `q`, `k`, `v` are the already-projected `(t, d)` matrices; head `h` reads
+/// column segment `h*dh..(h+1)*dh` where `dh = d / heads`. `k` is first
+/// transposed into `scratch` (one `(d, t)` buffer for the whole call) so the
+/// score pass runs in axpy form over contiguous `kᵀ` rows; each score row is
+/// then scaled, biased and exp-normalized in place, and the context is
+/// accumulated via axpy over `v` rows — no per-head `(t, t)` or `(t, dh)`
+/// temporary is ever materialized.
+///
+/// `mask`, when present, is the `(heads*t, t)` *scaled* dropout keep-mask
+/// (entries `0` or `1/(1-p)`); it weights the context accumulation but
+/// `attn` always stores the pre-dropout row-softmax probabilities — the
+/// backward pass needs them undropped.
+///
+/// `attn` must be `(heads*t, t)` (fully overwritten); `out` must be a
+/// zeroed `(t, d)` buffer (accumulated into); `scratch` is resized to
+/// `d*t + t` internally (the `kᵀ` transpose plus one weight row).
+#[allow(clippy::too_many_arguments)]
+pub fn mh_attention_forward(
+    q: &Array,
+    k: &Array,
+    v: &Array,
+    bias: Option<&Array>,
+    heads: usize,
+    scale: f32,
+    mask: Option<&Array>,
+    attn: &mut Array,
+    out: &mut Array,
+    scratch: &mut Vec<f32>,
+) {
+    let (t, d) = q.shape();
+    assert_eq!(k.shape(), (t, d), "mh_attention k shape mismatch");
+    assert_eq!(v.shape(), (t, d), "mh_attention v shape mismatch");
+    assert!(heads > 0 && d % heads == 0, "model dim {d} not divisible by {heads} heads");
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), (t, t), "mh_attention bias must be (t, t)");
+    }
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), (heads * t, t), "mh_attention mask must be (heads*t, t)");
+    }
+    assert_eq!(attn.shape(), (heads * t, t), "mh_attention attn buffer shape");
+    assert_eq!(out.shape(), (t, d), "mh_attention out buffer shape");
+    let dh = d / heads;
+    scratch.clear();
+    scratch.resize(d * t + t, 0.0);
+    let (kt, wrow) = scratch.split_at_mut(d * t);
+    // kt[p][j] = k[j][p]; row p of kt is column p of k, contiguous.
+    transpose_into(&k.data, t, d, kt);
+    for h in 0..heads {
+        let lo = h * dh;
+        let kt_head = &kt[lo * t..(lo + dh) * t];
+        for i in 0..t {
+            let qrow = &q.data[i * d + lo..i * d + lo + dh];
+            let arow = &mut attn.data[(h * t + i) * t..(h * t + i + 1) * t];
+            // Pass 1: raw scores, axpy form over kᵀ rows.
+            arow.fill(0.0);
+            gemv_rows(qrow, kt_head, t, arow);
+            // Pass 2: scale + bias, tracking the row max.
+            let mut maxv = f32::NEG_INFINITY;
+            match bias.map(|b| b.row(i)) {
+                Some(br) => {
+                    for (val, &bv) in arow.iter_mut().zip(br) {
+                        *val = *val * scale + bv;
+                        maxv = maxv.max(*val);
+                    }
+                }
+                None => {
+                    for val in arow.iter_mut() {
+                        *val *= scale;
+                        maxv = maxv.max(*val);
+                    }
+                }
+            }
+            // Pass 3: exp-normalize in place.
+            let mut sum = 0.0f32;
+            for val in arow.iter_mut() {
+                *val = (*val - maxv).exp();
+                sum += *val;
+            }
+            let inv = 1.0 / sum;
+            for val in arow.iter_mut() {
+                *val *= inv;
+            }
+            // Pass 4: context accumulation over strided v-row segments,
+            // dropout folded into the weight row.
+            let orow = &mut out.data[i * d + lo..i * d + lo + dh];
+            match mask.map(|m| m.row(h * t + i)) {
+                Some(m) => {
+                    for ((w, &a), &mv) in wrow.iter_mut().zip(arow.iter()).zip(m) {
+                        *w = a * mv;
+                    }
+                    gemv_rows_strided(wrow, &v.data[lo..], d, orow);
+                }
+                None => gemv_rows_strided(arow, &v.data[lo..], d, orow),
+            }
+        }
+    }
+}
+
+/// Hand-written backward for [`mh_attention_forward`].
+///
+/// Uses the cached pre-dropout probabilities `attn` and recomputes nothing
+/// else. Per head `h` (segment `lo..lo+dh`) and query row `i`, with
+/// `m = mask` (or all-ones) and `g = d(loss)/d(out)`:
+///
+/// ```text
+/// d_attn[j]  = (g_i . v_j) * m[i][j]            // through dropout
+/// dv_j      += (attn[i][j] * m[i][j]) * g_i     // context is linear in v
+/// s          = d_attn . attn_row                // softmax Jacobian contraction
+/// dscore[j]  = attn[i][j] * (d_attn[j] - s)
+/// dbias[i]  += dscore                           // bias enters pre-softmax
+/// dq_i      += scale * sum_j dscore[j] * k_j
+/// dk_j      += scale * dscore[j] * q_i
+/// ```
+///
+/// All heavy passes run in 4-wide gemv form: `d_attn` rows against a `vᵀ`
+/// transpose, `dq` rows against strided `k` segments, and the `dk`/`dv`
+/// scatter updates are rewritten as gathers — per head the kernel stores
+/// `scale·dscore` and the dropped attention weights *transposed* (column
+/// `i` written while processing query row `i`), then computes
+/// `dk_j += Σ_i dscoreᵀ[j][i]·q_i` and `dv_j += Σ_i wᵀ[j][i]·g_i` as
+/// contiguous-alpha gemvs over strided rows.
+///
+/// `dq`/`dk`/`dv` (and `dbias` when present) are accumulated into and must
+/// be zeroed by the caller; `scratch` is a reusable buffer resized to
+/// `d*t + 2*t*t + t` internally (the `vᵀ` transpose, the two per-head
+/// transposed weight matrices, and one score-row buffer).
+#[allow(clippy::too_many_arguments)]
+pub fn mh_attention_backward(
+    g_out: &Array,
+    q: &Array,
+    k: &Array,
+    v: &Array,
+    attn: &Array,
+    mask: Option<&Array>,
+    heads: usize,
+    scale: f32,
+    dq: &mut Array,
+    dk: &mut Array,
+    dv: &mut Array,
+    mut dbias: Option<&mut Array>,
+    scratch: &mut Vec<f32>,
+) {
+    let (t, d) = q.shape();
+    assert_eq!(g_out.shape(), (t, d), "mh_attention_backward g_out shape");
+    assert_eq!(attn.shape(), (heads * t, t), "mh_attention_backward attn shape");
+    assert_eq!(dq.shape(), (t, d), "mh_attention_backward dq shape");
+    assert_eq!(dk.shape(), (t, d), "mh_attention_backward dk shape");
+    assert_eq!(dv.shape(), (t, d), "mh_attention_backward dv shape");
+    if let Some(db) = dbias.as_deref() {
+        assert_eq!(db.shape(), (t, t), "mh_attention_backward dbias shape");
+    }
+    let dh = d / heads;
+    scratch.clear();
+    scratch.resize(d * t + 2 * t * t + t, 0.0);
+    let (vt, rest) = scratch.split_at_mut(d * t);
+    let (dst, rest) = rest.split_at_mut(t * t);
+    let (wt, darow) = rest.split_at_mut(t * t);
+    // vt[p][j] = v[j][p]; row p of vt is column p of v, contiguous.
+    transpose_into(&v.data, t, d, vt);
+    for h in 0..heads {
+        let lo = h * dh;
+        let vt_head = &vt[lo * t..(lo + dh) * t];
+        for i in 0..t {
+            let grow = &g_out.data[i * d + lo..i * d + lo + dh];
+            let arow = attn.row(h * t + i);
+            let mrow = mask.map(|m| m.row(h * t + i));
+            // d_attn = g_i · vᵀ, gemv form over vᵀ rows, then dropout; the
+            // dropped weights land transposed in wt for the dv gather.
+            darow.fill(0.0);
+            gemv_rows(grow, vt_head, t, darow);
+            match mrow {
+                Some(m) => {
+                    for (j, da_slot) in darow.iter_mut().enumerate() {
+                        *da_slot *= m[j];
+                        wt[j * t + i] = arow[j] * m[j];
+                    }
+                }
+                None => {
+                    for (j, &a) in arow.iter().enumerate() {
+                        wt[j * t + i] = a;
+                    }
+                }
+            }
+            let s = dot(darow, arow);
+            // dscore = attn ∘ (d_attn − s); dbias takes it raw, dq/dk take
+            // it pre-scaled (dst holds the transposed scaled copy).
+            for (j, (ds, &a)) in darow.iter_mut().zip(arow).enumerate() {
+                *ds = a * (*ds - s);
+                if let Some(db) = dbias.as_deref_mut() {
+                    db.data[i * t + j] += *ds;
+                }
+                *ds *= scale;
+                dst[j * t + i] = *ds;
+            }
+            let qrow_start = i * d + lo;
+            gemv_rows_strided(darow, &k.data[lo..], d, &mut dq.data[qrow_start..qrow_start + dh]);
+        }
+        // Gather pass: dk_j += Σ_i dscoreᵀ[j][i]·q_i, dv_j += Σ_i wᵀ[j][i]·g_i.
+        for j in 0..t {
+            let seg = j * d + lo;
+            gemv_rows_strided(
+                &dst[j * t..(j + 1) * t],
+                &q.data[lo..],
+                d,
+                &mut dk.data[seg..seg + dh],
+            );
+            gemv_rows_strided(
+                &wt[j * t..(j + 1) * t],
+                &g_out.data[lo..],
+                d,
+                &mut dv.data[seg..seg + dh],
+            );
+        }
+    }
 }
 
 /// Numerically stable in-place row softmax.

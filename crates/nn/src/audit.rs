@@ -260,7 +260,8 @@ impl Graph<'_> {
             }
         }
 
-        // 4. Dropout recorded on an eval-mode tape.
+        // 4. Dropout recorded on an eval-mode tape — standalone Dropout ops
+        // and fused attention nodes carrying a dropout mask alike.
         if !self.train {
             for (idx, node) in self.nodes.iter().enumerate() {
                 if node.op.kind() == OpKind::Dropout {
@@ -268,6 +269,13 @@ impl Graph<'_> {
                         FindingKind::EvalModeDropout,
                         Some(NodeId(idx)),
                         "dropout recorded while the graph is in eval mode".to_string(),
+                    );
+                } else if matches!(&node.op, Op::MhAttention { mask: Some(_), .. }) {
+                    report.push(
+                        FindingKind::EvalModeDropout,
+                        Some(NodeId(idx)),
+                        "fused attention carries a dropout mask while the graph is in eval mode"
+                            .to_string(),
                     );
                 }
             }
@@ -484,6 +492,29 @@ fn infer_shape(
                 ));
             }
             Ok((1, 1))
+        }
+        Op::MhAttention { q, k, v, bias, heads, attn, mask, .. } => {
+            let (t, d) = s(*q);
+            if s(*k) != (t, d) || s(*v) != (t, d) {
+                return Err(format!("q/k/v shapes differ: {t}x{d} vs {:?} vs {:?}", s(*k), s(*v)));
+            }
+            if *heads == 0 || d % heads != 0 {
+                return Err(format!("model dim {d} not divisible by {heads} heads"));
+            }
+            if let Some(b) = bias {
+                if s(*b) != (t, t) {
+                    return Err(format!("bias is {:?}, want {t}x{t}", s(*b)));
+                }
+            }
+            if attn.shape() != (heads * t, t) {
+                return Err(format!("saved attn is {:?}, want {}x{t}", attn.shape(), heads * t));
+            }
+            if let Some(m) = mask {
+                if m.shape() != (heads * t, t) {
+                    return Err(format!("saved mask is {:?}, want {}x{t}", m.shape(), heads * t));
+                }
+            }
+            Ok((t, d))
         }
     }
 }

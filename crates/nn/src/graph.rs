@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::array::{self, Array};
 use crate::params::{GradStore, ParamId, ParamStore};
+use crate::pool::BufferPool;
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -128,6 +129,7 @@ op_kinds! {
     MeanAll,
     CrossEntropyRows,
     MseLoss,
+    MhAttention,
 }
 
 pub(crate) enum Op {
@@ -182,6 +184,20 @@ pub(crate) enum Op {
         pred: NodeId,
         target: Array,
     },
+    /// Fused multi-head attention (Eq. 7): all heads of
+    /// `softmax(scale * q k^T + bias)` with dropout applied inside the
+    /// kernel. Saves the `(heads*t, t)` pre-dropout row-softmax `attn` and
+    /// the scaled keep-mask so the backward recomputes nothing.
+    MhAttention {
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        bias: Option<NodeId>,
+        heads: usize,
+        scale: f32,
+        attn: Array,
+        mask: Option<Array>,
+    },
 }
 
 impl Op {
@@ -221,6 +237,7 @@ impl Op {
             Op::MeanAll(..) => OpKind::MeanAll,
             Op::CrossEntropyRows { .. } => OpKind::CrossEntropyRows,
             Op::MseLoss { .. } => OpKind::MseLoss,
+            Op::MhAttention { .. } => OpKind::MhAttention,
         }
     }
 
@@ -252,6 +269,11 @@ impl Op {
             Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.clone(),
             Op::CrossEntropyRows { logits, .. } => vec![*logits],
             Op::MseLoss { pred, .. } => vec![*pred],
+            Op::MhAttention { q, k, v, bias, .. } => {
+                let mut ins = vec![*q, *k, *v];
+                ins.extend(*bias);
+                ins
+            }
         }
     }
 }
@@ -262,16 +284,79 @@ pub(crate) struct Node {
 }
 
 /// A define-by-run computation tape.
+///
+/// Node values draw their buffers from a per-graph [`BufferPool`]:
+/// [`Graph::reset`] drains the tape back into the pool, so a training loop
+/// that calls `reset` between steps (or threads one pool through
+/// [`Graph::with_pool`] / [`Graph::into_pool`]) reuses the same handful of
+/// allocations for every step. Invariant: **no [`NodeId`] taken before a
+/// `reset` may be used afterwards** — the buffers it named now back other
+/// nodes (see DESIGN.md §9).
 pub struct Graph<'s> {
     pub(crate) store: &'s ParamStore,
     pub(crate) nodes: Vec<Node>,
     /// Whether dropout is active.
     pub(crate) train: bool,
+    /// Free-list the tape's `Array` buffers are drawn from and returned to.
+    pub(crate) pool: BufferPool,
 }
 
 impl<'s> Graph<'s> {
     pub fn new(store: &'s ParamStore, train: bool) -> Self {
-        Self { store, nodes: Vec::with_capacity(256), train }
+        Self::with_pool(store, train, BufferPool::new())
+    }
+
+    /// Build a graph around an existing buffer pool (typically one handed
+    /// back by [`Graph::into_pool`] on the previous optimizer step — the
+    /// graph cannot outlive the step because it immutably borrows the
+    /// `ParamStore` the optimizer needs to mutate).
+    pub fn with_pool(store: &'s ParamStore, train: bool, pool: BufferPool) -> Self {
+        Self { store, nodes: Vec::with_capacity(256), train, pool }
+    }
+
+    /// Clear the tape, returning every node buffer (and saved op payload) to
+    /// the pool. All previously issued [`NodeId`]s are invalidated.
+    pub fn reset(&mut self) {
+        let Self { nodes, pool, .. } = self;
+        for node in nodes.drain(..) {
+            pool.recycle(node.value);
+            match node.op {
+                Op::Dropout(_, mask) => pool.recycle(mask),
+                Op::LayerNormRows(_, stats) | Op::L2NormalizeRows(_, stats) => pool.give(stats),
+                Op::CrossEntropyRows { softmax, .. } => pool.recycle(softmax),
+                Op::MseLoss { target, .. } => pool.recycle(target),
+                Op::MhAttention { attn, mask, .. } => {
+                    pool.recycle(attn);
+                    if let Some(m) = mask {
+                        pool.recycle(m);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tear the graph down, recycling its tape, and hand the pool back so
+    /// the next step's graph can reuse the buffers.
+    pub fn into_pool(mut self) -> BufferPool {
+        self.reset();
+        std::mem::take(&mut self.pool)
+    }
+
+    /// `(hits, misses)` of the underlying pool's buffer requests.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Pooled zero-filled array.
+    fn alloc_zeros(&mut self, rows: usize, cols: usize) -> Array {
+        self.pool.array_zeros(rows, cols)
+    }
+
+    /// Pooled copy of a node's value.
+    fn alloc_copy_of(&mut self, x: NodeId) -> Array {
+        let Self { nodes, pool, .. } = self;
+        pool.array_copy(&nodes[x.0].value)
     }
 
     pub fn is_train(&self) -> bool {
@@ -328,58 +413,70 @@ impl<'s> Graph<'s> {
 
     /// Bind a trainable parameter into the tape.
     pub fn param(&mut self, id: ParamId) -> NodeId {
-        let value = self.store.get(id).clone();
+        let value = {
+            let Self { store, pool, .. } = self;
+            pool.array_copy(store.get(id))
+        };
         self.push(value, Op::Param(id))
     }
 
     // ---- linear algebra ---------------------------------------------
 
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = array::matmul(self.value(a), self.value(b));
+        let (m, _) = self.shape(a);
+        let (_, n) = self.shape(b);
+        let mut v = self.alloc_zeros(m, n);
+        array::matmul_into(self.value(a), self.value(b), &mut v);
         self.push(v, Op::MatMul(a, b))
     }
 
     pub fn transpose(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).transposed();
+        let (r, c) = self.shape(x);
+        let mut v = self.alloc_zeros(c, r);
+        let xv = self.value(x);
+        for i in 0..r {
+            for j in 0..c {
+                v.set(j, i, xv.get(i, j));
+            }
+        }
         self.push(v, Op::Transpose(x))
     }
 
     pub fn reshape(&mut self, x: NodeId, rows: usize, cols: usize) -> NodeId {
-        let v = self.value(x).clone().reshaped(rows, cols);
+        let v = self.alloc_copy_of(x).reshaped(rows, cols);
         self.push(v, Op::Reshape(x))
     }
 
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.alloc_copy_of(a);
         v.add_assign(self.value(b));
         self.push(v, Op::Add(a, b))
     }
 
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut v = self.value(a).clone();
+        let mut v = self.alloc_copy_of(a);
         v.axpy(-1.0, self.value(b));
         self.push(v, Op::Sub(a, b))
     }
 
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         assert_eq!(self.shape(a), self.shape(b), "elementwise mul shape mismatch");
+        let mut v = self.alloc_copy_of(a);
         let bv = self.value(b);
-        let v = Array::from_vec(
-            bv.rows(),
-            bv.cols(),
-            self.value(a).data().iter().zip(bv.data()).map(|(x, y)| x * y).collect(),
-        );
+        for (o, m) in v.data_mut().iter_mut().zip(bv.data()) {
+            *o *= m;
+        }
         self.push(v, Op::Mul(a, b))
     }
 
     pub fn scale(&mut self, x: NodeId, c: f32) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.alloc_copy_of(x);
         v.scale_assign(c);
         self.push(v, Op::Scale(x, c))
     }
 
     pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
-        let v = self.value(x).clone().map(|t| t + c);
+        let v = self.alloc_copy_of(x).map(|t| t + c);
         self.push(v, Op::AddScalar(x))
     }
 
@@ -387,10 +484,10 @@ impl<'s> Graph<'s> {
     pub fn add_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
         let (n, d) = self.shape(x);
         assert_eq!(self.shape(row), (1, d), "add_row bias shape mismatch");
-        let rv = self.value(row).data().to_vec();
-        let mut v = self.value(x).clone();
+        let mut v = self.alloc_copy_of(x);
+        let rv = self.value(row);
         for r in 0..n {
-            for (o, b) in v.row_mut(r).iter_mut().zip(&rv) {
+            for (o, b) in v.row_mut(r).iter_mut().zip(rv.data()) {
                 *o += b;
             }
         }
@@ -401,10 +498,10 @@ impl<'s> Graph<'s> {
     pub fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
         let (n, d) = self.shape(x);
         assert_eq!(self.shape(row), (1, d), "mul_row shape mismatch");
-        let rv = self.value(row).data().to_vec();
-        let mut v = self.value(x).clone();
+        let mut v = self.alloc_copy_of(x);
+        let rv = self.value(row);
         for r in 0..n {
-            for (o, m) in v.row_mut(r).iter_mut().zip(&rv) {
+            for (o, m) in v.row_mut(r).iter_mut().zip(rv.data()) {
                 *o *= m;
             }
         }
@@ -415,9 +512,9 @@ impl<'s> Graph<'s> {
     pub fn mul_col(&mut self, x: NodeId, col: NodeId) -> NodeId {
         let (n, _d) = self.shape(x);
         assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
-        let cv = self.value(col).data().to_vec();
-        let mut v = self.value(x).clone();
-        for (r, &c) in cv.iter().enumerate() {
+        let mut v = self.alloc_copy_of(x);
+        let cv = self.value(col);
+        for (r, &c) in cv.data().iter().enumerate() {
             for o in v.row_mut(r) {
                 *o *= c;
             }
@@ -428,36 +525,36 @@ impl<'s> Graph<'s> {
     // ---- activations --------------------------------------------------
 
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).clone().map(|t| t.max(0.0));
+        let v = self.alloc_copy_of(x).map(|t| t.max(0.0));
         self.push(v, Op::Relu(x))
     }
 
     /// LeakyReLU; the paper uses slope 0.2 in Eqs. (1) and (9).
     pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
-        let v = self.value(x).clone().map(|t| if t > 0.0 { t } else { slope * t });
+        let v = self.alloc_copy_of(x).map(|t| if t > 0.0 { t } else { slope * t });
         self.push(v, Op::LeakyRelu(x, slope))
     }
 
     /// Exponential linear unit, used by GAT aggregation (Eq. 3).
     pub fn elu(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).clone().map(|t| if t > 0.0 { t } else { t.exp() - 1.0 });
+        let v = self.alloc_copy_of(x).map(|t| if t > 0.0 { t } else { t.exp() - 1.0 });
         self.push(v, Op::Elu(x))
     }
 
     pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).clone().map(|t| 1.0 / (1.0 + (-t).exp()));
+        let v = self.alloc_copy_of(x).map(|t| 1.0 / (1.0 + (-t).exp()));
         self.push(v, Op::Sigmoid(x))
     }
 
     pub fn tanh(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).clone().map(f32::tanh);
+        let v = self.alloc_copy_of(x).map(f32::tanh);
         self.push(v, Op::Tanh(x))
     }
 
     // ---- normalization ------------------------------------------------
 
     pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
-        let mut v = self.value(x).clone();
+        let mut v = self.alloc_copy_of(x);
         array::softmax_rows_inplace(&mut v);
         self.push(v, Op::SoftmaxRows(x))
     }
@@ -466,10 +563,9 @@ impl<'s> Graph<'s> {
     /// by the caller with [`Graph::mul_row`] + [`Graph::add_row`].
     pub fn layer_norm_rows(&mut self, x: NodeId) -> NodeId {
         const EPS: f32 = 1e-5;
-        let xv = self.value(x);
-        let (n, d) = xv.shape();
-        let mut v = xv.clone();
-        let mut rstds = Vec::with_capacity(n);
+        let (n, d) = self.shape(x);
+        let mut v = self.alloc_copy_of(x);
+        let mut rstds = self.pool.take(n);
         for r in 0..n {
             let row = v.row_mut(r);
             let mean = row.iter().sum::<f32>() / d as f32;
@@ -488,37 +584,87 @@ impl<'s> Graph<'s> {
         if !self.train || p <= 0.0 {
             return x;
         }
-        let xv = self.value(x);
+        let (rows, cols) = self.shape(x);
         let keep = 1.0 - p;
         let scale = 1.0 / keep;
-        let mask =
-            Array::from_fn(
-                xv.rows(),
-                xv.cols(),
-                |_, _| {
-                    if rng.gen::<f32>() < keep {
-                        scale
-                    } else {
-                        0.0
-                    }
-                },
-            );
-        let v = Array::from_vec(
-            xv.rows(),
-            xv.cols(),
-            xv.data().iter().zip(mask.data()).map(|(a, m)| a * m).collect(),
-        );
+        let mut mbuf = self.pool.take(rows * cols);
+        for _ in 0..rows * cols {
+            mbuf.push(if rng.gen::<f32>() < keep { scale } else { 0.0 });
+        }
+        let mask = Array::from_vec(rows, cols, mbuf);
+        let mut v = self.alloc_copy_of(x);
+        for (o, m) in v.data_mut().iter_mut().zip(mask.data()) {
+            *o *= m;
+        }
         self.push(v, Op::Dropout(x, mask))
+    }
+
+    /// Fused multi-head attention over already-projected `q`, `k`, `v`
+    /// (each `(t, d)` with `d = heads * d_h`), the paper's Eq. 7 dataflow:
+    /// per head `softmax(q_h k_h^T / sqrt(d_h) + bias) v_h`, with the
+    /// optional additive `(t, t)` score `bias` shared across heads and
+    /// inverted dropout on the attention probabilities applied inside the
+    /// kernel (identity in eval mode or when `p == 0`). One tape node
+    /// replaces the ~8-node per-head subgraph the unfused path records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mh_attention(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        bias: Option<NodeId>,
+        heads: usize,
+        dropout_p: f32,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let (t, d) = self.shape(q);
+        assert_eq!(self.shape(k), (t, d), "mh_attention k shape mismatch");
+        assert_eq!(self.shape(v), (t, d), "mh_attention v shape mismatch");
+        assert!(heads > 0 && d % heads == 0, "model dim {d} not divisible by {heads} heads");
+        if let Some(b) = bias {
+            assert_eq!(self.shape(b), (t, t), "mh_attention bias must be (t, t)");
+        }
+        let scale = 1.0 / ((d / heads) as f32).sqrt();
+        // The keep-mask is drawn up front (row-major over the (heads*t, t)
+        // score block) so the rng stream is a deterministic function of the
+        // call, independent of kernel iteration order.
+        let mask = if self.train && dropout_p > 0.0 {
+            let keep = 1.0 - dropout_p;
+            let mscale = 1.0 / keep;
+            let mut mbuf = self.pool.take(heads * t * t);
+            for _ in 0..heads * t * t {
+                mbuf.push(if rng.gen::<f32>() < keep { mscale } else { 0.0 });
+            }
+            Some(Array::from_vec(heads * t, t, mbuf))
+        } else {
+            None
+        };
+        let mut attn = self.alloc_zeros(heads * t, t);
+        let mut out = self.alloc_zeros(t, d);
+        let mut scratch = self.pool.take(t * d);
+        array::mh_attention_forward(
+            self.value(q),
+            self.value(k),
+            self.value(v),
+            bias.map(|b| self.value(b)),
+            heads,
+            scale,
+            mask.as_ref(),
+            &mut attn,
+            &mut out,
+            &mut scratch,
+        );
+        self.pool.give(scratch);
+        self.push(out, Op::MhAttention { q, k, v, bias, heads, scale, attn, mask })
     }
 
     /// Row-wise L2 normalization, used for the cosine similarity in the
     /// NT-Xent contrastive loss (Eq. 14).
     pub fn l2_normalize_rows(&mut self, x: NodeId) -> NodeId {
         const EPS: f32 = 1e-12;
-        let xv = self.value(x);
-        let (n, d) = xv.shape();
-        let mut v = xv.clone();
-        let mut norms = Vec::with_capacity(n);
+        let (n, d) = self.shape(x);
+        let mut v = self.alloc_copy_of(x);
+        let mut norms = self.pool.take(n);
         for r in 0..n {
             let row = v.row_mut(r);
             let norm = row.iter().map(|t| t * t).sum::<f32>().sqrt().max(EPS);
@@ -538,7 +684,7 @@ impl<'s> Graph<'s> {
         assert!(!parts.is_empty());
         let n = self.shape(parts[0]).0;
         let total: usize = parts.iter().map(|&p| self.shape(p).1).sum();
-        let mut v = Array::zeros(n, total);
+        let mut v = self.alloc_zeros(n, total);
         let mut off = 0;
         for &p in parts {
             let pv = self.value(p);
@@ -556,7 +702,7 @@ impl<'s> Graph<'s> {
         assert!(!parts.is_empty());
         let d = self.shape(parts[0]).1;
         let total: usize = parts.iter().map(|&p| self.shape(p).0).sum();
-        let mut data = Vec::with_capacity(total * d);
+        let mut data = self.pool.take(total * d);
         for &p in parts {
             let pv = self.value(p);
             assert_eq!(pv.cols(), d, "concat_rows col mismatch");
@@ -566,18 +712,23 @@ impl<'s> Graph<'s> {
     }
 
     pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let (n, w) = self.shape(x);
+        assert!(start < end && end <= w, "slice_cols out of range");
+        let mut data = self.pool.take(n * (end - start));
         let xv = self.value(x);
-        assert!(start < end && end <= xv.cols(), "slice_cols out of range");
-        let v = Array::from_fn(xv.rows(), end - start, |r, c| xv.get(r, start + c));
+        for r in 0..n {
+            data.extend_from_slice(&xv.row(r)[start..end]);
+        }
+        let v = Array::from_vec(n, end - start, data);
         self.push(v, Op::SliceCols(x, start))
     }
 
     /// Output row `i` = input row `indices[i]`. Backward scatter-adds, so the
     /// same row may be gathered many times (embedding lookups, GAT edges).
     pub fn gather_rows(&mut self, x: NodeId, indices: Arc<Vec<u32>>) -> NodeId {
+        let d = self.shape(x).1;
+        let mut data = self.pool.take(indices.len() * d);
         let xv = self.value(x);
-        let d = xv.cols();
-        let mut data = Vec::with_capacity(indices.len() * d);
         for &i in indices.iter() {
             data.extend_from_slice(xv.row(i as usize));
         }
@@ -592,10 +743,10 @@ impl<'s> Graph<'s> {
 
     /// Sum rows within each segment: `(E, d) -> (S, d)` (GAT aggregation, Eq. 3).
     pub fn segment_sum(&mut self, x: NodeId, segments: &Segments) -> NodeId {
+        let (n, d) = self.shape(x);
+        assert_eq!(n, segments.total_rows(), "segment_sum row mismatch");
+        let mut v = self.alloc_zeros(segments.num_segments(), d);
         let xv = self.value(x);
-        assert_eq!(xv.rows(), segments.total_rows(), "segment_sum row mismatch");
-        let d = xv.cols();
-        let mut v = Array::zeros(segments.num_segments(), d);
         for s in 0..segments.num_segments() {
             for r in segments.range(s) {
                 let src = xv.row(r);
@@ -609,10 +760,10 @@ impl<'s> Graph<'s> {
 
     /// Softmax within each segment of an `(E, 1)` column (GAT attention, Eq. 1).
     pub fn segment_softmax(&mut self, x: NodeId, segments: &Segments) -> NodeId {
-        let xv = self.value(x);
-        assert_eq!(xv.cols(), 1, "segment_softmax expects a column vector");
-        assert_eq!(xv.rows(), segments.total_rows(), "segment_softmax row mismatch");
-        let mut v = xv.clone();
+        let (n, w) = self.shape(x);
+        assert_eq!(w, 1, "segment_softmax expects a column vector");
+        assert_eq!(n, segments.total_rows(), "segment_softmax row mismatch");
+        let mut v = self.alloc_copy_of(x);
         for s in 0..segments.num_segments() {
             let range = segments.range(s);
             if range.is_empty() {
@@ -648,15 +799,15 @@ impl<'s> Graph<'s> {
     /// Mean cross-entropy of row-softmaxed `logits` against integer targets
     /// (Eqs. 13, 14, 17). Returns a scalar node.
     pub fn cross_entropy_rows(&mut self, logits: NodeId, targets: Arc<Vec<u32>>) -> NodeId {
-        let lv = self.value(logits);
-        assert_eq!(lv.rows(), targets.len(), "one target per row required");
-        let mut softmax = lv.clone();
+        assert_eq!(self.shape(logits).0, targets.len(), "one target per row required");
+        let mut softmax = self.alloc_copy_of(logits);
         array::softmax_rows_inplace(&mut softmax);
-        let log_probs = array::log_softmax_rows(lv);
+        let log_probs = array::log_softmax_rows(self.value(logits));
         let n = targets.len() as f32;
         let loss =
             -targets.iter().enumerate().map(|(r, &t)| log_probs.get(r, t as usize)).sum::<f32>()
                 / n;
+        self.pool.recycle(log_probs);
         self.push(Array::scalar(loss), Op::CrossEntropyRows { logits, targets, softmax })
     }
 
@@ -673,59 +824,97 @@ impl<'s> Graph<'s> {
 
     /// Reverse-mode sweep from a scalar `loss` node; parameter gradients are
     /// accumulated into `grads` (so batches can be split across graphs).
-    pub fn backward(&self, loss: NodeId, grads: &mut GradStore) {
+    ///
+    /// Takes `&mut self` because every gradient temporary is drawn from the
+    /// graph's buffer pool and recycled as soon as its node is processed.
+    pub fn backward(&mut self, loss: NodeId, grads: &mut GradStore) {
         assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
-        let mut node_grads: Vec<Option<Array>> = (0..self.nodes.len()).map(|_| None).collect();
+        let Self { nodes, pool, .. } = self;
+        let shape_of = |nodes: &[Node], id: NodeId| nodes[id.0].value.shape();
+        let mut node_grads: Vec<Option<Array>> = (0..nodes.len()).map(|_| None).collect();
         node_grads[loss.0] = Some(Array::scalar(1.0));
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = node_grads[idx].take() else { continue };
-            match &self.nodes[idx].op {
-                Op::Input => {}
-                Op::Param(pid) => grads.accumulate(*pid, &g),
-                Op::MatMul(a, b) => {
-                    let da = array::matmul_bt(&g, self.value(*b));
-                    let db = array::matmul_at(self.value(*a), &g);
-                    accum(&mut node_grads, a.0, da);
-                    accum(&mut node_grads, b.0, db);
+            // Each arm either moves `g` into a downstream gradient (returns
+            // `None`) or leaves it to be recycled (`Some(g)`).
+            let leftover = match &nodes[idx].op {
+                Op::Input => Some(g),
+                Op::Param(pid) => {
+                    grads.accumulate(*pid, &g);
+                    Some(g)
                 }
-                Op::Transpose(x) => accum(&mut node_grads, x.0, g.transposed()),
+                Op::MatMul(a, b) => {
+                    let (m, _) = g.shape();
+                    let (ka, _) = shape_of(nodes, *b); // b is (ka, n)
+                    let mut da = pool.array_zeros(m, ka);
+                    array::matmul_bt_into(&g, &nodes[b.0].value, &mut da);
+                    let (ar, ac) = shape_of(nodes, *a);
+                    let _ = ar;
+                    let mut db = pool.array_zeros(ac, g.cols());
+                    array::matmul_at_into(&nodes[a.0].value, &g, &mut db);
+                    accum(pool, &mut node_grads, a.0, da);
+                    accum(pool, &mut node_grads, b.0, db);
+                    Some(g)
+                }
+                Op::Transpose(x) => {
+                    let (r, c) = shape_of(nodes, *x);
+                    let mut dx = pool.array_zeros(r, c);
+                    for i in 0..r {
+                        for j in 0..c {
+                            dx.set(i, j, g.get(j, i));
+                        }
+                    }
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
+                }
                 Op::Reshape(x) => {
-                    let (r, c) = self.shape(*x);
-                    accum(&mut node_grads, x.0, g.reshaped(r, c));
+                    let (r, c) = shape_of(nodes, *x);
+                    accum(pool, &mut node_grads, x.0, g.reshaped(r, c));
+                    None
                 }
                 Op::Add(a, b) => {
-                    accum(&mut node_grads, a.0, g.clone());
-                    accum(&mut node_grads, b.0, g);
+                    let ga = pool.array_copy(&g);
+                    accum(pool, &mut node_grads, a.0, ga);
+                    accum(pool, &mut node_grads, b.0, g);
+                    None
                 }
                 Op::Sub(a, b) => {
-                    accum(&mut node_grads, a.0, g.clone());
+                    let ga = pool.array_copy(&g);
+                    accum(pool, &mut node_grads, a.0, ga);
                     let mut ng = g;
                     ng.scale_assign(-1.0);
-                    accum(&mut node_grads, b.0, ng);
+                    accum(pool, &mut node_grads, b.0, ng);
+                    None
                 }
                 Op::Mul(a, b) => {
-                    let da = ew_mul(&g, self.value(*b));
-                    let db = ew_mul(&g, self.value(*a));
-                    accum(&mut node_grads, a.0, da);
-                    accum(&mut node_grads, b.0, db);
+                    let da = ew_mul(pool, &g, &nodes[b.0].value);
+                    let db = ew_mul(pool, &g, &nodes[a.0].value);
+                    accum(pool, &mut node_grads, a.0, da);
+                    accum(pool, &mut node_grads, b.0, db);
+                    Some(g)
                 }
                 Op::Scale(x, c) => {
                     let mut dg = g;
                     dg.scale_assign(*c);
-                    accum(&mut node_grads, x.0, dg);
+                    accum(pool, &mut node_grads, x.0, dg);
+                    None
                 }
-                Op::AddScalar(x) => accum(&mut node_grads, x.0, g),
+                Op::AddScalar(x) => {
+                    accum(pool, &mut node_grads, x.0, g);
+                    None
+                }
                 Op::AddRow(x, row) => {
-                    let drow = col_sums(&g);
-                    accum(&mut node_grads, x.0, g);
-                    accum(&mut node_grads, row.0, drow);
+                    let drow = col_sums(pool, &g);
+                    accum(pool, &mut node_grads, x.0, g);
+                    accum(pool, &mut node_grads, row.0, drow);
+                    None
                 }
                 Op::MulRow(x, row) => {
-                    let xv = self.value(*x);
-                    let rv = self.value(*row);
-                    let mut dx = g.clone();
-                    let mut drow = Array::zeros(1, rv.cols());
+                    let xv = &nodes[x.0].value;
+                    let rv = &nodes[row.0].value;
+                    let mut dx = pool.array_copy(&g);
+                    let mut drow = pool.array_zeros(1, rv.cols());
                     for r in 0..dx.rows() {
                         for c in 0..dx.cols() {
                             let gv = g.get(r, c);
@@ -733,14 +922,15 @@ impl<'s> Graph<'s> {
                             dx.set(r, c, gv * rv.get(0, c));
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
-                    accum(&mut node_grads, row.0, drow);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, row.0, drow);
+                    Some(g)
                 }
                 Op::MulCol(x, col) => {
-                    let xv = self.value(*x);
-                    let cv = self.value(*col);
-                    let mut dx = g.clone();
-                    let mut dcol = Array::zeros(cv.rows(), 1);
+                    let xv = &nodes[x.0].value;
+                    let cv = &nodes[col.0].value;
+                    let mut dx = pool.array_copy(&g);
+                    let mut dcol = pool.array_zeros(cv.rows(), 1);
                     for r in 0..dx.rows() {
                         let c = cv.get(r, 0);
                         let mut acc = 0.0;
@@ -751,39 +941,47 @@ impl<'s> Graph<'s> {
                         }
                         dcol.set(r, 0, acc);
                     }
-                    accum(&mut node_grads, x.0, dx);
-                    accum(&mut node_grads, col.0, dcol);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, col.0, dcol);
+                    Some(g)
                 }
                 Op::Relu(x) => {
-                    let xv = self.value(*x);
-                    let dx = masked(&g, xv, |t| if t > 0.0 { 1.0 } else { 0.0 });
-                    accum(&mut node_grads, x.0, dx);
+                    let dx =
+                        masked(pool, &g, &nodes[x.0].value, |t| if t > 0.0 { 1.0 } else { 0.0 });
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::LeakyRelu(x, slope) => {
-                    let xv = self.value(*x);
                     let s = *slope;
-                    let dx = masked(&g, xv, |t| if t > 0.0 { 1.0 } else { s });
-                    accum(&mut node_grads, x.0, dx);
+                    let dx = masked(pool, &g, &nodes[x.0].value, |t| if t > 0.0 { 1.0 } else { s });
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::Elu(x) => {
                     // d/dx elu = 1 for x > 0 else elu(x) + 1, computed from the output.
-                    let yv = &self.nodes[idx].value;
-                    let dx = masked(&g, yv, |y| if y > 0.0 { 1.0 } else { y + 1.0 });
-                    accum(&mut node_grads, x.0, dx);
+                    let dx =
+                        masked(
+                            pool,
+                            &g,
+                            &nodes[idx].value,
+                            |y| if y > 0.0 { 1.0 } else { y + 1.0 },
+                        );
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::Sigmoid(x) => {
-                    let yv = &self.nodes[idx].value;
-                    let dx = masked(&g, yv, |y| y * (1.0 - y));
-                    accum(&mut node_grads, x.0, dx);
+                    let dx = masked(pool, &g, &nodes[idx].value, |y| y * (1.0 - y));
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::Tanh(x) => {
-                    let yv = &self.nodes[idx].value;
-                    let dx = masked(&g, yv, |y| 1.0 - y * y);
-                    accum(&mut node_grads, x.0, dx);
+                    let dx = masked(pool, &g, &nodes[idx].value, |y| 1.0 - y * y);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::SoftmaxRows(x) => {
-                    let yv = &self.nodes[idx].value;
-                    let mut dx = g.clone();
+                    let yv = &nodes[idx].value;
+                    let mut dx = pool.array_copy(&g);
                     for r in 0..dx.rows() {
                         let y = yv.row(r);
                         let gr = g.row(r);
@@ -792,12 +990,13 @@ impl<'s> Graph<'s> {
                             *d = yi * (gi - s);
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::LayerNormRows(x, rstds) => {
-                    let yv = &self.nodes[idx].value;
+                    let yv = &nodes[idx].value;
                     let d = yv.cols() as f32;
-                    let mut dx = g.clone();
+                    let mut dx = pool.array_copy(&g);
                     for (r, &rstd) in rstds.iter().enumerate() {
                         let y = yv.row(r);
                         let gr = g.row(r);
@@ -807,12 +1006,17 @@ impl<'s> Graph<'s> {
                             *o = rstd * (gi - mean_g - yi * mean_gy);
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
-                Op::Dropout(x, mask) => accum(&mut node_grads, x.0, ew_mul(&g, mask)),
+                Op::Dropout(x, mask) => {
+                    let dx = ew_mul(pool, &g, mask);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
+                }
                 Op::L2NormalizeRows(x, norms) => {
-                    let yv = &self.nodes[idx].value;
-                    let mut dx = g.clone();
+                    let yv = &nodes[idx].value;
+                    let mut dx = pool.array_copy(&g);
                     for (r, &norm) in norms.iter().enumerate() {
                         let y = yv.row(r);
                         let gr = g.row(r);
@@ -822,61 +1026,72 @@ impl<'s> Graph<'s> {
                             *o = (gi - yi * s) * inv;
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for &p in parts {
-                        let (n, w) = self.shape(p);
-                        let dp = Array::from_fn(n, w, |r, c| g.get(r, off + c));
-                        accum(&mut node_grads, p.0, dp);
+                        let (n, w) = shape_of(nodes, p);
+                        let mut dp = pool.array_zeros(n, w);
+                        for r in 0..n {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                        }
+                        accum(pool, &mut node_grads, p.0, dp);
                         off += w;
                     }
+                    Some(g)
                 }
                 Op::ConcatRows(parts) => {
                     let mut off = 0;
                     for &p in parts {
-                        let (n, w) = self.shape(p);
-                        let dp = Array::from_fn(n, w, |r, c| g.get(off + r, c));
-                        accum(&mut node_grads, p.0, dp);
+                        let (n, w) = shape_of(nodes, p);
+                        let mut dp = pool.array_zeros(n, w);
+                        for r in 0..n {
+                            dp.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        accum(pool, &mut node_grads, p.0, dp);
                         off += n;
                     }
+                    Some(g)
                 }
                 Op::SliceCols(x, start) => {
-                    let (n, w) = self.shape(*x);
-                    let mut dx = Array::zeros(n, w);
+                    let (n, w) = shape_of(nodes, *x);
+                    let mut dx = pool.array_zeros(n, w);
                     for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            dx.set(r, start + c, g.get(r, c));
-                        }
+                        let gr = g.row(r);
+                        dx.row_mut(r)[*start..*start + gr.len()].copy_from_slice(gr);
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::GatherRows(x, indices) => {
-                    let (n, w) = self.shape(*x);
-                    let mut dx = Array::zeros(n, w);
+                    let (n, w) = shape_of(nodes, *x);
+                    let mut dx = pool.array_zeros(n, w);
                     for (r, &i) in indices.iter().enumerate() {
                         let src = g.row(r);
                         for (o, t) in dx.row_mut(i as usize).iter_mut().zip(src) {
                             *o += t;
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::SegmentSum(x, segments) => {
-                    let (n, w) = self.shape(*x);
-                    let mut dx = Array::zeros(n, w);
+                    let (n, w) = shape_of(nodes, *x);
+                    let mut dx = pool.array_zeros(n, w);
                     for s in 0..segments.num_segments() {
                         let gs = g.row(s);
                         for r in segments.range(s) {
                             dx.row_mut(r).copy_from_slice(gs);
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::SegmentSoftmax(x, segments) => {
-                    let yv = &self.nodes[idx].value;
-                    let mut dx = g.clone();
+                    let yv = &nodes[idx].value;
+                    let mut dx = pool.array_copy(&g);
                     for s in 0..segments.num_segments() {
                         let range = segments.range(s);
                         let y = &yv.data()[range.clone()];
@@ -886,63 +1101,113 @@ impl<'s> Graph<'s> {
                             *o = yi * (gi - dot);
                         }
                     }
-                    accum(&mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::SumAll(x) => {
-                    let (n, w) = self.shape(*x);
-                    accum(&mut node_grads, x.0, Array::full(n, w, g.item()));
+                    let (n, w) = shape_of(nodes, *x);
+                    let dx = pool.array_full(n, w, g.item());
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::MeanAll(x) => {
-                    let (n, w) = self.shape(*x);
-                    accum(&mut node_grads, x.0, Array::full(n, w, g.item() / (n * w) as f32));
+                    let (n, w) = shape_of(nodes, *x);
+                    let dx = pool.array_full(n, w, g.item() / (n * w) as f32);
+                    accum(pool, &mut node_grads, x.0, dx);
+                    Some(g)
                 }
                 Op::CrossEntropyRows { logits, targets, softmax } => {
                     let scale = g.item() / targets.len() as f32;
-                    let mut dl = softmax.clone();
+                    let mut dl = pool.array_copy(softmax);
                     for (r, &t) in targets.iter().enumerate() {
                         let v = dl.get(r, t as usize);
                         dl.set(r, t as usize, v - 1.0);
                     }
                     dl.scale_assign(scale);
-                    accum(&mut node_grads, logits.0, dl);
+                    accum(pool, &mut node_grads, logits.0, dl);
+                    Some(g)
                 }
                 Op::MseLoss { pred, target } => {
-                    let pv = self.value(*pred);
+                    let pv = &nodes[pred.0].value;
                     let scale = 2.0 * g.item() / pv.len() as f32;
-                    let mut dp = pv.clone();
+                    let mut dp = pool.array_copy(pv);
                     dp.axpy(-1.0, target);
                     dp.scale_assign(scale);
-                    accum(&mut node_grads, pred.0, dp);
+                    accum(pool, &mut node_grads, pred.0, dp);
+                    Some(g)
                 }
+                Op::MhAttention { q, k, v, bias, heads, scale, attn, mask } => {
+                    let (t, d) = shape_of(nodes, *q);
+                    let mut dq = pool.array_zeros(t, d);
+                    let mut dk = pool.array_zeros(t, d);
+                    let mut dv = pool.array_zeros(t, d);
+                    let mut dbias = bias.map(|_| pool.array_zeros(t, t));
+                    let mut scratch = pool.take(t * d + 2 * t * t + t);
+                    array::mh_attention_backward(
+                        &g,
+                        &nodes[q.0].value,
+                        &nodes[k.0].value,
+                        &nodes[v.0].value,
+                        attn,
+                        mask.as_ref(),
+                        *heads,
+                        *scale,
+                        &mut dq,
+                        &mut dk,
+                        &mut dv,
+                        dbias.as_mut(),
+                        &mut scratch,
+                    );
+                    pool.give(scratch);
+                    accum(pool, &mut node_grads, q.0, dq);
+                    accum(pool, &mut node_grads, k.0, dk);
+                    accum(pool, &mut node_grads, v.0, dv);
+                    if let (Some(b), Some(db)) = (bias, dbias) {
+                        accum(pool, &mut node_grads, b.0, db);
+                    }
+                    Some(g)
+                }
+            };
+            if let Some(g) = leftover {
+                pool.recycle(g);
             }
         }
     }
 }
 
-fn accum(grads: &mut [Option<Array>], idx: usize, delta: Array) {
+/// Add `delta` into the slot's gradient (recycling `delta`), or seed the
+/// slot with it.
+fn accum(pool: &mut BufferPool, grads: &mut [Option<Array>], idx: usize, delta: Array) {
     match &mut grads[idx] {
-        Some(g) => g.add_assign(&delta),
+        Some(g) => {
+            g.add_assign(&delta);
+            pool.recycle(delta);
+        }
         slot @ None => *slot = Some(delta),
     }
 }
 
-fn ew_mul(a: &Array, b: &Array) -> Array {
+fn ew_mul(pool: &mut BufferPool, a: &Array, b: &Array) -> Array {
     debug_assert_eq!(a.shape(), b.shape());
-    Array::from_vec(a.rows(), a.cols(), a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect())
+    let mut out = pool.array_copy(a);
+    for (o, &m) in out.data_mut().iter_mut().zip(b.data()) {
+        *o *= m;
+    }
+    out
 }
 
 /// `out[i] = g[i] * f(source[i])`.
-fn masked(g: &Array, source: &Array, f: impl Fn(f32) -> f32) -> Array {
+fn masked(pool: &mut BufferPool, g: &Array, source: &Array, f: impl Fn(f32) -> f32) -> Array {
     debug_assert_eq!(g.shape(), source.shape());
-    Array::from_vec(
-        g.rows(),
-        g.cols(),
-        g.data().iter().zip(source.data()).map(|(gv, sv)| gv * f(*sv)).collect(),
-    )
+    let mut out = pool.array_copy(g);
+    for (o, &sv) in out.data_mut().iter_mut().zip(source.data()) {
+        *o *= f(sv);
+    }
+    out
 }
 
-fn col_sums(g: &Array) -> Array {
-    let mut out = Array::zeros(1, g.cols());
+fn col_sums(pool: &mut BufferPool, g: &Array) -> Array {
+    let mut out = pool.array_zeros(1, g.cols());
     for r in 0..g.rows() {
         for (o, v) in out.data_mut().iter_mut().zip(g.row(r)) {
             *o += v;

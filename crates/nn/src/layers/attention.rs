@@ -49,7 +49,33 @@ impl MultiHeadAttention {
     ///
     /// `bias` is an optional `(T, T)` additive term applied to the pre-softmax
     /// scores of every head (the paper's adaptive time-interval matrix).
+    ///
+    /// All heads run through the fused [`Graph::mh_attention`] kernel: one
+    /// tape node instead of ~8 per head, with scale + bias + softmax +
+    /// dropout applied inside the kernel.
     pub fn forward(
+        &self,
+        g: &mut Graph,
+        x: NodeId,
+        bias: Option<NodeId>,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let t = g.shape(x).0;
+        if let Some(b) = bias {
+            debug_assert_eq!(g.shape(b), (t, t), "attention bias must be (T, T)");
+        }
+        let q = self.wq.forward(g, x);
+        let k = self.wk.forward(g, x);
+        let v = self.wv.forward(g, x);
+        let ctx = g.mh_attention(q, k, v, bias, self.heads, self.dropout, rng);
+        self.wo.forward(g, ctx)
+    }
+
+    /// The pre-fusion per-head tape (slice/transpose/matmul/softmax/concat
+    /// per head). Kept as the reference implementation for agreement tests
+    /// and the `bench_kernels` fused-vs-unfused comparison; not used by the
+    /// encoder.
+    pub fn forward_unfused(
         &self,
         g: &mut Graph,
         x: NodeId,

@@ -34,6 +34,7 @@ pub mod graph;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod schedule;
 pub mod serialize;
 pub mod train;
@@ -43,5 +44,6 @@ pub use audit::{AuditReport, Finding, FindingKind, NonFiniteTrace, Severity};
 pub use graph::{Graph, NodeId, OpKind, Segments};
 pub use optim::{AdamW, AdamWConfig};
 pub use params::{GradStore, Init, ParamId, ParamStore};
+pub use pool::BufferPool;
 pub use schedule::WarmupCosine;
 pub use train::{BatchTrainer, ShardResult, StepStats};

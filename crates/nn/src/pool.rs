@@ -1,0 +1,168 @@
+//! Reusable `f32` buffer pool backing pooled [`crate::graph::Graph`]s.
+//!
+//! A define-by-run tape allocates one [`Array`] per node per step and drops
+//! the whole set after `backward`. On a training loop that is thousands of
+//! short-lived heap allocations per optimizer step, all with a small, fixed
+//! set of shapes. [`BufferPool`] keeps those buffers alive across steps:
+//! [`crate::graph::Graph::reset`] drains every node value (and saved op
+//! payload) into the pool, and subsequent ops draw from it instead of the
+//! allocator.
+//!
+//! Invariants (see DESIGN.md §9):
+//! - the free-list is keyed by **capacity**: `take(len)` returns the
+//!   smallest pooled buffer whose capacity covers `len` (within a 2× slack
+//!   bound so a scalar request cannot pin a `(T, T)` buffer), cleared;
+//! - buffers are plain `Vec<f32>`, so recycling is a move, never a copy;
+//! - no `NodeId` from before a [`crate::graph::Graph::reset`] may be used
+//!   afterwards — the values those ids named now back other nodes.
+
+use std::collections::BTreeMap;
+
+use crate::array::Array;
+
+/// Per-bucket cap: beyond this many free buffers of one capacity the
+/// surplus is returned to the allocator instead of hoarded.
+const MAX_PER_BUCKET: usize = 64;
+
+/// Reuse slack: a pooled buffer is acceptable for a request of `len` only
+/// if its capacity is at most `max(2 * len, 64)`, so small requests do not
+/// consume large buffers.
+fn reuse_limit(len: usize) -> usize {
+    len.saturating_mul(2).max(64)
+}
+
+/// A capacity-keyed free-list of `f32` buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buckets: BTreeMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared buffer with capacity at least `len`: pooled if a
+    /// suitably-sized one is free, freshly allocated otherwise.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let key = self.buckets.range(len..=reuse_limit(len)).next().map(|(&k, _)| k);
+        if let Some(k) = key {
+            if let Some(bucket) = self.buckets.get_mut(&k) {
+                if let Some(mut buf) = bucket.pop() {
+                    if bucket.is_empty() {
+                        self.buckets.remove(&k);
+                    }
+                    buf.clear();
+                    self.hits += 1;
+                    return buf;
+                }
+            }
+        }
+        self.misses += 1;
+        Vec::with_capacity(len)
+    }
+
+    /// Return a buffer to the free-list (dropped if capacity is zero or the
+    /// bucket is full).
+    pub fn give(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let bucket = self.buckets.entry(cap).or_default();
+        if bucket.len() < MAX_PER_BUCKET {
+            bucket.push(buf);
+        }
+    }
+
+    /// Return an [`Array`]'s backing buffer to the free-list.
+    pub fn recycle(&mut self, a: Array) {
+        self.give(a.into_vec());
+    }
+
+    /// A zero-filled pooled array.
+    pub fn array_zeros(&mut self, rows: usize, cols: usize) -> Array {
+        let mut buf = self.take(rows * cols);
+        buf.resize(rows * cols, 0.0);
+        Array::from_vec(rows, cols, buf)
+    }
+
+    /// A pooled array filled with `value`.
+    pub fn array_full(&mut self, rows: usize, cols: usize, value: f32) -> Array {
+        let mut buf = self.take(rows * cols);
+        buf.resize(rows * cols, value);
+        Array::from_vec(rows, cols, buf)
+    }
+
+    /// A pooled copy of `src`.
+    pub fn array_copy(&mut self, src: &Array) -> Array {
+        let mut buf = self.take(src.len());
+        buf.extend_from_slice(src.data());
+        Array::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// `(hits, misses)` of [`BufferPool::take`] since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of buffers currently held.
+    pub fn free_buffers(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_recycled_buffers() {
+        let mut pool = BufferPool::new();
+        let a = Array::from_vec(4, 4, vec![1.0; 16]);
+        pool.recycle(a);
+        assert_eq!(pool.free_buffers(), 1);
+        let buf = pool.take(16);
+        assert!(buf.is_empty() && buf.capacity() >= 16);
+        assert_eq!(pool.stats(), (1, 0));
+        assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn small_requests_do_not_consume_large_buffers() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![0.0; 4096]);
+        // A scalar request must not burn the 4096-capacity buffer.
+        let buf = pool.take(1);
+        assert!(buf.capacity() < 4096);
+        assert_eq!(pool.free_buffers(), 1);
+        // A matching request does reuse it.
+        let big = pool.take(4096);
+        assert!(big.capacity() >= 4096);
+        assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn array_helpers_are_shaped_and_initialized() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![7.0; 12]);
+        let z = pool.array_zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.data().iter().all(|&v| v == 0.0), "pooled zeros must be cleared");
+        pool.recycle(z);
+        let src = Array::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let copy = pool.array_copy(&src);
+        assert_eq!(copy, src);
+    }
+
+    #[test]
+    fn buckets_are_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..(MAX_PER_BUCKET + 10) {
+            pool.give(vec![0.0; 8]);
+        }
+        assert!(pool.free_buffers() <= MAX_PER_BUCKET);
+    }
+}

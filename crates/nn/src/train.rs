@@ -33,6 +33,7 @@ use rand::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
 use crate::params::{GradStore, ParamStore};
+use crate::pool::BufferPool;
 
 /// What a shard closure hands back to the engine for one shard.
 pub struct ShardResult {
@@ -61,10 +62,15 @@ pub struct StepStats {
 }
 
 /// Shards minibatches across scoped worker threads and merges gradients.
-#[derive(Debug, Clone, Copy)]
+/// Holds one [`BufferPool`] per worker so every worker reuses its graph
+/// buffers across optimizer steps.
+#[derive(Debug)]
 pub struct BatchTrainer {
     workers: usize,
     seed: u64,
+    /// Per-worker tape buffer pools, threaded through each step's graphs via
+    /// [`Graph::with_pool`] / [`Graph::into_pool`]. Indexed by shard/worker.
+    pools: Vec<BufferPool>,
 }
 
 /// SplitMix64 finalizer; decorrelates the per-worker seed lanes.
@@ -77,9 +83,24 @@ fn mix64(mut z: u64) -> u64 {
 impl BatchTrainer {
     /// `workers == 1` keeps the legacy single-thread behaviour; higher
     /// counts shard each batch over that many scoped threads.
+    ///
+    /// The requested count is clamped to `available_parallelism()`: on a
+    /// machine with fewer cores than workers, extra workers only add
+    /// scheduling overhead (BENCH_train.json measured 0.65× with 4 workers
+    /// on 1 core). Use [`BatchTrainer::exact`] to bypass the clamp.
     pub fn new(workers: usize, seed: u64) -> Self {
         assert!(workers >= 1, "BatchTrainer needs at least one worker");
-        Self { workers, seed }
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::exact(workers.min(cores), seed)
+    }
+
+    /// Build with exactly `workers` workers, no core-count clamp — for
+    /// tests and benchmarks that need a fixed shard layout regardless of
+    /// the machine they run on.
+    pub fn exact(workers: usize, seed: u64) -> Self {
+        assert!(workers >= 1, "BatchTrainer needs at least one worker");
+        let pools = (0..workers).map(|_| BufferPool::new()).collect();
+        Self { workers, seed, pools }
     }
 
     pub fn workers(&self) -> usize {
@@ -128,7 +149,7 @@ impl BatchTrainer {
     /// [`Self::worker_rng`] instead.
     #[allow(clippy::too_many_arguments)]
     pub fn step<F>(
-        &self,
+        &mut self,
         store: &ParamStore,
         grads: &mut GradStore,
         step: u64,
@@ -142,11 +163,17 @@ impl BatchTrainer {
     {
         let shards = self.plan(batch, min_per_shard);
         if self.workers == 1 || shards.len() == 1 {
-            let mut g = Graph::new(store, true);
-            let res = shard_loss(&mut g, batch, rng)?;
+            let pool = std::mem::take(&mut self.pools[0]);
+            let mut g = Graph::with_pool(store, true, pool);
+            let Some(res) = shard_loss(&mut g, batch, rng) else {
+                self.pools[0] = g.into_pool();
+                return None;
+            };
             g.backward(res.loss, grads);
+            let loss = g.value(res.loss).item();
+            self.pools[0] = g.into_pool();
             return Some(StepStats {
-                loss: g.value(res.loss).item(),
+                loss,
                 weight: res.weight,
                 shards: 1,
                 shard_components: vec![res.components],
@@ -154,21 +181,27 @@ impl BatchTrainer {
         }
 
         type WorkerOut = Option<(GradStore, f32, f32, Vec<f32>)>;
-        let results: Vec<WorkerOut> = crossbeam::scope(|s| {
+        let mut worker_pools: Vec<BufferPool> =
+            (0..shards.len()).map(|w| std::mem::take(&mut self.pools[w])).collect();
+        let results: Vec<(BufferPool, WorkerOut)> = crossbeam::scope(|s| {
             let handles: Vec<_> = shards
                 .iter()
+                .zip(worker_pools.drain(..))
                 .enumerate()
-                .map(|(w, shard)| {
+                .map(|(w, (shard, pool))| {
                     let shard: &[usize] = shard;
-                    s.spawn(move |_| -> WorkerOut {
-                        let mut wrng = self.worker_rng(step, w);
-                        let mut g = Graph::new(store, true);
-                        let res = shard_loss(&mut g, shard, &mut wrng)?;
-                        let mut wgrads = GradStore::new(store);
-                        g.backward(res.loss, &mut wgrads);
-                        // Pre-scale so the merge below is a plain sum.
-                        wgrads.scale(res.weight);
-                        Some((wgrads, g.value(res.loss).item(), res.weight, res.components))
+                    let mut wrng = self.worker_rng(step, w);
+                    s.spawn(move |_| {
+                        let mut g = Graph::with_pool(store, true, pool);
+                        let out = (|| -> WorkerOut {
+                            let res = shard_loss(&mut g, shard, &mut wrng)?;
+                            let mut wgrads = GradStore::new(store);
+                            g.backward(res.loss, &mut wgrads);
+                            // Pre-scale so the merge below is a plain sum.
+                            wgrads.scale(res.weight);
+                            Some((wgrads, g.value(res.loss).item(), res.weight, res.components))
+                        })();
+                        (g.into_pool(), out)
                     })
                 })
                 .collect();
@@ -182,7 +215,11 @@ impl BatchTrainer {
         let mut total_weight = 0.0f32;
         let mut loss_acc = 0.0f64;
         let mut shard_components = Vec::new();
-        for (wgrads, loss, weight, components) in results.into_iter().flatten() {
+        for (w, (pool, out)) in results.into_iter().enumerate() {
+            // Shard order is deterministic, so pool w always returns to
+            // worker slot w.
+            self.pools[w] = pool;
+            let Some((wgrads, loss, weight, components)) = out else { continue };
             grads.merge(&wgrads);
             loss_acc += f64::from(loss) * f64::from(weight);
             total_weight += weight;
@@ -208,7 +245,7 @@ mod tests {
     #[test]
     fn plan_is_contiguous_even_and_respects_minimum() {
         let batch: Vec<usize> = (0..10).collect();
-        let trainer = BatchTrainer::new(4, 0);
+        let trainer = BatchTrainer::exact(4, 0);
         let shards = trainer.plan(&batch, 2);
         assert_eq!(shards.len(), 4);
         let lens: Vec<usize> = shards.iter().map(|s| s.len()).collect();
@@ -225,12 +262,12 @@ mod tests {
     #[test]
     fn worker_rng_streams_are_deterministic_and_distinct() {
         use rand::Rng;
-        let trainer = BatchTrainer::new(4, 99);
+        let trainer = BatchTrainer::exact(4, 99);
         let draw = |step, worker| trainer.worker_rng(step, worker).gen::<u64>();
         assert_eq!(draw(3, 1), draw(3, 1));
         assert_ne!(draw(3, 1), draw(3, 2));
         assert_ne!(draw(3, 1), draw(4, 1));
-        let other = BatchTrainer::new(4, 100);
+        let other = BatchTrainer::exact(4, 100);
         assert_ne!(draw(3, 1), other.worker_rng(3, 1).gen::<u64>());
     }
 }

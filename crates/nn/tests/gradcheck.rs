@@ -222,6 +222,50 @@ fn check_attention_style_block() -> BTreeSet<OpKind> {
     })
 }
 
+fn check_mh_attention() -> BTreeSet<OpKind> {
+    // The fused op's q, k, v and bias slots all derive from the checked
+    // parameter, so one finite-difference pass exercises every input
+    // gradient of the hand-written backward at once.
+    let mut kinds = check(4, 6, |g, p| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = g.scale(p, 0.8);
+        let shift = const_input(g, 4, 6, 0.3);
+        let v = g.add(p, shift);
+        let pt = g.transpose(p);
+        let pp = g.matmul(p, pt);
+        let bias = g.scale(pp, 0.1);
+        let y = g.mh_attention(p, k, v, Some(bias), 2, 0.0, &mut rng);
+        let w = const_input(g, 4, 6, 0.55);
+        let yw = g.mul(y, w);
+        g.sum_all(yw)
+    });
+    // Bias-free path with constant k and v: only dq flows back to p.
+    kinds.extend(check(3, 4, |g, p| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let k = const_input(g, 3, 4, 0.2);
+        let v = const_input(g, 3, 4, 0.6);
+        let y = g.mh_attention(p, k, v, None, 2, 0.0, &mut rng);
+        let sq = g.mul(y, y);
+        g.sum_all(sq)
+    }));
+    kinds
+}
+
+fn check_mh_attention_dropout() -> BTreeSet<OpKind> {
+    // Train mode: the fused kernel draws its dropout mask; re-seeding per
+    // build keeps the mask fixed across finite-difference evaluations.
+    check_grad(4, 6, true, DEFAULT_TOL, |g, p| {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let k = g.scale(p, 0.9);
+        let v = g.scale(p, -0.7);
+        let y = g.mh_attention(p, k, v, None, 3, 0.4, &mut rng);
+        let w = const_input(g, 4, 6, 0.35);
+        let yw = g.mul(y, w);
+        g.sum_all(yw)
+    })
+    .kinds
+}
+
 type CheckFn = fn() -> BTreeSet<OpKind>;
 
 /// Registry of every check, run both individually (tests below) and by the
@@ -245,6 +289,8 @@ const CHECKS: &[(&str, CheckFn)] = &[
     ("cross_entropy", check_cross_entropy),
     ("mse", check_mse),
     ("attention_block", check_attention_style_block),
+    ("mh_attention", check_mh_attention),
+    ("mh_attention_dropout", check_mh_attention_dropout),
 ];
 
 /// The exhaustiveness guard: the union of all checked tapes must cover every
@@ -354,6 +400,18 @@ fn grad_mse() {
 #[test]
 fn grad_through_attention_style_block() {
     check_attention_style_block();
+}
+
+#[test]
+fn grad_mh_attention_fused() {
+    let kinds = check_mh_attention();
+    assert!(kinds.contains(&OpKind::MhAttention), "fused attention must be recorded");
+}
+
+#[test]
+fn grad_mh_attention_fused_dropout_fixed_mask() {
+    let kinds = check_mh_attention_dropout();
+    assert!(kinds.contains(&OpKind::MhAttention), "fused attention must be recorded");
 }
 
 #[test]

@@ -57,7 +57,7 @@ fn workers_1_is_bitwise_the_sequential_loop() {
 
     // Engine with one worker on an identically initialized model.
     let (store2, fc2) = toy_model(7);
-    let trainer = BatchTrainer::new(1, 123);
+    let mut trainer = BatchTrainer::exact(1, 123);
     let mut rng = StdRng::seed_from_u64(0);
     let mut grads = GradStore::new(&store2);
     let shard_loss =
@@ -77,7 +77,7 @@ fn workers_4_matches_workers_1_within_tolerance() {
 
     let run = |workers: usize| {
         let (store, fc) = toy_model(7);
-        let trainer = BatchTrainer::new(workers, 123);
+        let mut trainer = BatchTrainer::exact(workers, 123);
         let mut rng = StdRng::seed_from_u64(0);
         let mut grads = GradStore::new(&store);
         let shard_loss =
@@ -111,7 +111,7 @@ fn same_seed_parallel_runs_are_bitwise_identical() {
     // the derived per-worker streams, not thread timing, drive the result.
     let run = || {
         let (store, fc) = toy_model(3);
-        let trainer = BatchTrainer::new(3, 77);
+        let mut trainer = BatchTrainer::exact(3, 77);
         let mut rng = StdRng::seed_from_u64(5);
         let mut grads = GradStore::new(&store);
         let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
