@@ -1,6 +1,6 @@
 //! Syntactic workspace lints — repo invariants clippy cannot express.
 //!
-//! Three rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//! Four rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
 //!    of `crates/nn`, `crates/core`, `crates/baselines`. Test modules
@@ -14,6 +14,15 @@
 //!    (the `results_*` producers) must be registered by name in
 //!    `EXPERIMENTS.md`, so no figure/table can silently drop out of the
 //!    report.
+//! 4. **op-table-coverage**: every `OpKind` declared in graph.rs's
+//!    `op_kinds!` block must have an entry in all three per-op tables — the
+//!    auditor's shape rules (`Op::<Kind>` in audit.rs), the liveness operand
+//!    table (`Op::<Kind>` inside `backward_value_reads`), and the gradcheck
+//!    registry (whose own `OpKind::ALL` exhaustiveness guard must be
+//!    present). The in-crate exhaustive matches already fail the *build*
+//!    when a variant is missing; this rule fails the *lint* with a message
+//!    naming the table, so the contract survives refactors of those matches
+//!    into wildcard arms.
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -258,6 +267,86 @@ pub fn lint_bench_registry(bin_stems: &[String], experiments_md: &str) -> Vec<Li
 }
 
 // ---------------------------------------------------------------------------
+// Rule 4: per-op tables cover every OpKind
+// ---------------------------------------------------------------------------
+
+/// Variant names declared in graph.rs's `op_kinds! { ... }` invocation.
+pub fn parse_op_kinds(graph_rs: &str) -> Vec<String> {
+    let Some(start) = graph_rs.find("op_kinds! {") else { return Vec::new() };
+    let body = &graph_rs[start + "op_kinds! {".len()..];
+    let Some(end) = body.find('}') else { return Vec::new() };
+    body[..end]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Every `OpKind` must appear in the audit shape table, the liveness
+/// operand table, and be covered by the gradcheck exhaustiveness guard.
+pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut file_lint = |file: &str, message: String| {
+        lints.push(Lint { file: file.to_string(), line: 0, rule: "op-table-coverage", message });
+    };
+
+    let kinds = parse_op_kinds(graph_rs);
+    if kinds.is_empty() {
+        file_lint(
+            "crates/nn/src/graph.rs",
+            "could not find the `op_kinds! { ... }` block to extract OpKind names".into(),
+        );
+        return lints;
+    }
+
+    // The liveness operand table is the body of `Op::backward_value_reads`
+    // (it ends where `payload_elems`, the payload table, begins).
+    let operand_table =
+        match (graph_rs.find("fn backward_value_reads"), graph_rs.find("fn payload_elems")) {
+            (Some(s), Some(e)) if s < e => &graph_rs[s..e],
+            _ => {
+                file_lint(
+                    "crates/nn/src/graph.rs",
+                    "could not locate the liveness operand table \
+                 (`Op::backward_value_reads` .. `Op::payload_elems`)"
+                        .into(),
+                );
+                ""
+            }
+        };
+
+    for kind in &kinds {
+        let pat = format!("Op::{kind}");
+        if !operand_table.is_empty() && !has_token(operand_table, &pat) {
+            file_lint(
+                "crates/nn/src/graph.rs",
+                format!(
+                    "OpKind::{kind} has no entry in the liveness operand table \
+                     (`Op::backward_value_reads`); the memory planner cannot model it"
+                ),
+            );
+        }
+        if !has_token(audit_rs, &pat) {
+            file_lint(
+                "crates/nn/src/audit.rs",
+                format!("OpKind::{kind} has no audit shape rule (`Op::{kind}` never matched)"),
+            );
+        }
+    }
+
+    if !gradcheck_rs.contains("OpKind::ALL") {
+        file_lint(
+            "crates/nn/tests/gradcheck.rs",
+            "the gradcheck exhaustiveness guard over `OpKind::ALL` is missing — new ops \
+             could ship without a finite-difference check"
+                .into(),
+        );
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -305,6 +394,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
         .collect();
     let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md"))?;
     lints.extend(lint_bench_registry(&stems, &experiments));
+
+    let graph_rs = std::fs::read_to_string(root.join("crates/nn/src/graph.rs"))?;
+    let audit_rs = std::fs::read_to_string(root.join("crates/nn/src/audit.rs"))?;
+    let gradcheck_rs = std::fs::read_to_string(root.join("crates/nn/tests/gradcheck.rs"))?;
+    lints.extend(lint_op_table_coverage(&graph_rs, &audit_rs, &gradcheck_rs));
 
     Ok(lints)
 }
@@ -419,6 +513,60 @@ mod tests {
         let lints = lint_no_panics("lib.rs", src);
         assert_eq!(lints.len(), 1);
         assert_eq!(lints[0].line, 2);
+    }
+
+    const FAKE_GRAPH: &str = concat!(
+        "op_kinds! {\n    Foo,\n    Bar,\n}\n",
+        "impl Op {\n",
+        "    fn backward_value_reads(&self) { match self { Op::Foo(..) => {} } }\n",
+        "    fn payload_elems(&self) {}\n",
+        "}\n",
+    );
+
+    #[test]
+    fn op_kinds_are_parsed_from_the_macro_block() {
+        assert_eq!(parse_op_kinds(FAKE_GRAPH), ["Foo", "Bar"]);
+        assert!(parse_op_kinds("no macro here").is_empty());
+    }
+
+    #[test]
+    fn missing_table_entries_are_flagged_per_table() {
+        // Bar is absent from the operand table; Foo is absent from audit.
+        let audit = "match op { Op::Bar(..) => {} }";
+        let gradcheck = "OpKind::ALL guard lives here";
+        let lints = lint_op_table_coverage(FAKE_GRAPH, audit, gradcheck);
+        assert_eq!(lints.len(), 2, "{lints:?}");
+        assert!(lints
+            .iter()
+            .any(|l| l.message.contains("Bar") && l.message.contains("liveness operand table")));
+        assert!(lints
+            .iter()
+            .any(|l| l.message.contains("Foo") && l.message.contains("audit shape rule")));
+        assert!(lints.iter().all(|l| l.rule == "op-table-coverage"));
+    }
+
+    #[test]
+    fn missing_gradcheck_guard_is_flagged() {
+        let audit = "Op::Foo Op::Bar";
+        let graph = concat!(
+            "op_kinds! {\n    Foo,\n    Bar,\n}\n",
+            "fn backward_value_reads() { Op::Foo Op::Bar }\nfn payload_elems() {}\n",
+        );
+        let lints = lint_op_table_coverage(graph, audit, "no guard");
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert!(lints[0].message.contains("OpKind::ALL"));
+    }
+
+    #[test]
+    fn op_prefix_matching_respects_token_boundaries() {
+        // `Op::AddScalar` must not satisfy an `Op::Add` entry.
+        let graph = concat!(
+            "op_kinds! {\n    Add,\n}\n",
+            "fn backward_value_reads() { Op::AddScalar }\nfn payload_elems() {}\n",
+        );
+        let lints = lint_op_table_coverage(graph, "Op::Add", "OpKind::ALL");
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert!(lints[0].message.contains("liveness operand table"));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Peak tape-memory benchmark for the static liveness planner.
+//!
+//! Two configurations are measured, each as one recorded pretrain shard
+//! tape (forward + backward):
+//!
+//! 1. `standard_shard` — the deterministic `start_core::StandardShard`
+//!    fixture, the graph the ≥30% planned-vs-baseline acceptance floor is
+//!    defined on (also what `start-analysis plan --check` lints).
+//! 2. `fig10_encoder` — the START encoder at the Fig. 10 experiment scale
+//!    (`start_bench::Scale`, porto-mini dataset), i.e. the config whose
+//!    efficiency the paper's Figure 10 studies.
+//!
+//! For each: the three static peaks from `MemoryPlan` (baseline / planned /
+//! runtime — see `start_nn::liveness` for what each can and cannot
+//! realize), the peak the runtime's byte accounting *actually* observed
+//! with the plan on and off, pooled-run `zero_skips` counters, and a
+//! bitwise loss comparison between the two modes.
+//!
+//! Results land in `BENCH_memory.json` at the repo root.
+//!
+//! Run: `cargo run -p start-bench --release --bin bench_memory`
+//! CI smoke: `cargo run -p start-bench --release --bin bench_memory -- --smoke`
+//! (standard shard only, asserts the floor + bitwise identity, no JSON).
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use start_bench::{porto_mini, start_config, Scale};
+use start_core::{build_shard_loss, StandardShard, StartModel};
+use start_nn::graph::Graph;
+use start_nn::liveness::MemoryPlan;
+use start_nn::params::{GradStore, ParamStore};
+use start_nn::{BufferPool, NodeId};
+
+struct Figures {
+    label: &'static str,
+    nodes: usize,
+    tape_bytes: usize,
+    baseline_peak_bytes: usize,
+    planned_peak_bytes: usize,
+    runtime_peak_bytes: usize,
+    /// Peak observed by the graph's byte accounting, plan executed.
+    actual_peak_bytes_plan_on: usize,
+    /// Same with the plan disabled (buffers held until `reset`).
+    actual_peak_bytes_plan_off: usize,
+    loss_bitwise_identical: bool,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_zero_skips: u64,
+}
+
+impl Figures {
+    fn reduction(&self) -> f64 {
+        1.0 - self.planned_peak_bytes as f64 / self.baseline_peak_bytes as f64
+    }
+}
+
+/// Record the same tape twice — once plain, once planned over a pooled
+/// graph reused for three steps (so the zero-skip counters see warm-pool
+/// traffic) — and collect every figure.
+fn measure<'s>(
+    label: &'static str,
+    store: &'s ParamStore,
+    record: &dyn Fn(&mut Graph<'s>) -> NodeId,
+) -> Figures {
+    // Plan off: the pre-planner runtime, releases only at reset.
+    let mut g_off = Graph::new(store, true);
+    let loss_off = record(&mut g_off);
+    let mut grads_off = GradStore::new(store);
+    g_off.backward(loss_off, &mut grads_off);
+    let loss_off_bits = g_off.value(loss_off).item().to_bits();
+    let actual_off = g_off.memory_stats().peak_bytes;
+
+    // Plan on, pooled, three steps: step 0 fills the pool, the rest reuse
+    // it, so `zero_skips` reflects steady-state matmul-output traffic.
+    let mut pool = BufferPool::new();
+    let mut out = None;
+    for _ in 0..3 {
+        let mut g = Graph::with_pool(store, true, pool);
+        let loss = record(&mut g);
+        let plan = MemoryPlan::analyze(&g, loss);
+        let mut grads = GradStore::new(store);
+        g.backward_planned(loss, &mut grads, &plan);
+        let stats = g.pool_stats();
+        out = Some((plan, g.value(loss).item().to_bits(), g.memory_stats().peak_bytes, stats));
+        pool = g.into_pool();
+    }
+    let (plan, loss_on_bits, actual_on, stats) = out.expect("three steps ran");
+
+    Figures {
+        label,
+        nodes: plan.num_nodes(),
+        tape_bytes: plan.tape_bytes(),
+        baseline_peak_bytes: plan.baseline_peak_bytes(),
+        planned_peak_bytes: plan.planned_peak_bytes(),
+        runtime_peak_bytes: plan.runtime_peak_bytes(),
+        actual_peak_bytes_plan_on: actual_on,
+        actual_peak_bytes_plan_off: actual_off,
+        loss_bitwise_identical: loss_on_bits == loss_off_bits,
+        pool_hits: stats.hits,
+        pool_misses: stats.misses,
+        pool_zero_skips: stats.zero_skips,
+    }
+}
+
+fn print_figures(f: &Figures) {
+    let kib = |b: usize| b as f64 / 1024.0;
+    println!("  {} ({} nodes):", f.label, f.nodes);
+    println!("    tape bytes                 {:>10.1} KiB", kib(f.tape_bytes));
+    println!("    baseline peak (no plan)    {:>10.1} KiB", kib(f.baseline_peak_bytes));
+    println!("    planned peak (optimal)     {:>10.1} KiB", kib(f.planned_peak_bytes));
+    println!("    runtime peak (realized)    {:>10.1} KiB", kib(f.runtime_peak_bytes));
+    println!("    actual peak, plan on       {:>10.1} KiB", kib(f.actual_peak_bytes_plan_on));
+    println!("    actual peak, plan off      {:>10.1} KiB", kib(f.actual_peak_bytes_plan_off));
+    println!("    reduction planned/baseline {:>9.1}%", 100.0 * f.reduction());
+    println!(
+        "    pool: {} hits / {} misses / {} zero-fills skipped",
+        f.pool_hits, f.pool_misses, f.pool_zero_skips
+    );
+    println!("    loss bitwise plan on == off: {}", f.loss_bitwise_identical);
+}
+
+fn check(f: &Figures) {
+    assert!(
+        f.planned_peak_bytes <= f.runtime_peak_bytes
+            && f.runtime_peak_bytes <= f.baseline_peak_bytes,
+        "{}: peaks must order planned <= runtime <= baseline",
+        f.label
+    );
+    assert!(f.loss_bitwise_identical, "{}: plan changed the computed loss", f.label);
+    assert!(
+        f.actual_peak_bytes_plan_on < f.actual_peak_bytes_plan_off,
+        "{}: the executed plan did not reduce the observed peak",
+        f.label
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    println!("bench_memory: static memory planner, peak-live-bytes");
+    println!("  building the standard pretrain shard fixture...");
+    let fix = StandardShard::build();
+    let std_figs = measure("standard_shard", &fix.model.store, &|g| fix.record(g).loss);
+    print_figures(&std_figs);
+    check(&std_figs);
+    assert!(
+        std_figs.reduction() >= 0.30,
+        "standard shard planned peak is only {:.1}% below baseline (floor: 30%)",
+        100.0 * std_figs.reduction()
+    );
+
+    if smoke {
+        println!("bench_memory --smoke: ok");
+        return;
+    }
+
+    let scale = Scale::from_env();
+    println!("  building porto-mini at scale `{}` for the fig10 encoder...", scale.name);
+    let ds = porto_mini(&scale);
+    let model = StartModel::new(start_config(&scale), &ds.city.net, Some(&ds.transfer), None, 1234);
+    let shard: Vec<usize> = (0..scale.batch_size.min(ds.train().len())).collect();
+    let fig10_figs = measure("fig10_encoder", &model.store, &|g| {
+        let mut rng = StdRng::seed_from_u64(7);
+        build_shard_loss(&model, ds.train(), &ds.historical, g, &shard, &mut rng)
+            .expect("fig10 shard must produce a loss")
+            .loss
+    });
+    print_figures(&fig10_figs);
+    check(&fig10_figs);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"memory_plan\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    for (i, f) in [&std_figs, &fig10_figs].iter().enumerate() {
+        let _ = writeln!(json, "  \"{}\": {{", f.label);
+        let _ = writeln!(json, "    \"nodes\": {},", f.nodes);
+        let _ = writeln!(json, "    \"tape_bytes\": {},", f.tape_bytes);
+        let _ = writeln!(json, "    \"baseline_peak_bytes\": {},", f.baseline_peak_bytes);
+        let _ = writeln!(json, "    \"planned_peak_bytes\": {},", f.planned_peak_bytes);
+        let _ = writeln!(json, "    \"runtime_peak_bytes\": {},", f.runtime_peak_bytes);
+        let _ =
+            writeln!(json, "    \"actual_peak_bytes_plan_on\": {},", f.actual_peak_bytes_plan_on);
+        let _ =
+            writeln!(json, "    \"actual_peak_bytes_plan_off\": {},", f.actual_peak_bytes_plan_off);
+        let _ = writeln!(json, "    \"reduction_planned_vs_baseline\": {:.3},", f.reduction());
+        let _ = writeln!(
+            json,
+            "    \"pool\": {{\"hits\": {}, \"misses\": {}, \"zero_skips\": {}}},",
+            f.pool_hits, f.pool_misses, f.pool_zero_skips
+        );
+        let _ = writeln!(json, "    \"loss_bitwise_identical\": {}", f.loss_bitwise_identical);
+        let _ = writeln!(json, "  }}{}", if i == 0 { "," } else { "" });
+    }
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_memory.json");
+    std::fs::write(path, &json).expect("write BENCH_memory.json");
+    println!("\n  wrote {path}");
+}

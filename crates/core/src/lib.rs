@@ -34,5 +34,5 @@ pub use downstream::{
     ClassifierHead, EtaHead, FineTuneConfig,
 };
 pub use model::{clamp_view, EncodedView, StartModel};
-pub use pretrain::{pretrain, PretrainConfig, PretrainReport};
+pub use pretrain::{build_shard_loss, pretrain, PretrainConfig, PretrainReport, StandardShard};
 pub use tpe_gat::TpeGat;

@@ -71,6 +71,146 @@ impl PretrainReport {
     }
 }
 
+/// Record one shard of the Eq. 15 pre-training loss into `g` — the exact
+/// tape `pretrain`'s engine closure builds, factored out so the memory
+/// planner's tooling (`start-analysis plan`, `bench_memory`) can analyze
+/// the real training graph rather than a toy stand-in. Returns `None` when
+/// the shard yields no trainable loss. RNG consumption and op order match
+/// the training loop bit for bit.
+pub fn build_shard_loss(
+    model: &StartModel,
+    train: &[Trajectory],
+    historical: &[f32],
+    g: &mut Graph,
+    shard: &[usize],
+    r: &mut StdRng,
+) -> Option<ShardResult> {
+    let (lambda, use_mask, use_con) =
+        (model.cfg.lambda, model.cfg.use_mask_loss, model.cfg.use_contrastive_loss);
+    let (aug_a, aug_b) = model.cfg.augmentations;
+    let max_len = model.cfg.max_len;
+    let road_reprs = model.road_reprs(g);
+
+    // Span-masked recovery over the shard.
+    let mut mask_losses = Vec::new();
+    if use_mask {
+        for &i in shard {
+            let ex = make_masked_example(
+                &train[i],
+                model.cfg.mask_span,
+                model.cfg.mask_ratio,
+                max_len,
+                r,
+            );
+            if let Some(l) = masked_recovery_loss(model, g, road_reprs, &ex, r) {
+                mask_losses.push(l);
+            }
+        }
+    }
+
+    // Contrastive views over the shard.
+    let mut pooled = Vec::new();
+    if use_con {
+        for &i in shard {
+            let t = &train[i];
+            for aug in [aug_a, aug_b] {
+                let view = clamp_view(aug.apply(t, historical, r), max_len);
+                let view =
+                    if view.is_empty() { clamp_view(TrajView::identity(t), max_len) } else { view };
+                let enc = model.encode_view(g, &view, road_reprs, r);
+                pooled.push(enc.pooled);
+            }
+        }
+    }
+
+    let mask_term = if mask_losses.is_empty() {
+        None
+    } else {
+        let mut acc = mask_losses[0];
+        for &l in &mask_losses[1..] {
+            acc = g.add(acc, l);
+        }
+        Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
+    };
+    let con_term = if pooled.len() >= 4 {
+        Some(nt_xent_loss(g, &pooled, model.cfg.temperature))
+    } else {
+        None
+    };
+    let loss = match (mask_term, con_term) {
+        (Some(m), Some(c)) => {
+            let lm = g.scale(m, lambda);
+            let lc = g.scale(c, 1.0 - lambda);
+            g.add(lm, lc)
+        }
+        (Some(m), None) => m,
+        (None, Some(c)) => c,
+        (None, None) => return None,
+    };
+    // Component accounting: [mask value, mask count, contrastive value,
+    // anchor count] per shard, combined by the epoch loop.
+    let mask_stats =
+        mask_term.map_or([0.0, 0.0], |m| [g.value(m).item(), mask_losses.len() as f32]);
+    let con_stats = con_term.map_or([0.0, 0.0], |c| [g.value(c).item(), (pooled.len() / 2) as f32]);
+    Some(ShardResult {
+        loss,
+        weight: shard.len() as f32,
+        components: vec![mask_stats[0], mask_stats[1], con_stats[0], con_stats[1]],
+    })
+}
+
+/// The deterministic "standard pretrain shard": a tiny synthetic city, 64
+/// simulated trajectories, a test-scale model, and one 8-trajectory shard.
+/// `start-analysis plan` and `bench_memory` record this exact tape, so the
+/// memory-planner figures they report are comparable across runs and
+/// machines (all inputs are seeded; the only variation is code).
+pub struct StandardShard {
+    pub model: StartModel,
+    pub train: Vec<Trajectory>,
+    pub historical: Vec<f32>,
+    pub shard: Vec<usize>,
+    /// Seed of the shard-recording RNG stream.
+    pub seed: u64,
+}
+
+impl StandardShard {
+    /// Build the fixture (simulates the dataset; a few hundred ms).
+    pub fn build() -> Self {
+        use start_roadnet::synth::{generate_city, CityConfig};
+        use start_roadnet::TransferMatrix;
+        use start_traj::{historical_mean_durations, SimConfig, Simulator};
+
+        let city = generate_city("std", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 64, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let tm = TransferMatrix::from_sequences(
+            city.net.num_segments(),
+            data.iter().map(|t| t.roads.as_slice()),
+        );
+        let historical = historical_mean_durations(&city.net, &data);
+        let model = StartModel::new(
+            crate::config::StartConfig::test_scale(),
+            &city.net,
+            Some(&tm),
+            None,
+            5,
+        );
+        Self { model, train: data, historical, shard: (0..8).collect(), seed: 2023 }
+    }
+
+    /// Record the standard shard into `g` (a graph over this fixture's
+    /// store) and return its [`ShardResult`].
+    pub fn record<'s>(&'s self, g: &mut Graph<'s>) -> ShardResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let res =
+            build_shard_loss(&self.model, &self.train, &self.historical, g, &self.shard, &mut rng);
+        res.expect("the standard pretrain shard must produce a loss") // lint-ok: deterministic fixture
+    }
+}
+
 /// Run self-supervised pre-training on the training split.
 ///
 /// `historical` is the per-segment mean traversal time required by the
@@ -110,10 +250,6 @@ pub fn pretrain(
 
     let mut report = PretrainReport::default();
     let mut indices: Vec<usize> = (0..train.len()).collect();
-    let (lambda, use_mask, use_con) =
-        (model.cfg.lambda, model.cfg.use_mask_loss, model.cfg.use_contrastive_loss);
-    let (aug_a, aug_b) = model.cfg.augmentations;
-    let max_len = model.cfg.max_len;
     let mut step: u64 = 0;
 
     // Static tape verification (debug builds, or START_AUDIT=1): the first
@@ -139,73 +275,11 @@ pub fn pretrain(
             // sequential loop exactly; with more workers each shard draws
             // NT-Xent negatives only from its own trajectories.
             let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
-                let road_reprs = model.road_reprs(g);
-
-                // Span-masked recovery over the shard.
-                let mut mask_losses = Vec::new();
-                if use_mask {
-                    for &i in shard {
-                        let ex = make_masked_example(
-                            &train[i],
-                            model.cfg.mask_span,
-                            model.cfg.mask_ratio,
-                            max_len,
-                            r,
-                        );
-                        if let Some(l) = masked_recovery_loss(model, g, road_reprs, &ex, r) {
-                            mask_losses.push(l);
-                        }
-                    }
-                }
-
-                // Contrastive views over the shard.
-                let mut pooled = Vec::new();
-                if use_con {
-                    for &i in shard {
-                        let t = &train[i];
-                        for aug in [aug_a, aug_b] {
-                            let view = clamp_view(aug.apply(t, historical, r), max_len);
-                            let view = if view.is_empty() {
-                                clamp_view(TrajView::identity(t), max_len)
-                            } else {
-                                view
-                            };
-                            let enc = model.encode_view(g, &view, road_reprs, r);
-                            pooled.push(enc.pooled);
-                        }
-                    }
-                }
-
-                let mask_term = if mask_losses.is_empty() {
-                    None
-                } else {
-                    let mut acc = mask_losses[0];
-                    for &l in &mask_losses[1..] {
-                        acc = g.add(acc, l);
-                    }
-                    Some(g.scale(acc, 1.0 / mask_losses.len() as f32))
-                };
-                let con_term = if pooled.len() >= 4 {
-                    Some(nt_xent_loss(g, &pooled, model.cfg.temperature))
-                } else {
-                    None
-                };
-                let loss = match (mask_term, con_term) {
-                    (Some(m), Some(c)) => {
-                        let lm = g.scale(m, lambda);
-                        let lc = g.scale(c, 1.0 - lambda);
-                        g.add(lm, lc)
-                    }
-                    (Some(m), None) => m,
-                    (None, Some(c)) => c,
-                    (None, None) => return None,
-                };
-                // Component accounting: [mask value, mask count, contrastive
-                // value, anchor count] per shard, combined below.
+                let res = build_shard_loss(model, train, historical, g, shard, r)?;
                 if audit_on {
                     use std::sync::atomic::Ordering;
                     if audit_pending.swap(false, Ordering::Relaxed) {
-                        let audit = g.audit(loss);
+                        let audit = g.audit(res.loss);
                         assert!(
                             !audit.has_errors(),
                             "pretrain tape failed its static audit:\n{audit}"
@@ -214,7 +288,7 @@ pub fn pretrain(
                             eprintln!("pretrain audit: {finding}");
                         }
                     }
-                    let lv = g.value(loss).item();
+                    let lv = g.value(res.loss).item();
                     if !lv.is_finite() {
                         match g.trace_nonfinite() {
                             Some(trace) => panic!("non-finite pretrain loss ({lv}); {trace}"),
@@ -225,15 +299,7 @@ pub fn pretrain(
                         }
                     }
                 }
-                let mask_stats =
-                    mask_term.map_or([0.0, 0.0], |m| [g.value(m).item(), mask_losses.len() as f32]);
-                let con_stats =
-                    con_term.map_or([0.0, 0.0], |c| [g.value(c).item(), (pooled.len() / 2) as f32]);
-                Some(ShardResult {
-                    loss,
-                    weight: shard.len() as f32,
-                    components: vec![mask_stats[0], mask_stats[1], con_stats[0], con_stats[1]],
-                })
+                Some(res)
             };
 
             let mut grads = GradStore::new(&model.store);

@@ -327,9 +327,34 @@ pub fn matmul_into(a: &Array, b: &Array, out: &mut Array) {
         reference::matmul_into(a, b, out);
     } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
-        parallel_rows(&mut out.data, m, n, |chunk, row0| matmul_rows(a, b, chunk, row0, k, n));
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_rows_impl::<false>(a, b, chunk, row0, k, n);
+        });
     } else {
-        matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n);
+        matmul_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, n);
+    }
+}
+
+/// `out = a @ b`, **overwriting** `out` — every element is assigned before it
+/// is read, so `out` may come from
+/// [`crate::pool::BufferPool::take_uninit_overwritten`] with arbitrary
+/// contents. Same blocking and summation order as [`matmul_into`]; only the
+/// first inner-dimension block assigns instead of accumulating.
+pub fn matmul_into_ow(a: &Array, b: &Array, out: &mut Array) {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch {:?} @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+    if reference_kernels() {
+        // The reference kernels accumulate; restore their zeroed-out contract.
+        out.data.fill(0.0);
+        reference::matmul_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_rows_impl::<true>(a, b, chunk, row0, k, n);
+        });
+    } else {
+        matmul_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, n);
     }
 }
 
@@ -343,13 +368,44 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
 /// Blocked ikj microkernel: 4 rows of `b` are combined per pass over the
 /// output row, so each `out` element gets 4 multiply-adds per load/store.
 /// No zero-skip on `a`: the branch defeats vectorization on dense data
-/// (DESIGN.md §9).
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+/// (DESIGN.md §9). With `OW` the first inner block assigns instead of
+/// accumulating, so `out` never has to be zero-filled; the summation order
+/// is unchanged (only the `0 +` seed of each element disappears).
+fn matmul_rows_impl<const OW: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         let mut p = 0;
+        if OW {
+            if k >= 4 {
+                let (a0, a1, a2, a3) = (arow[0], arow[1], arow[2], arow[3]);
+                let b0 = &b[..n];
+                let b1 = &b[n..2 * n];
+                let b2 = &b[2 * n..3 * n];
+                let b3 = &b[3 * n..4 * n];
+                for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o = a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                p = 4;
+            } else if k >= 1 {
+                let a0 = arow[0];
+                for (o, &bv) in orow.iter_mut().zip(&b[..n]) {
+                    *o = a0 * bv;
+                }
+                p = 1;
+            } else {
+                orow.fill(0.0);
+            }
+        }
         while p + 4 <= k {
             let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
             let b0 = &b[p * n..(p + 1) * n];
@@ -380,9 +436,30 @@ pub fn matmul_bt_into(a: &Array, b: &Array, out: &mut Array) {
         reference::matmul_bt_into(a, b, out);
     } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
-        parallel_rows(&mut out.data, m, n, |chunk, row0| matmul_bt_rows(a, b, chunk, row0, k, n));
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_bt_rows_impl::<false>(a, b, chunk, row0, k, n);
+        });
     } else {
-        matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n);
+        matmul_bt_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, n);
+    }
+}
+
+/// `out = a @ b^T`, **overwriting** `out`; see [`matmul_into_ow`] for the
+/// uninit-buffer contract.
+pub fn matmul_bt_into_ow(a: &Array, b: &Array, out: &mut Array) {
+    assert_eq!(a.cols, b.cols, "matmul_bt shape mismatch {:?} @ {:?}^T", a.shape(), b.shape());
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    assert_eq!(out.shape(), (m, n), "matmul_bt output shape mismatch");
+    if reference_kernels() {
+        out.data.fill(0.0);
+        reference::matmul_bt_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_bt_rows_impl::<true>(a, b, chunk, row0, k, n);
+        });
+    } else {
+        matmul_bt_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, n);
     }
 }
 
@@ -395,8 +472,17 @@ pub fn matmul_bt(a: &Array, b: &Array) -> Array {
 }
 
 /// Blocked dot-product microkernel: 4 rows of `b` share one pass over the
-/// `a` row, giving 4 independent accumulator chains.
-fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+/// `a` row, giving 4 independent accumulator chains. With `OW` the finished
+/// sums are assigned into `out` instead of added, so the buffer's prior
+/// contents are irrelevant.
+fn matmul_bt_rows_impl<const OW: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
     let rows = out.len() / n;
     for i in 0..rows {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
@@ -414,14 +500,26 @@ fn matmul_bt_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, 
                 s2 += x * y2;
                 s3 += x * y3;
             }
-            orow[j] += s0;
-            orow[j + 1] += s1;
-            orow[j + 2] += s2;
-            orow[j + 3] += s3;
+            if OW {
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+            } else {
+                orow[j] += s0;
+                orow[j + 1] += s1;
+                orow[j + 2] += s2;
+                orow[j + 3] += s3;
+            }
             j += 4;
         }
         for jj in j..n {
-            orow[jj] += dot(arow, &b[jj * k..(jj + 1) * k]);
+            let s = dot(arow, &b[jj * k..(jj + 1) * k]);
+            if OW {
+                orow[jj] = s;
+            } else {
+                orow[jj] += s;
+            }
         }
     }
 }
@@ -438,10 +536,29 @@ pub fn matmul_at_into(a: &Array, b: &Array, out: &mut Array) {
     } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_at_rows(a, b, chunk, row0, k, m, n);
+            matmul_at_rows_impl::<false>(a, b, chunk, row0, k, m, n);
         });
     } else {
-        matmul_at_rows(&a.data, &b.data, &mut out.data, 0, k, m, n);
+        matmul_at_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, m, n);
+    }
+}
+
+/// `out = a^T @ b`, **overwriting** `out`; see [`matmul_into_ow`] for the
+/// uninit-buffer contract.
+pub fn matmul_at_into_ow(a: &Array, b: &Array, out: &mut Array) {
+    assert_eq!(a.rows, b.rows, "matmul_at shape mismatch {:?}^T @ {:?}", a.shape(), b.shape());
+    let (m, k, n) = (a.cols, a.rows, b.cols);
+    assert_eq!(out.shape(), (m, n), "matmul_at output shape mismatch");
+    if reference_kernels() {
+        out.data.fill(0.0);
+        reference::matmul_at_into(a, b, out);
+    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        let (a, b) = (&a.data, &b.data);
+        parallel_rows(&mut out.data, m, n, |chunk, row0| {
+            matmul_at_rows_impl::<true>(a, b, chunk, row0, k, m, n);
+        });
+    } else {
+        matmul_at_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, m, n);
     }
 }
 
@@ -454,8 +571,9 @@ pub fn matmul_at(a: &Array, b: &Array) -> Array {
 
 /// Blocked kernel for `a^T @ b`: output row `i` reads column `i` of `a`
 /// (stride `m`) 4 inner-dim steps at a time, combining 4 rows of `b` per
-/// pass over the output row.
-fn matmul_at_rows(
+/// pass over the output row. `OW` assigns the first block (see
+/// [`matmul_rows_impl`]).
+fn matmul_at_rows_impl<const OW: bool>(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -469,6 +587,28 @@ fn matmul_at_rows(
         let col = row0 + i;
         let orow = &mut out[i * n..(i + 1) * n];
         let mut p = 0;
+        if OW {
+            if k >= 4 {
+                let (a0, a1, a2, a3) = (a[col], a[m + col], a[2 * m + col], a[3 * m + col]);
+                let b0 = &b[..n];
+                let b1 = &b[n..2 * n];
+                let b2 = &b[2 * n..3 * n];
+                let b3 = &b[3 * n..4 * n];
+                for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o = a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                p = 4;
+            } else if k >= 1 {
+                let a0 = a[col];
+                for (o, &bv) in orow.iter_mut().zip(&b[..n]) {
+                    *o = a0 * bv;
+                }
+                p = 1;
+            } else {
+                orow.fill(0.0);
+            }
+        }
         while p + 4 <= k {
             let (a0, a1, a2, a3) =
                 (a[p * m + col], a[(p + 1) * m + col], a[(p + 2) * m + col], a[(p + 3) * m + col]);

@@ -40,12 +40,16 @@ pub enum FindingKind {
     DuplicateParamLeaf,
     /// A dropout op recorded while the tape is in eval mode.
     EvalModeDropout,
+    /// The liveness operand table (`Op::backward_value_reads`) names a node
+    /// that is not an input of the op: the memory planner would compute a
+    /// lifetime for an edge that does not exist.
+    BackwardOperandMismatch,
 }
 
 impl FindingKind {
     pub fn severity(self) -> Severity {
         match self {
-            FindingKind::ShapeMismatch => Severity::Error,
+            FindingKind::ShapeMismatch | FindingKind::BackwardOperandMismatch => Severity::Error,
             FindingKind::DeadNode
             | FindingKind::UnreachableParam
             | FindingKind::EvalModeDropout => Severity::Warning,
@@ -81,6 +85,12 @@ pub struct AuditReport {
     /// dims), the recorded value's shape is used after consistency checks.
     pub shapes: Vec<(usize, usize)>,
     pub findings: Vec<Finding>,
+    /// Bytes held by all node values at audit time — the same accounting
+    /// [`crate::liveness::MemoryPlan::analyze`] starts from.
+    pub value_bytes: usize,
+    /// Bytes held by saved op payloads (masks, cached softmaxes, norm
+    /// statistics), per the shared `Op::payload_elems` table.
+    pub payload_bytes: usize,
 }
 
 impl AuditReport {
@@ -108,7 +118,12 @@ impl AuditReport {
 impl std::fmt::Display for AuditReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_clean() {
-            return write!(f, "audit clean ({} nodes)", self.shapes.len());
+            return write!(
+                f,
+                "audit clean ({} nodes, {:.1} KiB tape)",
+                self.shapes.len(),
+                (self.value_bytes + self.payload_bytes) as f64 / 1024.0
+            );
         }
         writeln!(f, "audit found {} issue(s):", self.findings.len())?;
         for finding in &self.findings {
@@ -279,6 +294,37 @@ impl Graph<'_> {
                     );
                 }
             }
+        }
+
+        // 5. Liveness operand table consistency: every value the backward
+        // rule claims to read must be an actual input of the op (or the
+        // op's own output, flagged separately). A phantom edge here would
+        // make the memory planner keep — or worse, release — the wrong
+        // buffer.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let inputs = node.op.inputs();
+            let (reads, _own) = node.op.backward_value_reads();
+            for r in reads {
+                if !inputs.contains(&r) {
+                    report.push(
+                        FindingKind::BackwardOperandMismatch,
+                        Some(NodeId(idx)),
+                        format!(
+                            "{}: backward operand table reads node {} which is not among its \
+                             inputs {:?}",
+                            node.op.kind(),
+                            r.0,
+                            inputs.iter().map(|i| i.0).collect::<Vec<_>>(),
+                        ),
+                    );
+                }
+            }
+        }
+
+        // 6. Tape memory accounting, shared with the liveness planner.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            report.value_bytes += 4 * shapes[idx].0 * shapes[idx].1;
+            report.payload_bytes += 4 * node.op.payload_elems();
         }
 
         report.shapes = shapes;

@@ -17,8 +17,9 @@ use rand::Rng;
 use std::sync::Arc;
 
 use crate::array::{self, Array};
+use crate::liveness::MemoryPlan;
 use crate::params::{GradStore, ParamId, ParamStore};
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PoolStats};
 
 /// Handle to a node on the tape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -276,12 +277,105 @@ impl Op {
             }
         }
     }
+
+    /// The liveness operand table: which node **values** this op's backward
+    /// rule dereferences, as `(input nodes read, reads its own output)`.
+    /// Derived line-by-line from the matching [`Graph::backward`] arm — ops
+    /// whose backward needs only shapes (`Add`, `Reshape`, `GatherRows`,
+    /// `CrossEntropyRows`, …) report nothing here, which is exactly what
+    /// makes their operands releasable early. The exhaustive match is the
+    /// compile-time guard that a new `Op` variant cannot ship without a
+    /// liveness entry (checked alongside the audit table by
+    /// `start-analysis lint`).
+    pub(crate) fn backward_value_reads(&self) -> (Vec<NodeId>, bool) {
+        match self {
+            // Leaves and shape-only rules: gradients are routed (or summed)
+            // without touching any saved activation.
+            Op::Input
+            | Op::Param(..)
+            | Op::Transpose(..)
+            | Op::Reshape(..)
+            | Op::Add(..)
+            | Op::Sub(..)
+            | Op::Scale(..)
+            | Op::AddScalar(..)
+            | Op::AddRow(..)
+            | Op::ConcatCols(..)
+            | Op::ConcatRows(..)
+            | Op::SliceCols(..)
+            | Op::GatherRows(..)
+            | Op::SegmentSum(..)
+            | Op::SumAll(..)
+            | Op::MeanAll(..) => (Vec::new(), false),
+            // Dropout multiplies by the saved mask payload, not the input.
+            Op::Dropout(..) => (Vec::new(), false),
+            // The fused CE backward reads the saved softmax payload only;
+            // the (large) logits value itself is dead after the forward.
+            Op::CrossEntropyRows { .. } => (Vec::new(), false),
+            Op::MatMul(a, b) | Op::Mul(a, b) => (vec![*a, *b], false),
+            Op::MulRow(x, row) => (vec![*x, *row], false),
+            Op::MulCol(x, col) => (vec![*x, *col], false),
+            Op::Relu(x) | Op::LeakyRelu(x, _) => (vec![*x], false),
+            // Activations differentiated from their own output.
+            Op::Elu(..) | Op::Sigmoid(..) | Op::Tanh(..) => (Vec::new(), true),
+            Op::SoftmaxRows(..) | Op::SegmentSoftmax(..) => (Vec::new(), true),
+            // Normalizations read their own output plus the stats payload.
+            Op::LayerNormRows(..) | Op::L2NormalizeRows(..) => (Vec::new(), true),
+            Op::MseLoss { pred, .. } => (vec![*pred], false),
+            // Attention re-reads q/k/v (the bias gradient needs none of the
+            // bias value, and attn/mask are payloads).
+            Op::MhAttention { q, k, v, .. } => (vec![*q, *k, *v], false),
+        }
+    }
+
+    /// Number of `f32` elements held by this op's saved payload buffers
+    /// (dropout masks, softmax caches, normalization stats, attention
+    /// probabilities). Shared by the byte accounting in [`Graph::push`], the
+    /// planner's peak simulation, and the auditor's tape summary.
+    pub(crate) fn payload_elems(&self) -> usize {
+        match self {
+            Op::Dropout(_, mask) => mask.len(),
+            Op::LayerNormRows(_, stats) | Op::L2NormalizeRows(_, stats) => stats.len(),
+            Op::CrossEntropyRows { softmax, .. } => softmax.len(),
+            Op::MseLoss { target, .. } => target.len(),
+            Op::MhAttention { attn, mask, .. } => attn.len() + mask.as_ref().map_or(0, Array::len),
+            _ => 0,
+        }
+    }
+}
+
+/// Human-readable description of a release stamp for sanitizer aborts.
+fn release_site(step: u32) -> String {
+    if step == RELEASED_PRE_SWEEP {
+        "released pre-sweep as forward-dead".to_string()
+    } else {
+        format!("released at the end of backward step {step}")
+    }
 }
 
 pub(crate) struct Node {
     pub(crate) value: Array,
     pub(crate) op: Op,
 }
+
+/// Live/peak byte accounting of one graph lifetime (forward build +
+/// backward), reset by [`Graph::reset`]. "Tape" covers node values and saved
+/// op payloads; gradient temporaries are added on top during `backward`, so
+/// `peak_bytes` is the realized high-water mark the planner's predictions
+/// are compared against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes currently held by un-released node values and payloads.
+    pub live_bytes: usize,
+    /// High-water mark of `live_bytes` plus in-flight gradient bytes.
+    pub peak_bytes: usize,
+}
+
+/// Release stamp recorded when the planner frees a node's value before
+/// `reset`: the backward step index at whose end the release fired, or
+/// [`RELEASED_PRE_SWEEP`] for forward-dead values freed at backward entry
+/// (and by [`Graph::forward_release`]).
+pub(crate) const RELEASED_PRE_SWEEP: u32 = u32::MAX;
 
 /// A define-by-run computation tape.
 ///
@@ -299,6 +393,15 @@ pub struct Graph<'s> {
     pub(crate) train: bool,
     /// Free-list the tape's `Array` buffers are drawn from and returned to.
     pub(crate) pool: BufferPool,
+    /// Per-node release stamp: `None` while the value is live, the backward
+    /// step (or [`RELEASED_PRE_SWEEP`]) once the planner freed it. The
+    /// sanitizer's read barriers consult this before every backward value
+    /// read.
+    pub(crate) released: Vec<Option<u32>>,
+    /// Live value+payload bytes on the tape right now.
+    live_bytes: usize,
+    /// High-water mark of tape + gradient bytes since the last `reset`.
+    peak_bytes: usize,
 }
 
 impl<'s> Graph<'s> {
@@ -311,13 +414,21 @@ impl<'s> Graph<'s> {
     /// graph cannot outlive the step because it immutably borrows the
     /// `ParamStore` the optimizer needs to mutate).
     pub fn with_pool(store: &'s ParamStore, train: bool, pool: BufferPool) -> Self {
-        Self { store, nodes: Vec::with_capacity(256), train, pool }
+        Self {
+            store,
+            nodes: Vec::with_capacity(256),
+            train,
+            pool,
+            released: Vec::with_capacity(256),
+            live_bytes: 0,
+            peak_bytes: 0,
+        }
     }
 
     /// Clear the tape, returning every node buffer (and saved op payload) to
     /// the pool. All previously issued [`NodeId`]s are invalidated.
     pub fn reset(&mut self) {
-        let Self { nodes, pool, .. } = self;
+        let Self { nodes, pool, released, .. } = self;
         for node in nodes.drain(..) {
             pool.recycle(node.value);
             match node.op {
@@ -334,6 +445,9 @@ impl<'s> Graph<'s> {
                 _ => {}
             }
         }
+        released.clear();
+        self.live_bytes = 0;
+        self.peak_bytes = 0;
     }
 
     /// Tear the graph down, recycling its tape, and hand the pool back so
@@ -343,9 +457,16 @@ impl<'s> Graph<'s> {
         std::mem::take(&mut self.pool)
     }
 
-    /// `(hits, misses)` of the underlying pool's buffer requests.
-    pub fn pool_stats(&self) -> (u64, u64) {
+    /// Request counters of the underlying pool (hits, misses, skipped
+    /// zero-fills).
+    pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Live/peak byte accounting for this graph lifetime (since the last
+    /// [`Graph::reset`]).
+    pub fn memory_stats(&self) -> MemoryStats {
+        MemoryStats { live_bytes: self.live_bytes, peak_bytes: self.peak_bytes }
     }
 
     /// Pooled zero-filled array.
@@ -389,18 +510,54 @@ impl<'s> Graph<'s> {
         self.nodes[id.0].op.inputs()
     }
 
-    /// Value of a node (eagerly computed at creation).
+    /// Node **values** the backward rule of `id` dereferences, as
+    /// `(input nodes read, reads its own output)` — the liveness operand
+    /// table [`crate::liveness::MemoryPlan::analyze`] is built from.
+    pub fn op_backward_value_reads(&self, id: NodeId) -> (Vec<NodeId>, bool) {
+        self.nodes[id.0].op.backward_value_reads()
+    }
+
+    /// `f32` elements saved alongside `id` as op payload (masks, cached
+    /// softmaxes, normalization stats).
+    pub fn op_payload_elems(&self, id: NodeId) -> usize {
+        self.nodes[id.0].op.payload_elems()
+    }
+
+    /// Value of a node (eagerly computed at creation). Panics if the memory
+    /// planner already released the buffer — a read here after
+    /// [`Graph::backward_planned`] or [`Graph::forward_release`] is a
+    /// use-after-free against the pooled allocator, and the sanitizer turns
+    /// it into a diagnosable abort instead of silently serving another
+    /// node's bytes.
     pub fn value(&self, id: NodeId) -> &Array {
+        self.check_live(id);
         &self.nodes[id.0].value
     }
 
     pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        self.check_live(id);
         self.nodes[id.0].value.shape()
+    }
+
+    #[inline]
+    fn check_live(&self, id: NodeId) {
+        if let Some(step) = self.released[id.0] {
+            panic!(
+                "liveness sanitizer: value of node {} ({}) was read after its planned release \
+                 ({}) — use-after-release on the pooled tape",
+                id.0,
+                self.nodes[id.0].op.kind(),
+                release_site(step),
+            );
+        }
     }
 
     fn push(&mut self, value: Array, op: Op) -> NodeId {
         let id = NodeId(self.nodes.len());
+        self.live_bytes += 4 * (value.len() + op.payload_elems());
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
         self.nodes.push(Node { value, op });
+        self.released.push(None);
         id
     }
 
@@ -425,8 +582,10 @@ impl<'s> Graph<'s> {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (m, _) = self.shape(a);
         let (_, n) = self.shape(b);
-        let mut v = self.alloc_zeros(m, n);
-        array::matmul_into(self.value(a), self.value(b), &mut v);
+        // Full-write site: the assign-variant kernel overwrites every output
+        // element, so the pooled buffer skips its zero-fill.
+        let mut v = self.pool.array_uninit_overwritten(m, n);
+        array::matmul_into_ow(self.value(a), self.value(b), &mut v);
         self.push(v, Op::MatMul(a, b))
     }
 
@@ -639,7 +798,10 @@ impl<'s> Graph<'s> {
         } else {
             None
         };
-        let mut attn = self.alloc_zeros(heads * t, t);
+        // Full-write site: the kernel zero-fills each score row before its
+        // axpy pass, so `attn` needs no up-front zeroing. `out` is
+        // accumulated into and must stay zeroed.
+        let mut attn = self.pool.array_uninit_overwritten(heads * t, t);
         let mut out = self.alloc_zeros(t, d);
         let mut scratch = self.pool.take(t * d);
         array::mh_attention_forward(
@@ -827,15 +989,71 @@ impl<'s> Graph<'s> {
     ///
     /// Takes `&mut self` because every gradient temporary is drawn from the
     /// graph's buffer pool and recycled as soon as its node is processed.
+    /// Node values and payloads stay on the tape until [`Graph::reset`]; use
+    /// [`Graph::backward_planned`] to return provably dead buffers to the
+    /// pool mid-sweep.
     pub fn backward(&mut self, loss: NodeId, grads: &mut GradStore) {
+        self.backward_impl(loss, grads, None);
+    }
+
+    /// [`Graph::backward`] executing `plan`'s release schedule: forward-dead
+    /// values go back to the pool before the first gradient is allocated,
+    /// and every other value (and payload) is recycled at the end of the
+    /// backward step that last dereferences it, per the liveness operand
+    /// table. Gradients are bitwise-identical to the unplanned sweep — the
+    /// plan changes only *when* buffers return to the pool, never a value.
+    ///
+    /// After this returns, only the loss value (and the plan's keep set) may
+    /// be read; the sanitizer aborts on any other [`Graph::value`] access.
+    /// The plan must have been computed by
+    /// [`crate::liveness::MemoryPlan::analyze`] on this exact tape.
+    pub fn backward_planned(&mut self, loss: NodeId, grads: &mut GradStore, plan: &MemoryPlan) {
+        self.backward_impl(loss, grads, Some(plan));
+    }
+
+    fn backward_impl(&mut self, loss: NodeId, grads: &mut GradStore, plan: Option<&MemoryPlan>) {
         assert_eq!(self.value(loss).len(), 1, "backward requires a scalar loss");
-        let Self { nodes, pool, .. } = self;
-        let shape_of = |nodes: &[Node], id: NodeId| nodes[id.0].value.shape();
+        let sanitize = crate::liveness::sanitize_enabled();
+        // Values may be tombstoned mid-sweep, so shape queries on the plan
+        // path go through a snapshot taken before any release.
+        let plan_shapes: Option<Vec<(usize, usize)>> = plan.map(|p| {
+            p.validate(self, loss);
+            self.nodes.iter().map(|n| n.value.shape()).collect()
+        });
+        let mut releases = 0usize;
+        let Self { nodes, pool, released, live_bytes, peak_bytes, .. } = self;
+        if let Some(p) = plan {
+            // Forward-dead values (never dereferenced by any backward rule)
+            // and payloads of nodes the sweep will not visit go back to the
+            // pool before the first gradient is allocated.
+            for &id in p.forward_dead() {
+                let expect = sanitize.then(|| p.value_bytes(id as usize));
+                release_value(
+                    nodes,
+                    pool,
+                    released,
+                    live_bytes,
+                    id as usize,
+                    RELEASED_PRE_SWEEP,
+                    expect,
+                );
+                releases += 1;
+            }
+            for &id in p.unswept_payloads() {
+                release_payload(nodes, pool, live_bytes, id as usize);
+            }
+        }
+        let shape_of = |nodes: &[Node], id: NodeId| match &plan_shapes {
+            Some(shapes) => shapes[id.0],
+            None => nodes[id.0].value.shape(),
+        };
+        let mut grad_bytes = 4usize; // the scalar seed below
         let mut node_grads: Vec<Option<Array>> = (0..nodes.len()).map(|_| None).collect();
         node_grads[loss.0] = Some(Array::scalar(1.0));
 
         for idx in (0..=loss.0).rev() {
             let Some(g) = node_grads[idx].take() else { continue };
+            let gbytes = 4 * g.len();
             // Each arm either moves `g` into a downstream gradient (returns
             // `None`) or leaves it to be recycled (`Some(g)`).
             let leftover = match &nodes[idx].op {
@@ -847,14 +1065,17 @@ impl<'s> Graph<'s> {
                 Op::MatMul(a, b) => {
                     let (m, _) = g.shape();
                     let (ka, _) = shape_of(nodes, *b); // b is (ka, n)
-                    let mut da = pool.array_zeros(m, ka);
-                    array::matmul_bt_into(&g, &nodes[b.0].value, &mut da);
+                                                       // Full-write sites: the assign-variant kernels overwrite
+                                                       // every element of da/db, so the pooled buffers skip
+                                                       // their zero-fill.
+                    let mut da = pool.array_uninit_overwritten(m, ka);
+                    array::matmul_bt_into_ow(&g, read_value(nodes, released, idx, *b), &mut da);
                     let (ar, ac) = shape_of(nodes, *a);
                     let _ = ar;
-                    let mut db = pool.array_zeros(ac, g.cols());
-                    array::matmul_at_into(&nodes[a.0].value, &g, &mut db);
-                    accum(pool, &mut node_grads, a.0, da);
-                    accum(pool, &mut node_grads, b.0, db);
+                    let mut db = pool.array_uninit_overwritten(ac, g.cols());
+                    array::matmul_at_into_ow(read_value(nodes, released, idx, *a), &g, &mut db);
+                    accum(pool, &mut node_grads, &mut grad_bytes, a.0, da);
+                    accum(pool, &mut node_grads, &mut grad_bytes, b.0, db);
                     Some(g)
                 }
                 Op::Transpose(x) => {
@@ -865,54 +1086,54 @@ impl<'s> Graph<'s> {
                             dx.set(i, j, g.get(j, i));
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::Reshape(x) => {
                     let (r, c) = shape_of(nodes, *x);
-                    accum(pool, &mut node_grads, x.0, g.reshaped(r, c));
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, g.reshaped(r, c));
                     None
                 }
                 Op::Add(a, b) => {
                     let ga = pool.array_copy(&g);
-                    accum(pool, &mut node_grads, a.0, ga);
-                    accum(pool, &mut node_grads, b.0, g);
+                    accum(pool, &mut node_grads, &mut grad_bytes, a.0, ga);
+                    accum(pool, &mut node_grads, &mut grad_bytes, b.0, g);
                     None
                 }
                 Op::Sub(a, b) => {
                     let ga = pool.array_copy(&g);
-                    accum(pool, &mut node_grads, a.0, ga);
+                    accum(pool, &mut node_grads, &mut grad_bytes, a.0, ga);
                     let mut ng = g;
                     ng.scale_assign(-1.0);
-                    accum(pool, &mut node_grads, b.0, ng);
+                    accum(pool, &mut node_grads, &mut grad_bytes, b.0, ng);
                     None
                 }
                 Op::Mul(a, b) => {
-                    let da = ew_mul(pool, &g, &nodes[b.0].value);
-                    let db = ew_mul(pool, &g, &nodes[a.0].value);
-                    accum(pool, &mut node_grads, a.0, da);
-                    accum(pool, &mut node_grads, b.0, db);
+                    let da = ew_mul(pool, &g, read_value(nodes, released, idx, *b));
+                    let db = ew_mul(pool, &g, read_value(nodes, released, idx, *a));
+                    accum(pool, &mut node_grads, &mut grad_bytes, a.0, da);
+                    accum(pool, &mut node_grads, &mut grad_bytes, b.0, db);
                     Some(g)
                 }
                 Op::Scale(x, c) => {
                     let mut dg = g;
                     dg.scale_assign(*c);
-                    accum(pool, &mut node_grads, x.0, dg);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dg);
                     None
                 }
                 Op::AddScalar(x) => {
-                    accum(pool, &mut node_grads, x.0, g);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, g);
                     None
                 }
                 Op::AddRow(x, row) => {
                     let drow = col_sums(pool, &g);
-                    accum(pool, &mut node_grads, x.0, g);
-                    accum(pool, &mut node_grads, row.0, drow);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, g);
+                    accum(pool, &mut node_grads, &mut grad_bytes, row.0, drow);
                     None
                 }
                 Op::MulRow(x, row) => {
-                    let xv = &nodes[x.0].value;
-                    let rv = &nodes[row.0].value;
+                    let xv = read_value(nodes, released, idx, *x);
+                    let rv = read_value(nodes, released, idx, *row);
                     let mut dx = pool.array_copy(&g);
                     let mut drow = pool.array_zeros(1, rv.cols());
                     for r in 0..dx.rows() {
@@ -922,13 +1143,13 @@ impl<'s> Graph<'s> {
                             dx.set(r, c, gv * rv.get(0, c));
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
-                    accum(pool, &mut node_grads, row.0, drow);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, row.0, drow);
                     Some(g)
                 }
                 Op::MulCol(x, col) => {
-                    let xv = &nodes[x.0].value;
-                    let cv = &nodes[col.0].value;
+                    let xv = read_value(nodes, released, idx, *x);
+                    let cv = read_value(nodes, released, idx, *col);
                     let mut dx = pool.array_copy(&g);
                     let mut dcol = pool.array_zeros(cv.rows(), 1);
                     for r in 0..dx.rows() {
@@ -941,46 +1162,44 @@ impl<'s> Graph<'s> {
                         }
                         dcol.set(r, 0, acc);
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
-                    accum(pool, &mut node_grads, col.0, dcol);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, col.0, dcol);
                     Some(g)
                 }
                 Op::Relu(x) => {
-                    let dx =
-                        masked(pool, &g, &nodes[x.0].value, |t| if t > 0.0 { 1.0 } else { 0.0 });
-                    accum(pool, &mut node_grads, x.0, dx);
+                    let xv = read_value(nodes, released, idx, *x);
+                    let dx = masked(pool, &g, xv, |t| if t > 0.0 { 1.0 } else { 0.0 });
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::LeakyRelu(x, slope) => {
                     let s = *slope;
-                    let dx = masked(pool, &g, &nodes[x.0].value, |t| if t > 0.0 { 1.0 } else { s });
-                    accum(pool, &mut node_grads, x.0, dx);
+                    let xv = read_value(nodes, released, idx, *x);
+                    let dx = masked(pool, &g, xv, |t| if t > 0.0 { 1.0 } else { s });
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::Elu(x) => {
                     // d/dx elu = 1 for x > 0 else elu(x) + 1, computed from the output.
-                    let dx =
-                        masked(
-                            pool,
-                            &g,
-                            &nodes[idx].value,
-                            |y| if y > 0.0 { 1.0 } else { y + 1.0 },
-                        );
-                    accum(pool, &mut node_grads, x.0, dx);
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
+                    let dx = masked(pool, &g, yv, |y| if y > 0.0 { 1.0 } else { y + 1.0 });
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::Sigmoid(x) => {
-                    let dx = masked(pool, &g, &nodes[idx].value, |y| y * (1.0 - y));
-                    accum(pool, &mut node_grads, x.0, dx);
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
+                    let dx = masked(pool, &g, yv, |y| y * (1.0 - y));
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::Tanh(x) => {
-                    let dx = masked(pool, &g, &nodes[idx].value, |y| 1.0 - y * y);
-                    accum(pool, &mut node_grads, x.0, dx);
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
+                    let dx = masked(pool, &g, yv, |y| 1.0 - y * y);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::SoftmaxRows(x) => {
-                    let yv = &nodes[idx].value;
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
                     let mut dx = pool.array_copy(&g);
                     for r in 0..dx.rows() {
                         let y = yv.row(r);
@@ -990,11 +1209,11 @@ impl<'s> Graph<'s> {
                             *d = yi * (gi - s);
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::LayerNormRows(x, rstds) => {
-                    let yv = &nodes[idx].value;
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
                     let d = yv.cols() as f32;
                     let mut dx = pool.array_copy(&g);
                     for (r, &rstd) in rstds.iter().enumerate() {
@@ -1006,16 +1225,16 @@ impl<'s> Graph<'s> {
                             *o = rstd * (gi - mean_g - yi * mean_gy);
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::Dropout(x, mask) => {
                     let dx = ew_mul(pool, &g, mask);
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::L2NormalizeRows(x, norms) => {
-                    let yv = &nodes[idx].value;
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
                     let mut dx = pool.array_copy(&g);
                     for (r, &norm) in norms.iter().enumerate() {
                         let y = yv.row(r);
@@ -1026,7 +1245,7 @@ impl<'s> Graph<'s> {
                             *o = (gi - yi * s) * inv;
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::ConcatCols(parts) => {
@@ -1037,7 +1256,7 @@ impl<'s> Graph<'s> {
                         for r in 0..n {
                             dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
                         }
-                        accum(pool, &mut node_grads, p.0, dp);
+                        accum(pool, &mut node_grads, &mut grad_bytes, p.0, dp);
                         off += w;
                     }
                     Some(g)
@@ -1050,7 +1269,7 @@ impl<'s> Graph<'s> {
                         for r in 0..n {
                             dp.row_mut(r).copy_from_slice(g.row(off + r));
                         }
-                        accum(pool, &mut node_grads, p.0, dp);
+                        accum(pool, &mut node_grads, &mut grad_bytes, p.0, dp);
                         off += n;
                     }
                     Some(g)
@@ -1062,7 +1281,7 @@ impl<'s> Graph<'s> {
                         let gr = g.row(r);
                         dx.row_mut(r)[*start..*start + gr.len()].copy_from_slice(gr);
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::GatherRows(x, indices) => {
@@ -1074,7 +1293,7 @@ impl<'s> Graph<'s> {
                             *o += t;
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::SegmentSum(x, segments) => {
@@ -1086,11 +1305,11 @@ impl<'s> Graph<'s> {
                             dx.row_mut(r).copy_from_slice(gs);
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::SegmentSoftmax(x, segments) => {
-                    let yv = &nodes[idx].value;
+                    let yv = read_value(nodes, released, idx, NodeId(idx));
                     let mut dx = pool.array_copy(&g);
                     for s in 0..segments.num_segments() {
                         let range = segments.range(s);
@@ -1101,19 +1320,19 @@ impl<'s> Graph<'s> {
                             *o = yi * (gi - dot);
                         }
                     }
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::SumAll(x) => {
                     let (n, w) = shape_of(nodes, *x);
                     let dx = pool.array_full(n, w, g.item());
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::MeanAll(x) => {
                     let (n, w) = shape_of(nodes, *x);
                     let dx = pool.array_full(n, w, g.item() / (n * w) as f32);
-                    accum(pool, &mut node_grads, x.0, dx);
+                    accum(pool, &mut node_grads, &mut grad_bytes, x.0, dx);
                     Some(g)
                 }
                 Op::CrossEntropyRows { logits, targets, softmax } => {
@@ -1124,16 +1343,16 @@ impl<'s> Graph<'s> {
                         dl.set(r, t as usize, v - 1.0);
                     }
                     dl.scale_assign(scale);
-                    accum(pool, &mut node_grads, logits.0, dl);
+                    accum(pool, &mut node_grads, &mut grad_bytes, logits.0, dl);
                     Some(g)
                 }
                 Op::MseLoss { pred, target } => {
-                    let pv = &nodes[pred.0].value;
+                    let pv = read_value(nodes, released, idx, *pred);
                     let scale = 2.0 * g.item() / pv.len() as f32;
                     let mut dp = pool.array_copy(pv);
                     dp.axpy(-1.0, target);
                     dp.scale_assign(scale);
-                    accum(pool, &mut node_grads, pred.0, dp);
+                    accum(pool, &mut node_grads, &mut grad_bytes, pred.0, dp);
                     Some(g)
                 }
                 Op::MhAttention { q, k, v, bias, heads, scale, attn, mask } => {
@@ -1145,9 +1364,9 @@ impl<'s> Graph<'s> {
                     let mut scratch = pool.take(t * d + 2 * t * t + t);
                     array::mh_attention_backward(
                         &g,
-                        &nodes[q.0].value,
-                        &nodes[k.0].value,
-                        &nodes[v.0].value,
+                        read_value(nodes, released, idx, *q),
+                        read_value(nodes, released, idx, *k),
+                        read_value(nodes, released, idx, *v),
                         attn,
                         mask.as_ref(),
                         *heads,
@@ -1159,11 +1378,11 @@ impl<'s> Graph<'s> {
                         &mut scratch,
                     );
                     pool.give(scratch);
-                    accum(pool, &mut node_grads, q.0, dq);
-                    accum(pool, &mut node_grads, k.0, dk);
-                    accum(pool, &mut node_grads, v.0, dv);
+                    accum(pool, &mut node_grads, &mut grad_bytes, q.0, dq);
+                    accum(pool, &mut node_grads, &mut grad_bytes, k.0, dk);
+                    accum(pool, &mut node_grads, &mut grad_bytes, v.0, dv);
                     if let (Some(b), Some(db)) = (bias, dbias) {
-                        accum(pool, &mut node_grads, b.0, db);
+                        accum(pool, &mut node_grads, &mut grad_bytes, b.0, db);
                     }
                     Some(g)
                 }
@@ -1171,19 +1390,191 @@ impl<'s> Graph<'s> {
             if let Some(g) = leftover {
                 pool.recycle(g);
             }
+            // The high-water mark is sampled while `g`, its freshly seeded
+            // downstream deltas, and the tape all overlap.
+            *peak_bytes = (*peak_bytes).max(*live_bytes + grad_bytes);
+            grad_bytes -= gbytes;
+            if let Some(p) = plan {
+                // This node's payload was last read by its own arm above;
+                // values scheduled here were last read at this step. Release
+                // steps are always grad-reachable, so the schedule cannot be
+                // skipped by the `continue` above.
+                release_payload(nodes, pool, live_bytes, idx);
+                for &id in p.release_after(idx) {
+                    let expect = sanitize.then(|| p.value_bytes(id as usize));
+                    release_value(
+                        nodes,
+                        pool,
+                        released,
+                        live_bytes,
+                        id as usize,
+                        idx as u32,
+                        expect,
+                    );
+                    releases += 1;
+                }
+            }
         }
+        if let Some(p) = plan {
+            if sanitize {
+                let planned = p.release_event_count();
+                assert_eq!(
+                    releases, planned,
+                    "liveness sanitizer: executed {releases} value releases but the plan \
+                     scheduled {planned} — plan/actual divergence"
+                );
+            }
+        }
+    }
+
+    /// Inference-graph hook: release every node value and payload except the
+    /// `keep` set, returning the freed buffers to the pool. Returns the
+    /// number of bytes freed. After this call only `keep` values are
+    /// readable (the sanitizer aborts on any other [`Graph::value`] access)
+    /// and the tape can no longer be backpropagated — use it on eval-mode
+    /// graphs whose embeddings have been extracted, before the graph is kept
+    /// around for further `reset`-free reads.
+    /// Test hook: release one node's value immediately, bypassing any plan.
+    /// A second call on the same node must hit the sanitizer's
+    /// double-release abort. Not for production use.
+    #[doc(hidden)]
+    pub fn debug_release_value(&mut self, id: NodeId) {
+        let Self { nodes, pool, released, live_bytes, .. } = self;
+        release_value(nodes, pool, released, live_bytes, id.0, RELEASED_PRE_SWEEP, None);
+    }
+
+    pub fn forward_release(&mut self, keep: &[NodeId]) -> usize {
+        let mut keep_mask = vec![false; self.nodes.len()];
+        for &k in keep {
+            keep_mask[k.0] = true;
+        }
+        let Self { nodes, pool, released, live_bytes, .. } = self;
+        let before = *live_bytes;
+        for id in 0..nodes.len() {
+            release_payload(nodes, pool, live_bytes, id);
+            if keep_mask[id] || released[id].is_some() {
+                continue;
+            }
+            release_value(nodes, pool, released, live_bytes, id, RELEASED_PRE_SWEEP, None);
+        }
+        before - *live_bytes
     }
 }
 
+/// Tombstone and recycle the value of `id`, stamping it released. Aborts on
+/// double release, and (with `expect` from the sanitizer) on any divergence
+/// between the plan's byte accounting and the buffer actually freed.
+fn release_value(
+    nodes: &mut [Node],
+    pool: &mut BufferPool,
+    released: &mut [Option<u32>],
+    live_bytes: &mut usize,
+    id: usize,
+    stamp: u32,
+    expect: Option<usize>,
+) {
+    if let Some(prev) = released[id] {
+        panic!(
+            "liveness sanitizer: double release of node {} ({}) — already {}",
+            id,
+            nodes[id].op.kind(),
+            release_site(prev),
+        );
+    }
+    let value = std::mem::replace(&mut nodes[id].value, Array::from_vec(0, 0, Vec::new()));
+    let bytes = 4 * value.len();
+    if let Some(want) = expect {
+        if bytes != want {
+            panic!(
+                "liveness sanitizer: node {} ({}) freed {bytes} value bytes but the plan \
+                 accounted {want} — plan/actual divergence",
+                id,
+                nodes[id].op.kind(),
+            );
+        }
+    }
+    *live_bytes -= bytes;
+    pool.recycle(value);
+    released[id] = Some(stamp);
+}
+
+/// Tombstone and recycle the saved payload buffers of `id` (dropout mask,
+/// cached softmax, normalization stats, attention probabilities). Payloads
+/// are only ever read by the node's own backward arm, so this fires at the
+/// end of that arm's step (or pre-sweep for nodes the sweep never visits).
+fn release_payload(nodes: &mut [Node], pool: &mut BufferPool, live_bytes: &mut usize, id: usize) {
+    let empty = || Array::from_vec(0, 0, Vec::new());
+    let mut freed = 0usize;
+    match &mut nodes[id].op {
+        Op::Dropout(_, mask) => {
+            let m = std::mem::replace(mask, empty());
+            freed += m.len();
+            pool.recycle(m);
+        }
+        Op::LayerNormRows(_, stats) | Op::L2NormalizeRows(_, stats) => {
+            let s = std::mem::take(stats);
+            freed += s.len();
+            pool.give(s);
+        }
+        Op::CrossEntropyRows { softmax, .. } => {
+            let s = std::mem::replace(softmax, empty());
+            freed += s.len();
+            pool.recycle(s);
+        }
+        Op::MseLoss { target, .. } => {
+            let t = std::mem::replace(target, empty());
+            freed += t.len();
+            pool.recycle(t);
+        }
+        Op::MhAttention { attn, mask, .. } => {
+            let a = std::mem::replace(attn, empty());
+            freed += a.len();
+            pool.recycle(a);
+            if let Some(m) = mask.take() {
+                freed += m.len();
+                pool.recycle(m);
+            }
+        }
+        _ => {}
+    }
+    *live_bytes -= 4 * freed;
+}
+
+/// Sanitizer read barrier for backward value dereferences: serving a
+/// released buffer would silently alias another node's bytes, so abort with
+/// the reading op, both node ids, and the release site instead.
+fn read_value<'n>(nodes: &'n [Node], released: &[Option<u32>], at: usize, id: NodeId) -> &'n Array {
+    if let Some(step) = released[id.0] {
+        panic!(
+            "liveness sanitizer: {} backward (node {at}) read the value of node {} ({}), {} — \
+             the memory plan is unsound",
+            nodes[at].op.kind(),
+            id.0,
+            nodes[id.0].op.kind(),
+            release_site(step),
+        );
+    }
+    &nodes[id.0].value
+}
+
 /// Add `delta` into the slot's gradient (recycling `delta`), or seed the
-/// slot with it.
-fn accum(pool: &mut BufferPool, grads: &mut [Option<Array>], idx: usize, delta: Array) {
+/// slot with it (tracked in `grad_bytes` for the peak accounting).
+fn accum(
+    pool: &mut BufferPool,
+    grads: &mut [Option<Array>],
+    grad_bytes: &mut usize,
+    idx: usize,
+    delta: Array,
+) {
     match &mut grads[idx] {
         Some(g) => {
             g.add_assign(&delta);
             pool.recycle(delta);
         }
-        slot @ None => *slot = Some(delta),
+        slot @ None => {
+            *grad_bytes += 4 * delta.len();
+            *slot = Some(delta);
+        }
     }
 }
 

@@ -21,6 +21,10 @@
 //!   (Table III);
 //! - [`audit`] — static tape verification: shape re-derivation, dead-node /
 //!   zero-gradient-parameter detection, and a first-NaN tracer;
+//! - [`liveness`] — static memory planner: per-node forward/backward
+//!   last-use analysis, a pooled release schedule executed by
+//!   [`graph::Graph::backward_planned`], and an aliasing sanitizer
+//!   (`START_SANITIZE`) that aborts on use-after-release;
 //! - [`gradcheck`] — central-difference verification helpers.
 //!
 //! Gradient correctness is enforced by finite-difference checks over every
@@ -32,6 +36,7 @@ pub mod audit;
 pub mod gradcheck;
 pub mod graph;
 pub mod layers;
+pub mod liveness;
 pub mod optim;
 pub mod params;
 pub mod pool;
@@ -41,9 +46,10 @@ pub mod train;
 
 pub use array::Array;
 pub use audit::{AuditReport, Finding, FindingKind, NonFiniteTrace, Severity};
-pub use graph::{Graph, NodeId, OpKind, Segments};
+pub use graph::{Graph, MemoryStats, NodeId, OpKind, Segments};
+pub use liveness::{memory_planning_enabled, sanitize_enabled, MemoryPlan};
 pub use optim::{AdamW, AdamWConfig};
 pub use params::{GradStore, Init, ParamId, ParamStore};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};
 pub use schedule::WarmupCosine;
-pub use train::{BatchTrainer, ShardResult, StepStats};
+pub use train::{BatchTrainer, MemoryReport, ShardResult, StepStats};

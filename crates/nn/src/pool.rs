@@ -31,12 +31,23 @@ fn reuse_limit(len: usize) -> usize {
     len.saturating_mul(2).max(64)
 }
 
+/// Counters of [`BufferPool::take`]-family requests since creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from the free-list.
+    pub hits: u64,
+    /// Requests that fell through to the allocator.
+    pub misses: u64,
+    /// [`BufferPool::take_uninit_overwritten`] requests that skipped the
+    /// zero-fill because the pooled buffer's contents were reused as-is.
+    pub zero_skips: u64,
+}
+
 /// A capacity-keyed free-list of `f32` buffers.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     buckets: BTreeMap<usize, Vec<Vec<f32>>>,
-    hits: u64,
-    misses: u64,
+    stats: PoolStats,
 }
 
 impl BufferPool {
@@ -44,24 +55,52 @@ impl BufferPool {
         Self::default()
     }
 
+    /// Pop a pooled buffer whose capacity covers `len` (within the reuse
+    /// slack), with whatever length and contents it was given back with.
+    fn pop(&mut self, len: usize) -> Option<Vec<f32>> {
+        let key = self.buckets.range(len..=reuse_limit(len)).next().map(|(&k, _)| k);
+        let k = key?;
+        let bucket = self.buckets.get_mut(&k)?;
+        let buf = bucket.pop();
+        if bucket.is_empty() {
+            self.buckets.remove(&k);
+        }
+        buf
+    }
+
     /// A cleared buffer with capacity at least `len`: pooled if a
     /// suitably-sized one is free, freshly allocated otherwise.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
-        let key = self.buckets.range(len..=reuse_limit(len)).next().map(|(&k, _)| k);
-        if let Some(k) = key {
-            if let Some(bucket) = self.buckets.get_mut(&k) {
-                if let Some(mut buf) = bucket.pop() {
-                    if bucket.is_empty() {
-                        self.buckets.remove(&k);
-                    }
-                    buf.clear();
-                    self.hits += 1;
-                    return buf;
-                }
-            }
+        if let Some(mut buf) = self.pop(len) {
+            buf.clear();
+            self.stats.hits += 1;
+            return buf;
         }
-        self.misses += 1;
+        self.stats.misses += 1;
         Vec::with_capacity(len)
+    }
+
+    /// A buffer of exactly `len` elements with **arbitrary contents** —
+    /// whatever the pooled buffer last held, or zeros on a fresh allocation.
+    /// Only valid at call sites that provably overwrite every element before
+    /// reading any (the planner's "full-write" sites: the assign-variant
+    /// matmul kernels and element-complete copy loops). Skipping the
+    /// zero-fill is the point; skips are counted in [`PoolStats::zero_skips`].
+    pub fn take_uninit_overwritten(&mut self, len: usize) -> Vec<f32> {
+        if let Some(mut buf) = self.pop(len) {
+            self.stats.hits += 1;
+            self.stats.zero_skips += 1;
+            if buf.len() >= len {
+                buf.truncate(len);
+            } else {
+                // Tail init only; the reused prefix keeps its old contents.
+                buf.resize(len, 0.0);
+            }
+            return buf;
+        }
+        self.stats.misses += 1;
+        // Fresh allocations must be initialized in safe Rust; no skip.
+        vec![0.0; len]
     }
 
     /// Return a buffer to the free-list (dropped if capacity is zero or the
@@ -103,9 +142,16 @@ impl BufferPool {
         Array::from_vec(src.rows(), src.cols(), buf)
     }
 
-    /// `(hits, misses)` of [`BufferPool::take`] since creation.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    /// A pooled array with arbitrary contents; see
+    /// [`BufferPool::take_uninit_overwritten`] for the full-write contract.
+    pub fn array_uninit_overwritten(&mut self, rows: usize, cols: usize) -> Array {
+        let buf = self.take_uninit_overwritten(rows * cols);
+        Array::from_vec(rows, cols, buf)
+    }
+
+    /// Request counters of the `take` family since creation.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
     }
 
     /// Number of buffers currently held.
@@ -126,8 +172,32 @@ mod tests {
         assert_eq!(pool.free_buffers(), 1);
         let buf = pool.take(16);
         assert!(buf.is_empty() && buf.capacity() >= 16);
-        assert_eq!(pool.stats(), (1, 0));
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 0, zero_skips: 0 });
         assert_eq!(pool.free_buffers(), 0);
+    }
+
+    #[test]
+    fn take_uninit_reuses_contents_and_counts_skips() {
+        let mut pool = BufferPool::new();
+        pool.give(vec![7.0; 16]);
+        // Pooled reuse: same length, old contents, zero-fill skipped.
+        let buf = pool.take_uninit_overwritten(12);
+        assert_eq!(buf.len(), 12);
+        assert!(buf.iter().all(|&v| v == 7.0));
+        assert_eq!(pool.stats().zero_skips, 1);
+        pool.give(buf);
+        // Growing within capacity keeps the prefix, zero-fills only the tail.
+        let grown = pool.take_uninit_overwritten(16);
+        assert_eq!(grown.len(), 16);
+        assert!(grown[..12].iter().all(|&v| v == 7.0));
+        assert!(grown[12..].iter().all(|&v| v == 0.0));
+        assert_eq!(pool.stats().zero_skips, 2);
+        // A miss must hand back initialized memory and not count a skip.
+        let fresh = pool.take_uninit_overwritten(1024);
+        assert_eq!(fresh.len(), 1024);
+        assert!(fresh.iter().all(|&v| v == 0.0));
+        let stats = pool.stats();
+        assert_eq!((stats.misses, stats.zero_skips), (1, 2));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::graph::{Graph, NodeId};
+use crate::liveness::{memory_planning_enabled, MemoryPlan};
 use crate::params::{GradStore, ParamStore};
 use crate::pool::BufferPool;
 
@@ -44,6 +45,26 @@ pub struct ShardResult {
     /// Free-form per-shard metrics (e.g. loss components and their counts);
     /// reported raw in [`StepStats::shard_components`].
     pub components: Vec<f32>,
+}
+
+/// Planned-vs-actual peak tape memory of one worker in one step, produced
+/// when memory planning is on (see [`memory_planning_enabled`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryReport {
+    /// Worker / shard index the figures belong to.
+    pub worker: usize,
+    /// Static peak under the optimal schedule
+    /// ([`MemoryPlan::planned_peak_bytes`]).
+    pub planned_peak_bytes: usize,
+    /// Static peak the planned define-by-run backward should realize
+    /// ([`MemoryPlan::runtime_peak_bytes`]).
+    pub predicted_peak_bytes: usize,
+    /// Static peak with no plan — every buffer held until `reset`
+    /// ([`MemoryPlan::baseline_peak_bytes`]).
+    pub baseline_peak_bytes: usize,
+    /// Peak the graph's live-byte accounting actually observed (tape values
+    /// + payloads + gradient buffers; excludes kernel scratch).
+    pub actual_peak_bytes: usize,
 }
 
 /// Outcome of one [`BatchTrainer::step`].
@@ -59,6 +80,10 @@ pub struct StepStats {
     /// order. With one shard this is the closure's vector untouched, so
     /// sequential accounting stays exact.
     pub shard_components: Vec<Vec<f32>>,
+    /// Per-worker planned-vs-actual peak bytes, in shard order; empty when
+    /// memory planning is disabled (`START_MEM_PLAN=0`). Set
+    /// `START_MEM_LOG=1` to also print each report to stderr.
+    pub memory: Vec<MemoryReport>,
 }
 
 /// Shards minibatches across scoped worker threads and merges gradients.
@@ -78,6 +103,43 @@ fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Backprop `loss` into `grads`, executing a freshly analyzed release
+/// schedule when planning is on; returns the worker's memory report iff a
+/// plan ran. Planning never changes computed values — only when buffers
+/// return to the pool — so both branches are bitwise-interchangeable.
+fn backward_with_plan(
+    g: &mut Graph,
+    loss: NodeId,
+    grads: &mut GradStore,
+    worker: usize,
+    plan_mem: bool,
+) -> Option<MemoryReport> {
+    if !plan_mem {
+        g.backward(loss, grads);
+        return None;
+    }
+    let plan = MemoryPlan::analyze(g, loss);
+    g.backward_planned(loss, grads, &plan);
+    let report = MemoryReport {
+        worker,
+        planned_peak_bytes: plan.planned_peak_bytes(),
+        predicted_peak_bytes: plan.runtime_peak_bytes(),
+        baseline_peak_bytes: plan.baseline_peak_bytes(),
+        actual_peak_bytes: g.memory_stats().peak_bytes,
+    };
+    if matches!(std::env::var("START_MEM_LOG"), Ok(v) if !v.is_empty() && v != "0") {
+        eprintln!(
+            "[mem] worker {worker}: baseline {} KiB, planned {} KiB, \
+             predicted {} KiB, actual {} KiB",
+            report.baseline_peak_bytes / 1024,
+            report.planned_peak_bytes / 1024,
+            report.predicted_peak_bytes / 1024,
+            report.actual_peak_bytes / 1024,
+        );
+    }
+    Some(report)
 }
 
 impl BatchTrainer {
@@ -161,6 +223,7 @@ impl BatchTrainer {
     where
         F: Fn(&mut Graph, &[usize], &mut StdRng) -> Option<ShardResult> + Sync,
     {
+        let plan_mem = memory_planning_enabled();
         let shards = self.plan(batch, min_per_shard);
         if self.workers == 1 || shards.len() == 1 {
             let pool = std::mem::take(&mut self.pools[0]);
@@ -169,7 +232,7 @@ impl BatchTrainer {
                 self.pools[0] = g.into_pool();
                 return None;
             };
-            g.backward(res.loss, grads);
+            let memory = backward_with_plan(&mut g, res.loss, grads, 0, plan_mem);
             let loss = g.value(res.loss).item();
             self.pools[0] = g.into_pool();
             return Some(StepStats {
@@ -177,10 +240,11 @@ impl BatchTrainer {
                 weight: res.weight,
                 shards: 1,
                 shard_components: vec![res.components],
+                memory: memory.into_iter().collect(),
             });
         }
 
-        type WorkerOut = Option<(GradStore, f32, f32, Vec<f32>)>;
+        type WorkerOut = Option<(GradStore, f32, f32, Vec<f32>, Option<MemoryReport>)>;
         let mut worker_pools: Vec<BufferPool> =
             (0..shards.len()).map(|w| std::mem::take(&mut self.pools[w])).collect();
         let results: Vec<(BufferPool, WorkerOut)> = crossbeam::scope(|s| {
@@ -196,10 +260,17 @@ impl BatchTrainer {
                         let out = (|| -> WorkerOut {
                             let res = shard_loss(&mut g, shard, &mut wrng)?;
                             let mut wgrads = GradStore::new(store);
-                            g.backward(res.loss, &mut wgrads);
+                            let mem =
+                                backward_with_plan(&mut g, res.loss, &mut wgrads, w, plan_mem);
                             // Pre-scale so the merge below is a plain sum.
                             wgrads.scale(res.weight);
-                            Some((wgrads, g.value(res.loss).item(), res.weight, res.components))
+                            Some((
+                                wgrads,
+                                g.value(res.loss).item(),
+                                res.weight,
+                                res.components,
+                                mem,
+                            ))
                         })();
                         (g.into_pool(), out)
                     })
@@ -215,15 +286,17 @@ impl BatchTrainer {
         let mut total_weight = 0.0f32;
         let mut loss_acc = 0.0f64;
         let mut shard_components = Vec::new();
+        let mut memory = Vec::new();
         for (w, (pool, out)) in results.into_iter().enumerate() {
             // Shard order is deterministic, so pool w always returns to
             // worker slot w.
             self.pools[w] = pool;
-            let Some((wgrads, loss, weight, components)) = out else { continue };
+            let Some((wgrads, loss, weight, components, mem)) = out else { continue };
             grads.merge(&wgrads);
             loss_acc += f64::from(loss) * f64::from(weight);
             total_weight += weight;
             shard_components.push(components);
+            memory.extend(mem);
         }
         if shard_components.is_empty() || total_weight <= 0.0 {
             return None;
@@ -234,6 +307,7 @@ impl BatchTrainer {
             weight: total_weight,
             shards: shard_components.len(),
             shard_components,
+            memory,
         })
     }
 }

@@ -152,8 +152,8 @@ fn pooled_graph_reuse_is_bitwise_stable() {
     // pool_stats is cumulative across the pool's lifetime: backward already
     // recycles within a step, so step 0 may record hits, but warm steps must
     // add many more hits than misses.
-    let (hits0, misses0) = pooled[0].2;
-    let (hits2, misses2) = pooled[2].2;
+    let (hits0, misses0) = (pooled[0].2.hits, pooled[0].2.misses);
+    let (hits2, misses2) = (pooled[2].2.hits, pooled[2].2.misses);
     assert!(hits2 > hits0, "warm steps must reuse pooled buffers");
     assert!(
         hits2 - hits0 > misses2 - misses0,

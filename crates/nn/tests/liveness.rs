@@ -1,0 +1,390 @@
+//! Integration tests for the static liveness planner and the aliasing
+//! sanitizer (`start_nn::liveness`).
+//!
+//! The load-bearing property: executing a [`MemoryPlan`]'s release schedule
+//! changes *when* buffers return to the pool, never a computed value. So a
+//! plan-enabled backward must be bitwise-identical — loss bits and every
+//! parameter gradient — to a plan-disabled backward of an identically
+//! recorded tape, over randomized op chains that cover matmul, dropout,
+//! fused attention, normalizations, and both loss heads.
+//!
+//! The sanitizer side: a deliberately corrupted plan (a value released
+//! before its backward read) must abort naming the released node, a
+//! double release must abort, and `forward_release` must tombstone exactly
+//! the complement of its keep set.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use start_nn::array::Array;
+use start_nn::graph::{Graph, NodeId};
+use start_nn::liveness::MemoryPlan;
+use start_nn::params::{GradStore, Init, ParamStore};
+use start_nn::BufferPool;
+
+/// Shape-preserving steps over an `(r, c)` activation (`c` even so the
+/// two-head attention divides), plus both loss heads. Matmul against a
+/// square `(c, c)` parameter keeps the shape while exercising the
+/// two-operand backward reads; dropout and attention exercise payload-only
+/// ops and the fused kernel's q/k/v reads.
+#[derive(Debug, Clone, Copy)]
+enum ChainOp {
+    Relu,
+    LeakyRelu,
+    Elu,
+    Sigmoid,
+    Tanh,
+    SoftmaxRows,
+    LayerNormRows,
+    L2NormalizeRows,
+    Scale,
+    AddScalar,
+    MulSelf,
+    AddSelf,
+    MatMulW,
+    Dropout,
+    Attention,
+}
+
+const CHAIN_OPS: &[ChainOp] = &[
+    ChainOp::Relu,
+    ChainOp::LeakyRelu,
+    ChainOp::Elu,
+    ChainOp::Sigmoid,
+    ChainOp::Tanh,
+    ChainOp::SoftmaxRows,
+    ChainOp::LayerNormRows,
+    ChainOp::L2NormalizeRows,
+    ChainOp::Scale,
+    ChainOp::AddScalar,
+    ChainOp::MulSelf,
+    ChainOp::AddSelf,
+    ChainOp::MatMulW,
+    ChainOp::Dropout,
+    ChainOp::Attention,
+];
+
+#[derive(Debug, Clone, Copy)]
+enum LossHead {
+    Mse,
+    CrossEntropy,
+}
+
+fn apply(g: &mut Graph, x: NodeId, w: NodeId, op: ChainOp, rng: &mut StdRng) -> NodeId {
+    match op {
+        ChainOp::Relu => g.relu(x),
+        ChainOp::LeakyRelu => g.leaky_relu(x, 0.1),
+        ChainOp::Elu => g.elu(x),
+        ChainOp::Sigmoid => g.sigmoid(x),
+        ChainOp::Tanh => g.tanh(x),
+        ChainOp::SoftmaxRows => g.softmax_rows(x),
+        ChainOp::LayerNormRows => g.layer_norm_rows(x),
+        ChainOp::L2NormalizeRows => g.l2_normalize_rows(x),
+        ChainOp::Scale => g.scale(x, 0.5),
+        ChainOp::AddScalar => g.add_scalar(x, 0.25),
+        ChainOp::MulSelf => g.mul(x, x),
+        ChainOp::AddSelf => g.add(x, x),
+        ChainOp::MatMulW => g.matmul(x, w),
+        ChainOp::Dropout => g.dropout(x, 0.3, rng),
+        ChainOp::Attention => g.mh_attention(x, x, x, None, 2, 0.25, rng),
+    }
+}
+
+/// Record the same chain on a fresh train-mode graph. The rng is seeded per
+/// call so dropout/attention masks are a deterministic function of the
+/// chain, identical across recordings.
+fn record_chain<'s>(
+    store: &'s ParamStore,
+    chain: &[ChainOp],
+    head: LossHead,
+    rows: usize,
+    cols: usize,
+) -> (Graph<'s>, NodeId) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = Graph::new(store, true);
+    let x0 = store.lookup("x").expect("x registered");
+    let w0 = store.lookup("w").expect("w registered");
+    let mut x = g.param(x0);
+    let w = g.param(w0);
+    for &op in chain {
+        x = apply(&mut g, x, w, op, &mut rng);
+    }
+    let loss = match head {
+        LossHead::Mse => {
+            let target = Array::from_vec(rows, cols, vec![0.5; rows * cols]);
+            g.mse_loss(x, target)
+        }
+        LossHead::CrossEntropy => {
+            let targets: Vec<u32> = (0..rows).map(|i| (i % cols) as u32).collect();
+            g.cross_entropy_rows(x, Arc::new(targets))
+        }
+    };
+    (g, loss)
+}
+
+fn chain_store(rows: usize, cols: usize, seed: u64) -> ParamStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    store.param("x", rows, cols, Init::Uniform(0.9), &mut rng);
+    store.param("w", cols, cols, Init::XavierUniform, &mut rng);
+    store
+}
+
+fn arb_chain() -> impl Strategy<Value = Vec<ChainOp>> {
+    prop::collection::vec((0..CHAIN_OPS.len()).prop_map(|i| CHAIN_OPS[i]), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plan-enabled backward is bitwise what plan-disabled computes, for
+    /// random chains: loss bits and every parameter gradient. The plan's
+    /// three static peaks are always ordered planned <= runtime <=
+    /// baseline, and executing the plan never observes a higher peak than
+    /// not executing it.
+    #[test]
+    fn planned_backward_is_bitwise_plan_disabled(
+        rows in 1usize..5,
+        halfcols in 1usize..4,
+        chain in arb_chain(),
+        head_is_mse in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let cols = 2 * halfcols; // attention runs 2 heads
+        let head = if head_is_mse { LossHead::Mse } else { LossHead::CrossEntropy };
+        let store = chain_store(rows, cols, seed);
+
+        // Plan off.
+        let (mut g_off, loss_off) = record_chain(&store, &chain, head, rows, cols);
+        let mut grads_off = GradStore::new(&store);
+        g_off.backward(loss_off, &mut grads_off);
+        let off_bits = g_off.value(loss_off).item().to_bits();
+        let off_peak = g_off.memory_stats().peak_bytes;
+
+        // Plan on, same recording.
+        let (mut g_on, loss_on) = record_chain(&store, &chain, head, rows, cols);
+        let plan = MemoryPlan::analyze(&g_on, loss_on);
+        prop_assert!(
+            plan.planned_peak_bytes() <= plan.runtime_peak_bytes()
+                && plan.runtime_peak_bytes() <= plan.baseline_peak_bytes(),
+            "peaks out of order for {chain:?}: planned {} runtime {} baseline {}",
+            plan.planned_peak_bytes(),
+            plan.runtime_peak_bytes(),
+            plan.baseline_peak_bytes()
+        );
+        let mut grads_on = GradStore::new(&store);
+        g_on.backward_planned(loss_on, &mut grads_on, &plan);
+
+        // The loss stays readable after the planned sweep, bit-for-bit.
+        prop_assert_eq!(
+            g_on.value(loss_on).item().to_bits(),
+            off_bits,
+            "loss bits diverged for {:?} ({:?})",
+            &chain,
+            head
+        );
+        prop_assert!(
+            g_on.memory_stats().peak_bytes <= off_peak,
+            "executing the plan raised the observed peak for {chain:?}"
+        );
+        for id in store.ids() {
+            let a = grads_on.get(id).map(|a| a.data().to_vec());
+            let b = grads_off.get(id).map(|a| a.data().to_vec());
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.len(), b.len());
+                    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                        prop_assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "grad of {:?} elem {} diverged for {:?}",
+                            store.name(id),
+                            i,
+                            &chain
+                        );
+                    }
+                }
+                (None, None) => {}
+                _ => prop_assert!(
+                    false,
+                    "grad presence of {:?} diverged for {:?}",
+                    store.name(id),
+                    &chain
+                ),
+            }
+        }
+    }
+}
+
+/// A corrupted plan — a value moved to the forward-dead (pre-sweep) release
+/// list even though an arm of the backward sweep still dereferences it —
+/// must abort, and the abort must name the released node.
+#[test]
+fn corrupted_plan_aborts_naming_the_released_node() {
+    let store = chain_store(3, 4, 9);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = Graph::new(&store, true);
+    let x = g.param(store.lookup("x").expect("x registered"));
+    let w = g.param(store.lookup("w").expect("w registered"));
+    let h = g.matmul(x, w); // backward reads both x and w values
+    let r = g.relu(h); // backward reads h's value
+    let d = g.dropout(r, 0.5, &mut rng);
+    let target = Array::from_vec(3, 4, vec![0.0; 12]);
+    let loss = g.mse_loss(d, target);
+
+    let mut plan = MemoryPlan::analyze(&g, loss);
+    plan.force_early_release(h);
+
+    let mut grads = GradStore::new(&store);
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        g.backward_planned(loss, &mut grads, &plan);
+    }))
+    .expect_err("an unsound plan must abort the sweep");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    assert!(msg.contains("liveness sanitizer"), "abort must come from the sanitizer, got: {msg}");
+    assert!(
+        msg.contains(&format!("node {}", h.index())),
+        "abort must name the released node {}, got: {msg}",
+        h.index()
+    );
+}
+
+/// Releasing the same node's value twice is a double free against the
+/// pool; the sanitizer must refuse rather than alias two live nodes.
+#[test]
+fn double_release_aborts() {
+    let store = chain_store(2, 2, 3);
+    let mut g = Graph::new(&store, false);
+    let x = g.param(store.lookup("x").expect("x registered"));
+    let y = g.tanh(x);
+    let _emb = g.l2_normalize_rows(y);
+    g.debug_release_value(y);
+
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        g.debug_release_value(y);
+    }))
+    .expect_err("re-releasing an already-released value must abort");
+    let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("double release") && msg.contains(&format!("node {}", y.index())),
+        "abort must name the double release and the node, got: {msg}"
+    );
+}
+
+/// `forward_release` on an inference graph frees everything outside the
+/// keep set (bytes actually drop), keeps the kept value readable, and turns
+/// any other read into a diagnosable use-after-release abort.
+#[test]
+fn forward_release_honors_the_keep_set() {
+    let store = chain_store(4, 6, 17);
+    let mut g = Graph::new(&store, false);
+    let x = g.param(store.lookup("x").expect("x registered"));
+    let w = g.param(store.lookup("w").expect("w registered"));
+    let h = g.matmul(x, w);
+    let a = g.relu(h);
+    let emb = g.l2_normalize_rows(a);
+    let kept = g.value(emb).data().to_vec();
+
+    let live_before = g.memory_stats().live_bytes;
+    let freed = g.forward_release(&[emb]);
+    assert!(freed > 0, "an inference tape must have releasable bytes");
+    assert_eq!(g.memory_stats().live_bytes, live_before - freed);
+
+    // The keep set is untouched...
+    assert_eq!(g.value(emb).data(), &kept[..]);
+    // ...and everything else is tombstoned with a sanitizer abort.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _ = g.value(h);
+    }))
+    .expect_err("reading a released value must abort");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("use-after-release"),
+        "read barrier must name the failure mode, got: {msg}"
+    );
+}
+
+/// A pool pre-poisoned with NaN buffers must not leak the poison into
+/// results: every `take_uninit_overwritten` site fully overwrites its
+/// buffer, so a matmul-heavy graph over a poisoned pool is bitwise the
+/// fresh-graph run.
+#[test]
+fn nan_poisoned_pool_cannot_leak_into_results() {
+    let store = chain_store(5, 4, 23);
+    let chain = [
+        ChainOp::MatMulW,
+        ChainOp::Relu,
+        ChainOp::MatMulW,
+        ChainOp::LayerNormRows,
+        ChainOp::Attention,
+        ChainOp::MatMulW,
+    ];
+
+    // Reference: fresh graph, zeroed allocations everywhere.
+    let (mut g_ref, loss_ref) = record_chain(&store, &chain, LossHead::Mse, 5, 4);
+    let mut grads_ref = GradStore::new(&store);
+    g_ref.backward(loss_ref, &mut grads_ref);
+    let ref_bits = g_ref.value(loss_ref).item().to_bits();
+
+    // Poisoned pool: every plausible buffer size is available as NaN junk,
+    // so uninit-overwritten takes serve poison unless they fully write.
+    let mut pool = BufferPool::new();
+    for len in 1..=64usize {
+        pool.give(vec![f32::NAN; len]);
+        pool.give(vec![f32::NAN; len]);
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = Graph::with_pool(&store, true, pool);
+    let x0 = store.lookup("x").expect("x registered");
+    let w0 = store.lookup("w").expect("w registered");
+    let mut x = g.param(x0);
+    let w = g.param(w0);
+    for &op in &chain {
+        x = apply(&mut g, x, w, op, &mut rng);
+    }
+    let target = Array::from_vec(5, 4, vec![0.5; 20]);
+    let loss = g.mse_loss(x, target);
+    let plan = MemoryPlan::analyze(&g, loss);
+    let mut grads = GradStore::new(&store);
+    g.backward_planned(loss, &mut grads, &plan);
+
+    assert!(g.pool_stats().hits > 0, "the poisoned pool was never drawn from");
+    assert_eq!(g.value(loss).item().to_bits(), ref_bits, "pool poison leaked into the loss");
+    for id in store.ids() {
+        let a = grads.get(id).map(|a| a.data().to_vec());
+        let b = grads_ref.get(id).map(|a| a.data().to_vec());
+        assert_eq!(
+            a.map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+            b.map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()),
+            "pool poison leaked into the gradient of {:?}",
+            store.name(id)
+        );
+    }
+}
+
+/// The planner's static `runtime_peak` claims to be exactly what the
+/// accounting observes when the plan executes on this tape shape — hold it
+/// to that on a nontrivial chain.
+#[test]
+fn runtime_peak_prediction_matches_observed_accounting() {
+    let store = chain_store(4, 4, 31);
+    let chain =
+        [ChainOp::MatMulW, ChainOp::Elu, ChainOp::Dropout, ChainOp::MatMulW, ChainOp::SoftmaxRows];
+    let (mut g, loss) = record_chain(&store, &chain, LossHead::CrossEntropy, 4, 4);
+    let plan = MemoryPlan::analyze(&g, loss);
+    let mut grads = GradStore::new(&store);
+    g.backward_planned(loss, &mut grads, &plan);
+    assert_eq!(
+        g.memory_stats().peak_bytes,
+        plan.runtime_peak_bytes(),
+        "static runtime peak must equal the executed accounting's peak"
+    );
+}
