@@ -1,11 +1,12 @@
 //! Syntactic workspace lints — repo invariants clippy cannot express.
 //!
-//! Four rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//! Five rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
-//!    of `crates/nn`, `crates/core`, `crates/baselines`. Test modules
-//!    (`#[cfg(test)]`) and `tests/` trees are exempt; a deliberate site can
-//!    carry a `// lint-ok: <reason>` justification on the same line.
+//!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`.
+//!    Test modules (`#[cfg(test)]`) and `tests/` trees are exempt; a
+//!    deliberate site can carry a `// lint-ok: <reason>` justification on
+//!    the same line.
 //! 2. **f64-kernels**: no `f64` in `crates/nn/src/array.rs` kernels unless
 //!    the line (or the one above) carries `// f64-ok: <reason>` — keeps
 //!    accidental double-precision accumulation out of the hot kernels while
@@ -23,6 +24,11 @@
 //!    when a variant is missing; this rule fails the *lint* with a message
 //!    naming the table, so the contract survives refactors of those matches
 //!    into wildcard arms.
+//! 5. **no-config-literal**: no `StartConfig { ... }` struct literals
+//!    outside `crates/core/src/config.rs` and test code — every other
+//!    construction goes through `StartConfig::builder()` (or a preset), so
+//!    it cannot skip validation. `// lint-ok: <reason>` escapes a
+//!    deliberate site.
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -53,7 +59,7 @@ impl fmt::Display for Lint {
 }
 
 /// Crates whose library code must stay panic-free (rule 1).
-pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines"];
+pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve"];
 
 // ---------------------------------------------------------------------------
 // Line scanner
@@ -153,6 +159,54 @@ fn has_token(code: &str, needle: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// #[cfg(test)] tracking shared by the per-line rules
+// ---------------------------------------------------------------------------
+
+/// Brace-depth state machine that marks the span of a `#[cfg(test)]` item.
+/// Feed it each line's code part (comments already stripped); it answers
+/// whether that line sits inside test-gated code.
+#[derive(Default)]
+struct TestModTracker {
+    brace_depth: isize,
+    pending_cfg_test: bool,
+    // Brace depth at which the current #[cfg(test)] item began; while set,
+    // lines are exempt until the depth drops back.
+    test_mod_floor: Option<isize>,
+}
+
+impl TestModTracker {
+    fn line_is_test(&mut self, code: &str) -> bool {
+        let trimmed = code.trim();
+        if self.test_mod_floor.is_none() {
+            if trimmed.contains("cfg(test)") {
+                self.pending_cfg_test = true;
+            } else if self.pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // The item the attribute applies to starts on this line.
+                self.test_mod_floor = Some(self.brace_depth);
+                self.pending_cfg_test = false;
+            }
+        }
+        let in_test = self.test_mod_floor.is_some();
+
+        for c in code.chars() {
+            match c {
+                '{' => self.brace_depth += 1,
+                '}' => self.brace_depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = self.test_mod_floor {
+            // The item is closed once depth returns to its floor after
+            // having been entered (i.e. a closing brace on or below floor).
+            if self.brace_depth <= floor && code.contains('}') {
+                self.test_mod_floor = None;
+            }
+        }
+        in_test
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule 1: no unwrap/expect in non-test library code
 // ---------------------------------------------------------------------------
 
@@ -161,27 +215,11 @@ fn has_token(code: &str, needle: &str) -> bool {
 pub fn lint_no_panics(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
-    let mut brace_depth = 0isize;
-    let mut pending_cfg_test = false;
-    // Brace depth at which the current #[cfg(test)] item began; while set,
-    // lines are exempt until the depth drops back.
-    let mut test_mod_floor: Option<isize> = None;
+    let mut tracker = TestModTracker::default();
 
     for (n, raw) in source.lines().enumerate() {
         let (code, comment) = split_code_comment(raw, &mut block_depth);
-        let trimmed = code.trim();
-
-        if test_mod_floor.is_none() {
-            if trimmed.contains("cfg(test)") {
-                pending_cfg_test = true;
-            } else if pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
-                // The item the attribute applies to starts on this line.
-                test_mod_floor = Some(brace_depth);
-                pending_cfg_test = false;
-            }
-        }
-
-        let in_test = test_mod_floor.is_some();
+        let in_test = tracker.line_is_test(&code);
         if !in_test
             && (code.contains(".unwrap()") || code.contains(".expect("))
             && !comment.contains("lint-ok:")
@@ -197,20 +235,67 @@ pub fn lint_no_panics(file: &str, source: &str) -> Vec<Lint> {
                 ),
             });
         }
+    }
+    lints
+}
 
-        for c in code.chars() {
-            match c {
-                '{' => brace_depth += 1,
-                '}' => brace_depth -= 1,
-                _ => {}
-            }
+// ---------------------------------------------------------------------------
+// Rule 5: StartConfig struct literals only in config.rs and tests
+// ---------------------------------------------------------------------------
+
+/// Is there a `StartConfig { ...` struct-literal expression in `code`?
+///
+/// Declarations (`struct StartConfig {`) and impl headers
+/// (`impl StartConfig {`) are not literals and are skipped; update syntax
+/// (`..StartConfig::default()`) never has `{` after the path, so it passes
+/// on its own.
+fn has_config_literal(code: &str) -> bool {
+    let needle = "StartConfig";
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        start = at + needle.len();
+        let before = code[..at].trim_end();
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(is_ident);
+        let after = &code[at + needle.len()..];
+        if !before_ok || after.chars().next().is_some_and(is_ident) {
+            continue; // part of a longer identifier (e.g. `StartConfigBuilder`)
         }
-        if let Some(floor) = test_mod_floor {
-            // The item is closed once depth returns to its floor after
-            // having been entered (i.e. a closing brace on or below floor).
-            if brace_depth <= floor && code.contains('}') {
-                test_mod_floor = None;
-            }
+        if before.ends_with("struct") || before.ends_with("impl") || before.ends_with("for") {
+            continue; // declaration / impl header, not a literal
+        }
+        if before.ends_with("->") {
+            continue; // return type followed by the function body brace
+        }
+        if after.trim_start().starts_with('{') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan one source file for `StartConfig { ... }` literals outside
+/// `#[cfg(test)]` code. The definition site (`crates/core/src/config.rs`)
+/// is exempted by the driver, not here.
+pub fn lint_config_literal(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut tracker = TestModTracker::default();
+
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let in_test = tracker.line_is_test(&code);
+        if !in_test && has_config_literal(&code) && !comment.contains("lint-ok:") {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "no-config-literal",
+                message: "`StartConfig { .. }` literal skips validation; build it with \
+                          `StartConfig::builder()` or a preset (or justify with \
+                          `// lint-ok: <reason>`)"
+                    .to_string(),
+            });
         }
     }
     lints
@@ -400,6 +485,31 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
     let gradcheck_rs = std::fs::read_to_string(root.join("crates/nn/tests/gradcheck.rs"))?;
     lints.extend(lint_op_table_coverage(&graph_rs, &audit_rs, &gradcheck_rs));
 
+    // Rule 5 covers every tree that could construct a config and ship it
+    // into a model: all crate libraries, the root facade, and the examples.
+    // `tests/` trees are exempt wholesale (like rule 1); the definition
+    // site in config.rs is the one legitimate literal producer.
+    let mut cfg_files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut cfg_files)?;
+        }
+    }
+    for tree in ["src", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            rust_files(&dir, &mut cfg_files)?;
+        }
+    }
+    for file in cfg_files {
+        let label = rel(root, &file);
+        if label.ends_with("crates/core/src/config.rs") || label == "crates/core/src/config.rs" {
+            continue;
+        }
+        lints.extend(lint_config_literal(&label, &std::fs::read_to_string(&file)?));
+    }
+
     Ok(lints)
 }
 
@@ -567,6 +677,54 @@ mod tests {
         let lints = lint_op_table_coverage(graph, "Op::Add", "OpKind::ALL");
         assert_eq!(lints.len(), 1, "{lints:?}");
         assert!(lints[0].message.contains("liveness operand table"));
+    }
+
+    #[test]
+    fn config_literals_are_flagged_outside_tests() {
+        let src = concat!(
+            "fn f() {\n",
+            "    let cfg = StartConfig { dim: 64, ..StartConfig::default() };\n",
+            "}\n",
+        );
+        let lints = lint_config_literal("zoo.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 2);
+        assert_eq!(lints[0].rule, "no-config-literal");
+    }
+
+    #[test]
+    fn config_builder_paths_and_declarations_are_not_literals() {
+        let src = concat!(
+            "pub struct StartConfig {\n    pub dim: usize,\n}\n",
+            "impl StartConfig {\n    fn f() {}\n}\n",
+            "fn g() {\n",
+            "    let a = StartConfig::builder().dim(64).build();\n",
+            "    let b = StartConfig::default();\n",
+            "    let c = StartConfigBuilder::default();\n",
+            "}\n",
+            "fn h() -> StartConfig {\n",
+            "    StartConfig::default()\n",
+            "}\n",
+        );
+        assert!(lint_config_literal("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn config_literals_in_test_modules_and_comments_are_exempt() {
+        let src = concat!(
+            "// a doc mention of StartConfig { dim } is fine\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let c = StartConfig { dim: 1, ..Default::default() }; }\n",
+            "}\n",
+        );
+        assert!(lint_config_literal("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn config_literal_lint_ok_escape_is_honoured() {
+        let src = "let c = StartConfig { dim: 1 }; // lint-ok: serde round-trip fixture\n";
+        assert!(lint_config_literal("x.rs", src).is_empty());
     }
 
     #[test]

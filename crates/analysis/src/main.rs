@@ -56,7 +56,7 @@ fn run_lint() {
     };
 
     if lints.is_empty() {
-        println!("start-analysis: workspace clean ({} rules)", 4);
+        println!("start-analysis: workspace clean ({} rules)", 5);
         return;
     }
     for lint in &lints {

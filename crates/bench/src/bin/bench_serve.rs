@@ -1,0 +1,211 @@
+//! Serving-throughput benchmark: the micro-batched `EmbeddingService`
+//! against legacy one-call-per-request encoding, at bitwise-identical
+//! output.
+//!
+//! Three measurements over the same request stream:
+//!
+//! 1. **per_call** — the pre-service pattern: one `Encoder::encode` call
+//!    per trajectory (what every caller of the old `encode_trajectories`
+//!    entry point did per request). Each call pays the road-representation
+//!    forward pass for a single trajectory.
+//! 2. **service** — the same requests through `EmbeddingService` with the
+//!    cache *off*: micro-batching amortizes the road representations over
+//!    the batch and answers with bit-for-bit the per_call embeddings
+//!    (asserted). The headline figure is this speedup, which the
+//!    acceptance floor requires to be ≥ 2×.
+//! 3. **service_cached** — a skewed request stream (each distinct
+//!    trajectory asked for ~4×) with the cache *on*, reporting the hit
+//!    rate and cached throughput.
+//!
+//! Workers and submitters share one machine, so the speedup is
+//! batching + cache economics, not extra silicon: per_call is a single
+//! thread and the service figure uses one encode worker too.
+//!
+//! Results land in `BENCH_serve.json` at the repo root.
+//!
+//! Run: `cargo run -p start-bench --release --bin bench_serve`
+//! CI smoke: `cargo run -p start-bench --release --bin bench_serve -- --smoke`
+//! (tiny stream, asserts bitwise identity, no JSON).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use start_bench::{bj_mini, start_config, timed, Scale};
+use start_core::{EncodeOptions, StartModel};
+use start_serve::{EmbeddingService, ServeConfig, ServiceStats};
+use start_traj::Trajectory;
+
+struct Figures {
+    requests: usize,
+    per_call_secs: f64,
+    service_secs: f64,
+    cached_requests: usize,
+    cached_secs: f64,
+    stats: ServiceStats,
+    cached_stats: ServiceStats,
+}
+
+impl Figures {
+    fn per_call_rps(&self) -> f64 {
+        self.requests as f64 / self.per_call_secs
+    }
+    fn service_rps(&self) -> f64 {
+        self.requests as f64 / self.service_secs
+    }
+    fn cached_rps(&self) -> f64 {
+        self.cached_requests as f64 / self.cached_secs
+    }
+    fn speedup(&self) -> f64 {
+        self.service_rps() / self.per_call_rps()
+    }
+}
+
+fn serve_config(workers: usize, cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        max_batch: 32,
+        max_wait: Duration::from_millis(1),
+        queue_cap: 512,
+        cache_capacity,
+        ..ServeConfig::default()
+    }
+}
+
+fn run(model: &Arc<StartModel>, requests: &[Trajectory]) -> Figures {
+    // 1. Legacy shape: one encode call per request, single thread.
+    let opts = EncodeOptions::default();
+    let encoder = model.encoder();
+    let (per_call_out, per_call_secs) = timed(|| {
+        let mut out: Vec<Vec<f32>> = Vec::with_capacity(requests.len());
+        for t in requests {
+            let emb = encoder.encode(std::slice::from_ref(t), &opts).expect("per-call encode");
+            out.extend(emb);
+        }
+        out
+    });
+
+    // 2. The service, cache off, one worker: same bits, batched schedule.
+    let service = EmbeddingService::start(Arc::clone(model), serve_config(1, 0));
+    let (served, service_secs) = timed(|| service.encode(requests).expect("service encode"));
+    let stats = service.shutdown();
+    assert_eq!(served.len(), per_call_out.len());
+    for (i, (s, p)) in served.iter().zip(&per_call_out).enumerate() {
+        assert_eq!(s.len(), p.len());
+        for (a, b) in s.iter().zip(p) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "request {i}: service output diverged from per-call encode"
+            );
+        }
+    }
+
+    // 3. A skewed stream with the cache on: each distinct trajectory ~4×.
+    let distinct = (requests.len() / 4).max(1);
+    let cached_stream: Vec<Trajectory> =
+        (0..requests.len()).map(|i| requests[(i * 7919) % distinct].clone()).collect();
+    let service = EmbeddingService::start(Arc::clone(model), serve_config(1, 4096));
+    let (cached_out, cached_secs) =
+        timed(|| service.encode(&cached_stream).expect("cached service encode"));
+    let cached_stats = service.shutdown();
+    for (out, t_idx) in cached_out.iter().zip((0..requests.len()).map(|i| (i * 7919) % distinct)) {
+        let reference = &per_call_out[t_idx];
+        assert!(
+            out.iter().zip(reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "cached answer diverged from the per-call encode"
+        );
+    }
+
+    Figures {
+        requests: requests.len(),
+        per_call_secs: per_call_secs.as_secs_f64(),
+        service_secs: service_secs.as_secs_f64(),
+        cached_requests: cached_stream.len(),
+        cached_secs: cached_secs.as_secs_f64(),
+        stats,
+        cached_stats,
+    }
+}
+
+fn print_figures(f: &Figures) {
+    println!("  requests              : {}", f.requests);
+    println!("  per-call encode       : {:.2} req/s ({:.3}s)", f.per_call_rps(), f.per_call_secs);
+    println!("  service (cache off)   : {:.2} req/s ({:.3}s)", f.service_rps(), f.service_secs);
+    println!("  speedup               : {:.2}x", f.speedup());
+    println!(
+        "  service queue wait    : p50 {}us  p99 {}us",
+        f.stats.queue_wait.p50_us, f.stats.queue_wait.p99_us
+    );
+    println!(
+        "  service batch encode  : p50 {}us  p99 {}us  mean batch {:.1}",
+        f.stats.encode.p50_us,
+        f.stats.encode.p99_us,
+        f.stats.mean_batch_size()
+    );
+    println!(
+        "  service (cache on)    : {:.2} req/s, hit rate {:.3}",
+        f.cached_rps(),
+        f.cached_stats.cache.hit_rate()
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!("bench_serve: micro-batched serving vs per-call encoding");
+
+    let scale =
+        if smoke { Scale { bj_trajectories: 260, ..Scale::quick() } } else { Scale::from_env() };
+    println!("  building bj-mini at scale `{}`...", scale.name);
+    let ds = bj_mini(&scale);
+    let model =
+        Arc::new(StartModel::new(start_config(&scale), &ds.city.net, Some(&ds.transfer), None, 77));
+    let n = if smoke { 48 } else { 512.min(ds.test().len() + ds.train().len()) };
+    let mut requests: Vec<Trajectory> = ds.test().to_vec();
+    requests.extend_from_slice(ds.train());
+    requests.truncate(n);
+
+    let figs = run(&model, &requests);
+    print_figures(&figs);
+
+    if smoke {
+        println!("bench_serve --smoke: ok (bitwise identity held)");
+        return;
+    }
+
+    assert!(
+        figs.speedup() >= 2.0,
+        "service throughput is only {:.2}x the per-call baseline (floor: 2x)",
+        figs.speedup()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"requests\": {},", figs.requests);
+    let _ = writeln!(json, "  \"per_call_rps\": {:.2},", figs.per_call_rps());
+    let _ = writeln!(json, "  \"service_rps\": {:.2},", figs.service_rps());
+    let _ = writeln!(json, "  \"speedup_vs_per_call\": {:.3},", figs.speedup());
+    let _ = writeln!(json, "  \"bitwise_identical_to_per_call\": true,");
+    let _ = writeln!(
+        json,
+        "  \"queue_wait_us\": {{\"p50\": {}, \"p99\": {}}},",
+        figs.stats.queue_wait.p50_us, figs.stats.queue_wait.p99_us
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch_encode_us\": {{\"p50\": {}, \"p99\": {}}},",
+        figs.stats.encode.p50_us, figs.stats.encode.p99_us
+    );
+    let _ = writeln!(json, "  \"mean_batch_size\": {:.2},", figs.stats.mean_batch_size());
+    let _ = writeln!(json, "  \"cached\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", figs.cached_requests);
+    let _ = writeln!(json, "    \"service_rps\": {:.2},", figs.cached_rps());
+    let _ = writeln!(json, "    \"hit_rate\": {:.3}", figs.cached_stats.cache.hit_rate());
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("\n  wrote {path}");
+}

@@ -6,8 +6,8 @@ use start_baselines::{
     BaselineEncoder, BaselineTrainConfig, GruSeq2Seq, Pim, Seq2SeqKind, TfKind, TransformerBaseline,
 };
 use start_core::{
-    fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, pretrain, FineTuneConfig,
-    PretrainConfig, StartConfig, StartModel,
+    fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, pretrain, EncodeOptions,
+    FineTuneConfig, PretrainConfig, StartConfig, StartModel,
 };
 use start_roadnet::{node2vec, Node2VecConfig, NodeEmbeddings};
 use start_traj::{TrajDataset, Trajectory};
@@ -62,15 +62,14 @@ impl ModelKind {
 
 /// START config derived from the experiment scale.
 pub fn start_config(scale: &Scale) -> StartConfig {
-    StartConfig {
-        dim: scale.dim,
-        gat_layers: scale.gat_layers,
-        gat_heads: vec![scale.heads; scale.gat_layers],
-        encoder_layers: scale.encoder_layers,
-        encoder_heads: scale.heads,
-        ffn_hidden: scale.dim,
-        ..StartConfig::default()
-    }
+    StartConfig::builder()
+        .dim(scale.dim)
+        .gat_heads(vec![scale.heads; scale.gat_layers])
+        .encoder_layers(scale.encoder_layers)
+        .encoder_heads(scale.heads)
+        .ffn_hidden(scale.dim)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid benchmark scale {scale:?}: {e}"))
 }
 
 /// node2vec embeddings at the model dimension (cached per dataset by callers).
@@ -210,7 +209,10 @@ impl Runner {
     /// Zero-shot trajectory embeddings.
     pub fn encode(&self, trajs: &[Trajectory]) -> Vec<Vec<f32>> {
         match self {
-            Runner::Start(model) => model.encode_trajectories(trajs),
+            Runner::Start(model) => model
+                .encoder()
+                .encode(trajs, &EncodeOptions::default())
+                .unwrap_or_else(|e| panic!("encode: {e}")),
             Runner::Gru(model) => model.encode(trajs),
             Runner::Tf(model) => model.encode(trajs),
             Runner::Pim(model) => model.encode(trajs),

@@ -34,7 +34,7 @@ pub enum IntervalMode {
 }
 
 /// Full model + training configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StartConfig {
     /// Embedding size `d` (paper: 256; scaled default 64).
     pub dim: usize,
@@ -108,7 +108,195 @@ impl Default for StartConfig {
     }
 }
 
+/// Typed rejection of an inconsistent [`StartConfig`], produced by
+/// [`StartConfig::validate`] / [`StartConfigBuilder::build`] instead of an
+/// assert so callers (services, config files, CLIs) can surface it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `dim == 0`.
+    ZeroDim,
+    /// `max_len == 0`.
+    ZeroMaxLen,
+    /// `gat_heads.len() != gat_layers`.
+    GatHeadsCount { layers: usize, entries: usize },
+    /// A GAT layer's head count is zero or does not divide `dim`.
+    GatHeadsIndivisible { layer: usize, dim: usize, heads: usize },
+    /// `encoder_heads` is zero or does not divide `dim`.
+    EncoderHeadsIndivisible { dim: usize, heads: usize },
+    /// `dropout` outside `[0, 1)`.
+    DropoutRange { value: f32 },
+    /// `mask_ratio` outside `[0, 1]`.
+    MaskRatioRange { value: f64 },
+    /// `lambda` outside `[0, 1]`.
+    LambdaRange { value: f32 },
+    /// `temperature <= 0`.
+    TemperatureNotPositive { value: f32 },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDim => write!(f, "dim must be positive"),
+            ConfigError::ZeroMaxLen => write!(f, "max_len must be positive"),
+            ConfigError::GatHeadsCount { layers, entries } => {
+                write!(f, "gat_heads has {entries} entries for {layers} layers")
+            }
+            ConfigError::GatHeadsIndivisible { layer, dim, heads } => {
+                write!(f, "gat layer {layer}: dim {dim} not divisible by heads {heads}")
+            }
+            ConfigError::EncoderHeadsIndivisible { dim, heads } => {
+                write!(f, "dim {dim} not divisible by encoder heads {heads}")
+            }
+            ConfigError::DropoutRange { value } => {
+                write!(f, "dropout {value} outside [0, 1)")
+            }
+            ConfigError::MaskRatioRange { value } => {
+                write!(f, "mask_ratio {value} outside [0, 1]")
+            }
+            ConfigError::LambdaRange { value } => write!(f, "lambda {value} outside [0, 1]"),
+            ConfigError::TemperatureNotPositive { value } => {
+                write!(f, "temperature must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder over [`StartConfig`] — the only sanctioned way to
+/// construct a non-preset configuration outside tests (`start-analysis`
+/// lint rule 5 forbids direct struct literals elsewhere). Starts from
+/// [`StartConfig::default`]; every setter is chainable and
+/// [`StartConfigBuilder::build`] runs [`StartConfig::validate`].
+#[derive(Debug, Clone)]
+pub struct StartConfigBuilder {
+    cfg: StartConfig,
+}
+
+impl StartConfigBuilder {
+    /// Embedding size `d`.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.cfg.dim = dim;
+        self
+    }
+
+    /// Attention heads per GAT layer; also sets `gat_layers` to the entry
+    /// count, keeping the two fields consistent by construction.
+    pub fn gat_heads(mut self, heads: Vec<usize>) -> Self {
+        self.cfg.gat_layers = heads.len();
+        self.cfg.gat_heads = heads;
+        self
+    }
+
+    pub fn encoder_layers(mut self, layers: usize) -> Self {
+        self.cfg.encoder_layers = layers;
+        self
+    }
+
+    pub fn encoder_heads(mut self, heads: usize) -> Self {
+        self.cfg.encoder_heads = heads;
+        self
+    }
+
+    pub fn ffn_hidden(mut self, hidden: usize) -> Self {
+        self.cfg.ffn_hidden = hidden;
+        self
+    }
+
+    pub fn dropout(mut self, p: f32) -> Self {
+        self.cfg.dropout = p;
+        self
+    }
+
+    pub fn mask_span(mut self, span: usize) -> Self {
+        self.cfg.mask_span = span;
+        self
+    }
+
+    pub fn mask_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.mask_ratio = ratio;
+        self
+    }
+
+    pub fn temperature(mut self, tau: f32) -> Self {
+        self.cfg.temperature = tau;
+        self
+    }
+
+    pub fn lambda(mut self, lambda: f32) -> Self {
+        self.cfg.lambda = lambda;
+        self
+    }
+
+    pub fn augmentations(mut self, pair: (Augmentation, Augmentation)) -> Self {
+        self.cfg.augmentations = pair;
+        self
+    }
+
+    pub fn max_len(mut self, max_len: usize) -> Self {
+        self.cfg.max_len = max_len;
+        self
+    }
+
+    pub fn interval_hidden(mut self, hidden: usize) -> Self {
+        self.cfg.interval_hidden = hidden;
+        self
+    }
+
+    pub fn road_encoder(mut self, enc: RoadEncoder) -> Self {
+        self.cfg.road_encoder = enc;
+        self
+    }
+
+    pub fn use_time_embedding(mut self, on: bool) -> Self {
+        self.cfg.use_time_embedding = on;
+        self
+    }
+
+    pub fn interval_mode(mut self, mode: IntervalMode) -> Self {
+        self.cfg.interval_mode = mode;
+        self
+    }
+
+    pub fn use_log_decay(mut self, on: bool) -> Self {
+        self.cfg.use_log_decay = on;
+        self
+    }
+
+    pub fn use_adaptive_interval(mut self, on: bool) -> Self {
+        self.cfg.use_adaptive_interval = on;
+        self
+    }
+
+    pub fn use_mask_loss(mut self, on: bool) -> Self {
+        self.cfg.use_mask_loss = on;
+        self
+    }
+
+    pub fn use_contrastive_loss(mut self, on: bool) -> Self {
+        self.cfg.use_contrastive_loss = on;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<StartConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl StartConfig {
+    /// A validating builder seeded with [`StartConfig::default`].
+    pub fn builder() -> StartConfigBuilder {
+        StartConfigBuilder { cfg: StartConfig::default() }
+    }
+
+    /// A builder seeded with this configuration (ablation sweeps start from
+    /// a preset and flip one switch).
+    pub fn to_builder(&self) -> StartConfigBuilder {
+        StartConfigBuilder { cfg: self.clone() }
+    }
+
     /// Paper-scale configuration (§IV-C1) — runnable, but slow on CPU.
     pub fn paper_scale() -> Self {
         Self {
@@ -136,34 +324,43 @@ impl StartConfig {
         }
     }
 
-    /// Sanity-check internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Sanity-check internal consistency, returning the first violation as
+    /// a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.dim == 0 {
+            return Err(ConfigError::ZeroDim);
+        }
+        if self.max_len == 0 {
+            return Err(ConfigError::ZeroMaxLen);
+        }
         if self.gat_heads.len() != self.gat_layers {
-            return Err(format!(
-                "gat_heads has {} entries for {} layers",
-                self.gat_heads.len(),
-                self.gat_layers
-            ));
+            return Err(ConfigError::GatHeadsCount {
+                layers: self.gat_layers,
+                entries: self.gat_heads.len(),
+            });
         }
         for (l, &h) in self.gat_heads.iter().enumerate() {
             if h == 0 || !self.dim.is_multiple_of(h) {
-                return Err(format!("gat layer {l}: dim {} not divisible by heads {h}", self.dim));
+                return Err(ConfigError::GatHeadsIndivisible { layer: l, dim: self.dim, heads: h });
             }
         }
         if self.encoder_heads == 0 || !self.dim.is_multiple_of(self.encoder_heads) {
-            return Err(format!(
-                "dim {} not divisible by encoder heads {}",
-                self.dim, self.encoder_heads
-            ));
+            return Err(ConfigError::EncoderHeadsIndivisible {
+                dim: self.dim,
+                heads: self.encoder_heads,
+            });
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(ConfigError::DropoutRange { value: self.dropout });
         }
         if !(0.0..=1.0).contains(&self.mask_ratio) {
-            return Err("mask_ratio outside [0, 1]".into());
+            return Err(ConfigError::MaskRatioRange { value: self.mask_ratio });
         }
         if !(0.0..=1.0).contains(&self.lambda) {
-            return Err("lambda outside [0, 1]".into());
+            return Err(ConfigError::LambdaRange { value: self.lambda });
         }
         if self.temperature <= 0.0 {
-            return Err("temperature must be positive".into());
+            return Err(ConfigError::TemperatureNotPositive { value: self.temperature });
         }
         Ok(())
     }
@@ -182,16 +379,65 @@ mod tests {
 
     #[test]
     fn bad_configs_rejected() {
-        let mut c = StartConfig::default();
-        c.gat_heads = vec![3]; // wrong count and non-divisor
-        assert!(c.validate().is_err());
+        // wrong count and non-divisor
+        let c = StartConfig { gat_heads: vec![3], ..StartConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::GatHeadsCount { layers: 2, entries: 1 }));
 
-        let mut c = StartConfig::default();
-        c.encoder_heads = 5;
-        assert!(c.validate().is_err());
+        let c = StartConfig { encoder_heads: 5, ..StartConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::EncoderHeadsIndivisible { dim: 64, heads: 5 }));
 
-        let mut c = StartConfig::default();
-        c.temperature = 0.0;
-        assert!(c.validate().is_err());
+        let c = StartConfig { temperature: 0.0, ..StartConfig::default() };
+        assert_eq!(c.validate(), Err(ConfigError::TemperatureNotPositive { value: 0.0 }));
+    }
+
+    #[test]
+    fn builder_builds_validated_configs() {
+        let cfg = StartConfig::builder()
+            .dim(32)
+            .gat_heads(vec![2])
+            .encoder_layers(2)
+            .encoder_heads(2)
+            .ffn_hidden(32)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.dim, 32);
+        assert_eq!(cfg.gat_layers, 1, "gat_heads must set gat_layers");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_reports_typed_errors() {
+        assert_eq!(StartConfig::builder().dim(0).build(), Err(ConfigError::ZeroDim));
+        assert_eq!(StartConfig::builder().max_len(0).build(), Err(ConfigError::ZeroMaxLen));
+        assert_eq!(
+            StartConfig::builder().dim(64).encoder_heads(5).build(),
+            Err(ConfigError::EncoderHeadsIndivisible { dim: 64, heads: 5 })
+        );
+        assert_eq!(
+            StartConfig::builder().gat_heads(vec![3]).build(),
+            Err(ConfigError::GatHeadsIndivisible { layer: 0, dim: 64, heads: 3 })
+        );
+        assert_eq!(
+            StartConfig::builder().dropout(1.0).build(),
+            Err(ConfigError::DropoutRange { value: 1.0 })
+        );
+        assert_eq!(
+            StartConfig::builder().mask_ratio(1.5).build(),
+            Err(ConfigError::MaskRatioRange { value: 1.5 })
+        );
+        assert_eq!(
+            StartConfig::builder().lambda(-0.1).build(),
+            Err(ConfigError::LambdaRange { value: -0.1 })
+        );
+    }
+
+    #[test]
+    fn to_builder_round_trips_presets() {
+        let base = StartConfig::test_scale();
+        let flipped = base.to_builder().use_mask_loss(false).build().unwrap();
+        assert!(!flipped.use_mask_loss);
+        assert_eq!(flipped.dim, base.dim);
+        let err = StartConfig::test_scale().to_builder().encoder_heads(7).build();
+        assert_eq!(err, Err(ConfigError::EncoderHeadsIndivisible { dim: 32, heads: 7 }));
     }
 }

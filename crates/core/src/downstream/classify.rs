@@ -98,9 +98,11 @@ pub fn predict_classes(
     head: &ClassifierHead,
     trajectories: &[Trajectory],
 ) -> Vec<Vec<f32>> {
-    let views: Vec<_> =
-        trajectories.iter().map(|t| clamp_view(TrajView::identity(t), model.cfg.max_len)).collect();
-    let embs = model.encode_views(&views);
+    let views: Vec<_> = trajectories.iter().map(TrajView::identity).collect();
+    let embs = model
+        .encoder()
+        .encode_views(&views, &crate::encoder::EncodeOptions::default())
+        .unwrap_or_else(|e| panic!("predict_classes: {e}"));
     let w = model.store.get(head.fc.weight_id());
     let b = model.store.lookup("cls_head.b").map(|id| model.store.get(id).clone());
     embs.iter()

@@ -95,11 +95,11 @@ pub fn fine_tune_eta(
 
 /// Predict travel times in seconds (inference path, no gradients).
 pub fn predict_eta(model: &StartModel, head: &EtaHead, trajectories: &[Trajectory]) -> Vec<f32> {
-    let views: Vec<_> = trajectories
-        .iter()
-        .map(|t| clamp_view(StartModel::departure_only_view(t), model.cfg.max_len))
-        .collect();
-    let embs = model.encode_views(&views);
+    let views: Vec<_> = trajectories.iter().map(StartModel::departure_only_view).collect();
+    let embs = model
+        .encoder()
+        .encode_views(&views, &crate::encoder::EncodeOptions::default())
+        .unwrap_or_else(|e| panic!("predict_eta: {e}"));
     let w = model.store.get(head.fc.weight_id());
     let b = model.store.lookup("eta_head.b").map(|id| model.store.get(id).item()).unwrap_or(0.0);
     embs.iter()

@@ -7,7 +7,9 @@ pub mod similarity;
 
 pub use classify::{fine_tune_classifier, predict_classes, ClassifierHead};
 pub use eta::{fine_tune_eta, predict_eta, EtaHead};
-pub use similarity::{encode_parallel, euclidean};
+#[allow(deprecated)]
+pub use similarity::encode_parallel;
+pub use similarity::euclidean;
 
 /// Shared fine-tuning loop parameters (both heads use AdamW, §IV-C2).
 #[derive(Debug, Clone)]

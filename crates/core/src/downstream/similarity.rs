@@ -3,9 +3,10 @@
 //! fans out across threads — the [`crate::model::StartModel`] parameter
 //! store is immutable during inference, so workers share it by reference.
 
-use start_traj::{TrajView, Trajectory};
+use start_traj::Trajectory;
 
-use crate::model::{clamp_view, StartModel};
+use crate::encoder::EncodeOptions;
+use crate::model::StartModel;
 
 /// Euclidean distance between two representation vectors.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
@@ -14,36 +15,21 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Encode trajectories in parallel across `threads` workers.
+///
+/// Deprecated shim: one release of compatibility over the unified
+/// [`crate::encoder::Encoder`] facade, which owns chunking and threading
+/// (and, unlike this entry point, produces thread-count-invariant bits).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `model.encoder().encode(trajs, &EncodeOptions { threads, ..Default::default() })`"
+)]
 pub fn encode_parallel(
     model: &StartModel,
     trajectories: &[Trajectory],
     threads: usize,
 ) -> Vec<Vec<f32>> {
-    let threads = threads.max(1);
-    if threads == 1 || trajectories.len() < threads * 4 {
-        return model.encode_trajectories(trajectories);
-    }
-    let chunk = trajectories.len().div_ceil(threads);
-    let mut results: Vec<Vec<Vec<f32>>> = Vec::new();
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = trajectories
-            .chunks(chunk)
-            .map(|part| {
-                s.spawn(move |_| {
-                    let views: Vec<TrajView> = part
-                        .iter()
-                        .map(|t| clamp_view(TrajView::identity(t), model.cfg.max_len))
-                        .collect();
-                    model.encode_views(&views)
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
-        }
-    })
-    .unwrap_or_else(|e| std::panic::resume_unwind(e));
-    results.into_iter().flatten().collect()
+    let opts = EncodeOptions { threads: threads.max(1), ..EncodeOptions::default() };
+    model.encoder().encode(trajectories, &opts).unwrap_or_else(|e| panic!("encode_parallel: {e}"))
 }
 
 #[cfg(test)]
@@ -60,7 +46,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_encoding_matches_serial() {
+    fn deprecated_parallel_shim_matches_the_facade_bitwise() {
         let city = generate_city("t", &CityConfig::tiny());
         let sim = Simulator::new(
             &city.net,
@@ -68,12 +54,13 @@ mod tests {
         );
         let data = sim.generate();
         let model = StartModel::new(StartConfig::test_scale(), &city.net, None, None, 23);
-        let serial = model.encode_trajectories(&data);
+        let serial = model.encoder().encode(&data, &EncodeOptions::default()).unwrap();
+        #[allow(deprecated)]
         let parallel = encode_parallel(&model, &data, 4);
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
             for (x, y) in a.iter().zip(b) {
-                assert!((x - y).abs() < 1e-5, "parallel encoding diverged");
+                assert_eq!(x.to_bits(), y.to_bits(), "parallel encoding diverged");
             }
         }
     }

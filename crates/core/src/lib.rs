@@ -23,15 +23,22 @@
 
 pub mod config;
 pub mod downstream;
+pub mod encoder;
 pub mod interval;
 pub mod model;
 pub mod pretrain;
 pub mod tpe_gat;
 
-pub use config::{IntervalMode, RoadEncoder, StartConfig};
+pub use config::{ConfigError, IntervalMode, RoadEncoder, StartConfig, StartConfigBuilder};
+#[allow(deprecated)]
+pub use downstream::encode_parallel;
 pub use downstream::{
-    encode_parallel, euclidean, fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta,
-    ClassifierHead, EtaHead, FineTuneConfig,
+    euclidean, fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, ClassifierHead,
+    EtaHead, FineTuneConfig,
+};
+pub use encoder::{
+    fingerprint_view, CacheStats, Embedding, EmbeddingCache, EncodeError, EncodeOptions, Encoder,
+    Fingerprint,
 };
 pub use model::{clamp_view, EncodedView, StartModel};
 pub use pretrain::{build_shard_loss, pretrain, PretrainConfig, PretrainReport, StandardShard};

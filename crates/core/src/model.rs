@@ -279,25 +279,34 @@ impl StartModel {
     }
 
     /// Embed a batch of trajectories into representation vectors (inference,
-    /// no gradient, dropout off). Road representations are computed once.
+    /// no gradient, dropout off).
+    ///
+    /// Deprecated shim: one release of compatibility over the unified
+    /// [`crate::encoder::Encoder`] facade. Unlike the legacy code it clamps
+    /// over-long trajectories instead of panicking.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `model.encoder().encode(trajs, &EncodeOptions::default())`"
+    )]
     pub fn encode_trajectories(&self, trajectories: &[Trajectory]) -> Vec<Vec<f32>> {
-        self.encode_views(&trajectories.iter().map(TrajView::identity).collect::<Vec<_>>())
+        self.encoder()
+            .encode(trajectories, &crate::encoder::EncodeOptions::default())
+            .unwrap_or_else(|e| panic!("encode_trajectories: {e}"))
     }
 
     /// Embed pre-built views (inference).
+    ///
+    /// Deprecated shim: one release of compatibility over the unified
+    /// [`crate::encoder::Encoder`] facade. Unlike the legacy code it clamps
+    /// over-long views instead of panicking.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `model.encoder().encode_views(views, &EncodeOptions::default())`"
+    )]
     pub fn encode_views(&self, views: &[TrajView]) -> Vec<Vec<f32>> {
-        let mut rng = StdRng::seed_from_u64(0);
-        let mut out = Vec::with_capacity(views.len());
-        // Chunked so graphs stay small and memory is reclaimed.
-        for chunk in views.chunks(64) {
-            let mut g = Graph::new(&self.store, false);
-            let roads = self.road_reprs(&mut g);
-            for view in chunk {
-                let enc = self.encode_view(&mut g, view, roads, &mut rng);
-                out.push(g.value(enc.pooled).row(0).to_vec());
-            }
-        }
-        out
+        self.encoder()
+            .encode_views(views, &crate::encoder::EncodeOptions::default())
+            .unwrap_or_else(|e| panic!("encode_views: {e}"))
     }
 
     /// A view that reveals only the *departure time* (all roads stamped with
@@ -324,8 +333,13 @@ pub fn clamp_view(mut view: TrajView, max_len: usize) -> TrajView {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoder::EncodeOptions;
     use start_roadnet::synth::{generate_city, CityConfig};
     use start_traj::{SimConfig, Simulator};
+
+    fn encode(model: &StartModel, trajs: &[Trajectory]) -> Vec<Vec<f32>> {
+        model.encoder().encode(trajs, &EncodeOptions::default()).unwrap()
+    }
 
     fn setup() -> (start_roadnet::City, Vec<Trajectory>, TransferMatrix) {
         let city = generate_city("t", &CityConfig::tiny());
@@ -345,7 +359,7 @@ mod tests {
     fn encode_produces_d_dimensional_vectors() {
         let (city, data, tm) = setup();
         let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
-        let embs = model.encode_trajectories(&data[..5]);
+        let embs = encode(&model, &data[..5]);
         assert_eq!(embs.len(), 5);
         for e in &embs {
             assert_eq!(e.len(), 32);
@@ -357,8 +371,8 @@ mod tests {
     fn inference_is_deterministic() {
         let (city, data, tm) = setup();
         let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
-        let a = model.encode_trajectories(&data[..3]);
-        let b = model.encode_trajectories(&data[..3]);
+        let a = encode(&model, &data[..3]);
+        let b = encode(&model, &data[..3]);
         assert_eq!(a, b);
     }
 
@@ -370,7 +384,8 @@ mod tests {
         let mut masked = TrajView::identity(&data[0]);
         masked.masked[1] = true;
         masked.masked[2] = true;
-        let embs = model.encode_views(&[plain, masked]);
+        let embs =
+            model.encoder().encode_views(&[plain, masked], &EncodeOptions::default()).unwrap();
         assert_ne!(embs[0], embs[1]);
     }
 
@@ -380,7 +395,7 @@ mod tests {
         let cfg =
             StartConfig { road_encoder: RoadEncoder::RandomEmbedding, ..StartConfig::test_scale() };
         let model = StartModel::new(cfg, &city.net, None, None, 7);
-        let embs = model.encode_trajectories(&data[..2]);
+        let embs = encode(&model, &data[..2]);
         assert!(embs[0].iter().any(|v| *v != 0.0));
     }
 
@@ -404,7 +419,7 @@ mod tests {
         // The embedding table must start as the node2vec vectors.
         let table = model.store.lookup("road_emb").unwrap();
         assert_eq!(model.store.get(table).data(), n2v.data());
-        let _ = model.encode_trajectories(&data[..2]);
+        let _ = encode(&model, &data[..2]);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! `start-serve`: the online inference layer over a trained
+//! [`StartModel`](start_core::StartModel).
+//!
+//! Offline evaluation encodes a dataset once; serving answers a stream of
+//! single-trajectory requests. This crate bridges the two with a
+//! [`service::EmbeddingService`]: a bounded submission queue, N encode
+//! workers that micro-batch requests (flush on `max_batch` or `max_wait`),
+//! a sharded LRU [`EmbeddingCache`](start_core::encoder::EmbeddingCache)
+//! keyed by trajectory fingerprint, and a brute-force kNN endpoint over an
+//! in-memory [`store::EmbeddingStore`] — all answering through typed
+//! handles with a typed [`error::ServeError`] surface.
+//!
+//! The service is a scheduler, not a second encoder: every batch goes
+//! through the same [`Encoder`](start_core::encoder::Encoder) facade the
+//! offline paths use, so a served embedding is bit-for-bit the embedding
+//! `Encoder::encode` would have produced, regardless of worker count,
+//! batch composition, or arrival order.
+
+pub mod error;
+pub mod service;
+pub mod stats;
+pub mod store;
+
+pub use error::ServeError;
+pub use service::{EmbeddingHandle, EmbeddingService, ServeConfig};
+pub use stats::{Histogram, HistogramSnapshot, ServiceStats};
+pub use store::{EmbeddingStore, Neighbor};

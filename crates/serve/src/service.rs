@@ -1,0 +1,496 @@
+//! The embedding inference service: a long-lived pool of encode workers
+//! behind a bounded micro-batching queue.
+//!
+//! Requests enter through [`EmbeddingService::submit`] (blocking
+//! backpressure) or [`EmbeddingService::try_submit`] (fail-fast
+//! `QueueFull`). A worker that finds work open starts a micro-batch: it
+//! keeps absorbing requests until the batch reaches `max_batch` or the
+//! `max_wait` budget expires, then encodes the whole batch on its privately
+//! owned tape [`BufferPool`] through the unified
+//! [`Encoder`](start_core::encoder::Encoder) facade — which deduplicates
+//! identical views, consults the shared [`EmbeddingCache`], and produces the
+//! same bits as a single-threaded `encode` call. Each request is answered
+//! over its own channel, so batch composition never changes what a caller
+//! observes, only when.
+//!
+//! Workers never leak panics: a panic inside the model is caught at the
+//! batch boundary, the in-flight batch is answered with
+//! [`ServeError::WorkerPanicked`], the service is poisoned, and queued +
+//! future requests get [`ServeError::ModelPoisoned`]. `resume_unwind` stays
+//! internal to the encoder's own thread scope.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use start_core::encoder::{EmbeddingCache, EncodeError, EncodeOptions};
+use start_core::{CacheStats, Embedding, StartModel};
+use start_nn::BufferPool;
+use start_traj::{TrajView, Trajectory};
+
+use crate::error::ServeError;
+use crate::stats::{Histogram, ServiceStats};
+use crate::store::{EmbeddingStore, Neighbor};
+
+/// Tunables for [`EmbeddingService::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Encode worker threads (minimum 1).
+    pub workers: usize,
+    /// Flush a micro-batch at this many requests.
+    pub max_batch: usize,
+    /// Flush a micro-batch this long after its first request is picked up,
+    /// even if it is not full. Zero disables batching-by-wait.
+    pub max_wait: Duration,
+    /// Bounded submission-queue capacity; `submit` blocks and `try_submit`
+    /// fails once this many requests are pending.
+    pub queue_cap: usize,
+    /// Total entries across the shared embedding cache; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Clamp over-length trajectories to the model's `max_len` (the
+    /// offline default). When false, over-length submissions are rejected
+    /// with a typed error instead.
+    pub clamp: bool,
+    /// Test hook: stall each worker this long before it starts draining,
+    /// making queue-full conditions deterministic.
+    #[doc(hidden)]
+    pub worker_warmup: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            clamp: true,
+            worker_warmup: None,
+        }
+    }
+}
+
+/// One queued unit of work: the view to encode and the channel that will
+/// carry exactly one answer back to the submitting caller.
+struct Request {
+    view: TrajView,
+    tx: mpsc::Sender<Result<Embedding, ServeError>>,
+    submitted_at: Instant,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    shutdown: bool,
+    poisoned: bool,
+}
+
+/// Everything the workers and the front-end share.
+struct Shared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cfg: ServeConfig,
+    model: Arc<StartModel>,
+    cache: Option<Arc<EmbeddingCache>>,
+    store: RwLock<EmbeddingStore>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    queue_wait: Histogram,
+    encode: Histogram,
+}
+
+impl Shared {
+    /// Queue lock with mutex-poison ride-through: the queue state is a
+    /// plain VecDeque plus flags, valid at every instruction boundary, so a
+    /// panicking peer cannot leave it torn.
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let queue_depth = self.lock().queue.len();
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth,
+            queue_wait: self.queue_wait.snapshot(),
+            encode: self.encode.snapshot(),
+            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or(CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 0,
+            }),
+        }
+    }
+}
+
+/// The ticket for one submitted request.
+///
+/// Dropping the handle abandons the answer (the worker still encodes and
+/// caches it); [`EmbeddingHandle::wait`] blocks until the worker responds.
+pub struct EmbeddingHandle {
+    rx: mpsc::Receiver<Result<Embedding, ServeError>>,
+}
+
+impl std::fmt::Debug for EmbeddingHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingHandle").finish_non_exhaustive()
+    }
+}
+
+impl EmbeddingHandle {
+    /// Block until the service answers this request.
+    pub fn wait(self) -> Result<Embedding, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ResponseDropped))
+    }
+}
+
+/// A running embedding service. See the module docs for the data path.
+pub struct EmbeddingService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EmbeddingService {
+    /// Spawn the worker pool and return the running service.
+    pub fn start(model: Arc<StartModel>, cfg: ServeConfig) -> Self {
+        let cache = (cfg.cache_capacity > 0)
+            .then(|| Arc::new(EmbeddingCache::with_shards(cfg.cache_capacity, cfg.cache_shards)));
+        let dim = model.cfg.dim;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+                poisoned: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cfg,
+            model,
+            cache,
+            store: RwLock::new(EmbeddingStore::new(dim)),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_wait: Histogram::new(),
+            encode: Histogram::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("start-serve-{i}"))
+                    .spawn(move || worker_loop(&s, i))
+                    .unwrap_or_else(|e| panic!("failed to spawn encode worker {i}: {e}"))
+            })
+            .collect();
+        Self { shared, workers: handles }
+    }
+
+    /// Submit a trajectory, blocking while the queue is full.
+    pub fn submit(&self, trajectory: &Trajectory) -> Result<EmbeddingHandle, ServeError> {
+        self.submit_view(TrajView::identity(trajectory))
+    }
+
+    /// Submit a trajectory; fail with [`ServeError::QueueFull`] instead of
+    /// blocking when the queue is at capacity.
+    pub fn try_submit(&self, trajectory: &Trajectory) -> Result<EmbeddingHandle, ServeError> {
+        self.enqueue(TrajView::identity(trajectory), false)
+    }
+
+    /// Submit a pre-built view (masking, departure-only timestamps, …),
+    /// blocking while the queue is full.
+    pub fn submit_view(&self, view: TrajView) -> Result<EmbeddingHandle, ServeError> {
+        self.enqueue(view, true)
+    }
+
+    /// Submit a batch and wait for every answer, in submission order.
+    pub fn encode(&self, trajectories: &[Trajectory]) -> Result<Vec<Embedding>, ServeError> {
+        let handles: Vec<EmbeddingHandle> =
+            trajectories.iter().map(|t| self.submit(t)).collect::<Result<_, _>>()?;
+        handles.into_iter().map(EmbeddingHandle::wait).collect()
+    }
+
+    /// Encode `trajectory` and index the embedding under `id` for
+    /// [`EmbeddingService::knn`] queries. Re-indexing an id overwrites it.
+    pub fn index(&self, id: u64, trajectory: &Trajectory) -> Result<(), ServeError> {
+        let emb = self.submit(trajectory)?.wait()?;
+        self.shared.store.write().unwrap_or_else(PoisonError::into_inner).insert(id, &emb);
+        Ok(())
+    }
+
+    /// Encode the query trajectory and return its `k` nearest indexed
+    /// neighbours by Euclidean distance, closest first.
+    pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let emb = self.submit(query)?.wait()?;
+        Ok(self.shared.store.read().unwrap_or_else(PoisonError::into_inner).knn(&emb, k))
+    }
+
+    /// Number of embeddings currently indexed for kNN.
+    pub fn indexed_len(&self) -> usize {
+        self.shared.store.read().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stop accepting work, drain every queued request, join the workers,
+    /// and return the final stats.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.shared.stats()
+    }
+
+    /// Flip the service into shutdown without joining the workers: new
+    /// submissions (including callers blocked on a full queue) fail with
+    /// [`ServeError::ShuttingDown`], while already-queued requests still
+    /// drain. [`EmbeddingService::shutdown`] or drop completes the join.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    fn stop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside the guarded encode region has
+            // already answered its batch; nothing to propagate.
+            let _ = handle.join();
+        }
+    }
+
+    fn enqueue(&self, view: TrajView, block: bool) -> Result<EmbeddingHandle, ServeError> {
+        if let Err(e) = self.validate(&view) {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(e));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.shared.lock();
+        loop {
+            if st.poisoned {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ModelPoisoned);
+            }
+            if st.shutdown {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.queue.len() < self.shared.cfg.queue_cap {
+                break;
+            }
+            if !block {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_cap });
+            }
+            st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.queue.push_back(Request { view, tx, submitted_at: Instant::now() });
+        drop(st);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(EmbeddingHandle { rx })
+    }
+
+    /// Reject malformed requests at the door, so one bad submission can
+    /// never fail the micro-batch it would have ridden in.
+    fn validate(&self, view: &TrajView) -> Result<(), EncodeError> {
+        if view.is_empty() {
+            return Err(EncodeError::EmptyView { index: 0 });
+        }
+        let max_len = self.shared.model.cfg.max_len;
+        if view.len() > max_len && !self.shared.cfg.clamp {
+            return Err(EncodeError::TooLong { index: 0, len: view.len(), max_len });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for EmbeddingService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Pull one micro-batch off the queue, or `None` when the worker should
+/// exit (shutdown with an empty queue, or service poisoned).
+fn collect_batch(shared: &Shared) -> Option<Vec<Request>> {
+    let mut st = shared.lock();
+    loop {
+        if st.poisoned {
+            return None;
+        }
+        if let Some(first) = st.queue.pop_front() {
+            let mut batch = vec![first];
+            let max_batch = shared.cfg.max_batch.max(1);
+            let deadline = Instant::now() + shared.cfg.max_wait;
+            loop {
+                while batch.len() < max_batch {
+                    match st.queue.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                // A shutting-down service flushes immediately: waiting out
+                // the batching budget would only delay the drain.
+                if batch.len() >= max_batch || st.shutdown || st.poisoned {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+            drop(st);
+            shared.not_full.notify_all();
+            return Some(batch);
+        }
+        if st.shutdown {
+            return None;
+        }
+        st = shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// `START_SERVE_LOG` enables the periodic stats line; a positive float
+/// value overrides the 1 s default period.
+fn log_interval() -> Option<Duration> {
+    std::env::var("START_SERVE_LOG").ok().map(|v| {
+        let secs = v.parse::<f64>().ok().filter(|s| *s > 0.0).unwrap_or(1.0);
+        Duration::from_secs_f64(secs)
+    })
+}
+
+fn log_stats_line(shared: &Shared) {
+    let s = shared.stats();
+    eprintln!(
+        "[start-serve] submitted={} completed={} failed={} rejected={} batches={} \
+         mean_batch={:.1} depth={} wait_p50_us={} wait_p99_us={} enc_p50_us={} enc_p99_us={} \
+         cache_hit_rate={:.3}",
+        s.submitted,
+        s.completed,
+        s.failed,
+        s.rejected,
+        s.batches,
+        s.mean_batch_size(),
+        s.queue_depth,
+        s.queue_wait.p50_us,
+        s.queue_wait.p99_us,
+        s.encode.p50_us,
+        s.encode.p99_us,
+        s.cache.hit_rate(),
+    );
+}
+
+fn worker_loop(shared: &Shared, worker_id: usize) {
+    if let Some(warmup) = shared.cfg.worker_warmup {
+        std::thread::sleep(warmup);
+    }
+    let log_every = if worker_id == 0 { log_interval() } else { None };
+    let mut last_log = Instant::now();
+    // Each worker owns one tape buffer pool for its whole life, so steady
+    // state encodes allocate nothing.
+    let mut pool = BufferPool::default();
+    while let Some(batch) = collect_batch(shared) {
+        let picked_up = Instant::now();
+        for req in &batch {
+            let wait = picked_up.duration_since(req.submitted_at);
+            shared.queue_wait.record_us(wait.as_micros() as u64);
+        }
+        let views: Vec<TrajView> = batch.iter().map(|r| r.view.clone()).collect();
+        let opts = EncodeOptions {
+            threads: 1,
+            chunk: shared.cfg.max_batch.max(1),
+            clamp: shared.cfg.clamp,
+            cache: shared.cache.clone(),
+        };
+        let taken = std::mem::take(&mut pool);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.model.encoder().encode_views_pooled(&views, &opts, taken)
+        }));
+        shared.encode.record_us(picked_up.elapsed().as_micros() as u64);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(Ok((embeddings, returned))) => {
+                pool = returned;
+                for (req, emb) in batch.into_iter().zip(embeddings) {
+                    // A dropped handle is a caller choice, not a failure.
+                    let _ = req.tx.send(Ok(emb));
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Err(e)) => {
+                // Submit-time validation makes this unreachable today; if a
+                // new validation ever appears in the encoder first, answer
+                // with the typed error rather than wedging the callers.
+                for req in batch {
+                    let _ = req.tx.send(Err(ServeError::Invalid(e.clone())));
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                let drained: Vec<Request> = {
+                    let mut st = shared.lock();
+                    st.poisoned = true;
+                    st.queue.drain(..).collect()
+                };
+                shared.not_empty.notify_all();
+                shared.not_full.notify_all();
+                for req in batch {
+                    let _ =
+                        req.tx.send(Err(ServeError::WorkerPanicked { message: message.clone() }));
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                for req in drained {
+                    let _ = req.tx.send(Err(ServeError::ModelPoisoned));
+                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        if let Some(period) = log_every {
+            if last_log.elapsed() >= period {
+                last_log = Instant::now();
+                log_stats_line(shared);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Serving observability: wait-free log-bucketed latency histograms and
+//! point-in-time [`ServiceStats`] snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use start_core::CacheStats;
+
+/// A power-of-two-bucketed histogram of microsecond latencies.
+///
+/// Bucket `i > 0` counts samples in `[2^(i-1), 2^i)` µs; bucket 0 counts
+/// zeros. `record` is a handful of relaxed atomic adds — wait-free, callable
+/// from every worker — and `snapshot` walks the buckets without stopping
+/// recorders, so a snapshot taken under load is approximate. Quantiles are
+/// reported as the upper edge of the bucket containing them (≤ 2×
+/// resolution), which is exactly what a latency monitor needs and nothing a
+/// correctness test should depend on.
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros()) as usize; // 0 for us == 0
+        self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Upper bucket edge (µs) of the sample at quantile `q` in `[0, 1]`.
+    fn quantile_us(&self, counts: &[u64; 64], total: u64, q: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let total: u64 = counts.iter().sum();
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count: total,
+            mean_us: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            p50_us: self.quantile_us(&counts, total, 0.50),
+            p99_us: self.quantile_us(&counts, total, 0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A frozen read of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean_us: f64,
+    /// Median latency, rounded up to the enclosing power-of-two bucket edge.
+    pub p50_us: u64,
+    /// 99th-percentile latency, same bucket-edge rounding.
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// Point-in-time counters for the whole service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with an embedding.
+    pub completed: u64,
+    /// Requests refused at the door (`QueueFull`, invalid, shutting down).
+    pub rejected: u64,
+    /// Requests answered with `WorkerPanicked`/`ModelPoisoned`.
+    pub failed: u64,
+    /// Micro-batches flushed by the workers.
+    pub batches: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: usize,
+    /// Time from `submit` to batch pickup.
+    pub queue_wait: HistogramSnapshot,
+    /// Time a worker spent encoding each batch.
+    pub encode: HistogramSnapshot,
+    /// Embedding-cache counters (hits/misses/occupancy).
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// Mean flushed batch size — the micro-batcher's effectiveness.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.p99_us, 0);
+        assert_eq!(s.max_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_buckets() {
+        let h = Histogram::new();
+        // 99 fast samples at 10µs, one slow outlier at 10_000µs.
+        for _ in 0..99 {
+            h.record_us(10);
+        }
+        h.record_us(10_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max_us, 10_000);
+        // 10µs lives in (8, 16]; p50 reports the upper edge.
+        assert_eq!(s.p50_us, 16);
+        // p99 rank is 99 of 100 — still inside the fast bucket.
+        assert_eq!(s.p99_us, 16);
+        assert!(s.mean_us > 10.0 && s.mean_us < 200.0);
+    }
+
+    #[test]
+    fn zero_samples_occupy_bucket_zero() {
+        let h = Histogram::new();
+        h.record_us(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 0);
+    }
+
+    #[test]
+    fn giant_samples_saturate_the_last_bucket() {
+        let h = Histogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.snapshot().max_us, u64::MAX);
+    }
+}

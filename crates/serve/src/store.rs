@@ -1,0 +1,140 @@
+//! In-memory embedding store backing the service's kNN endpoint (§III-D3
+//! zero-shot similarity, served online instead of batch-evaluated).
+
+use std::collections::HashMap;
+
+use start_core::euclidean;
+
+/// One kNN answer: an indexed id and its Euclidean distance to the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    pub id: u64,
+    pub distance: f32,
+}
+
+/// A flat-matrix embedding index with brute-force kNN.
+///
+/// Row-major storage keeps the scan cache-friendly; `id → row` lives in a
+/// side map so ids can be sparse. Re-inserting an id overwrites its row in
+/// place. Brute force is the right baseline at the scale the service holds
+/// in memory — exact, branch-free, and the distance kernel is the same
+/// [`euclidean`] used by the offline similarity evaluation.
+pub struct EmbeddingStore {
+    dim: usize,
+    data: Vec<f32>,
+    ids: Vec<u64>,
+    rows: HashMap<u64, usize>,
+}
+
+impl EmbeddingStore {
+    pub fn new(dim: usize) -> Self {
+        Self { dim, data: Vec::new(), ids: Vec::new(), rows: HashMap::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert or overwrite the embedding for `id`.
+    ///
+    /// The vector length must match the store dimension.
+    pub fn insert(&mut self, id: u64, emb: &[f32]) {
+        assert_eq!(
+            emb.len(),
+            self.dim,
+            "embedding dimension mismatch: store holds {}, got {}",
+            self.dim,
+            emb.len()
+        );
+        match self.rows.get(&id) {
+            Some(&row) => {
+                self.data[row * self.dim..(row + 1) * self.dim].copy_from_slice(emb);
+            }
+            None => {
+                let row = self.ids.len();
+                self.ids.push(id);
+                self.data.extend_from_slice(emb);
+                self.rows.insert(id, row);
+            }
+        }
+    }
+
+    /// The stored embedding for `id`, if indexed.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        self.rows.get(&id).map(|&row| &self.data[row * self.dim..(row + 1) * self.dim])
+    }
+
+    /// The `k` nearest stored embeddings to `query`, closest first; ties
+    /// break toward the smaller id so results are deterministic.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut all: Vec<Neighbor> = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| Neighbor {
+                id,
+                distance: euclidean(query, &self.data[row * self.dim..(row + 1) * self.dim]),
+            })
+            .collect();
+        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_returns_sorted_exact_neighbors() {
+        let mut store = EmbeddingStore::new(2);
+        store.insert(1, &[0.0, 0.0]);
+        store.insert(2, &[3.0, 4.0]);
+        store.insert(3, &[1.0, 0.0]);
+        let hits = store.knn(&[0.0, 0.0], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits[1].id, 3);
+        assert_eq!(hits[1].distance, 1.0);
+    }
+
+    #[test]
+    fn reinsert_overwrites_in_place() {
+        let mut store = EmbeddingStore::new(2);
+        store.insert(7, &[1.0, 1.0]);
+        store.insert(7, &[2.0, 2.0]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(7), Some(&[2.0, 2.0][..]));
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_ids() {
+        let mut store = EmbeddingStore::new(1);
+        store.insert(9, &[5.0]);
+        store.insert(2, &[5.0]);
+        let hits = store.knn(&[5.0], 2);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 9);
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_everything() {
+        let mut store = EmbeddingStore::new(1);
+        store.insert(1, &[0.0]);
+        assert_eq!(store.knn(&[0.0], 10).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_is_rejected() {
+        let mut store = EmbeddingStore::new(3);
+        store.insert(1, &[0.0]);
+    }
+}

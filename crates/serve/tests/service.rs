@@ -1,0 +1,273 @@
+//! End-to-end tests of the embedding service: the bitwise contract against
+//! the offline `Encoder` facade, cache semantics, backpressure, panic
+//! containment, and graceful shutdown.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use start_core::encoder::{EncodeError, EncodeOptions};
+use start_core::{StartConfig, StartModel};
+use start_roadnet::synth::{generate_city, CityConfig};
+use start_roadnet::SegmentId;
+use start_serve::{EmbeddingService, ServeConfig, ServeError};
+use start_traj::{SimConfig, Simulator, TrajView, Trajectory};
+
+struct Fixture {
+    model: Arc<StartModel>,
+    data: Vec<Trajectory>,
+    /// `Encoder::encode` with default options — the bits every service
+    /// configuration must reproduce exactly.
+    reference: Vec<Vec<f32>>,
+    num_segments: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let city = generate_city("serve-test", &CityConfig::tiny());
+        let sim = Simulator::new(
+            &city.net,
+            SimConfig { num_trajectories: 24, num_drivers: 4, ..Default::default() },
+        );
+        let data = sim.generate();
+        let model = Arc::new(StartModel::new(StartConfig::test_scale(), &city.net, None, None, 41));
+        let reference = model.encoder().encode(&data, &EncodeOptions::default()).unwrap();
+        Fixture { model, data, reference, num_segments: city.net.num_segments() }
+    })
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: component {i} diverged ({x} vs {y})");
+    }
+}
+
+#[test]
+fn service_output_bitwise_matches_the_encoder_for_any_worker_count() {
+    let fix = fixture();
+    for workers in [1usize, 4] {
+        let service = EmbeddingService::start(
+            Arc::clone(&fix.model),
+            ServeConfig {
+                workers,
+                max_batch: 5,
+                max_wait: Duration::from_millis(1),
+                cache_capacity: 0, // cache off: every request really encodes
+                ..ServeConfig::default()
+            },
+        );
+        let served = service.encode(&fix.data).unwrap();
+        let stats = service.shutdown();
+        assert_eq!(served.len(), fix.reference.len());
+        for (i, (s, r)) in served.iter().zip(&fix.reference).enumerate() {
+            assert_bits_eq(s, r, &format!("workers={workers} trajectory {i}"));
+        }
+        assert_eq!(stats.completed, fix.data.len() as u64);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.cache.hits + stats.cache.misses, 0, "cache was disabled");
+    }
+}
+
+#[test]
+fn cache_hit_returns_the_identical_vector() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    let first = service.submit(&fix.data[0]).unwrap().wait().unwrap();
+    let second = service.submit(&fix.data[0]).unwrap().wait().unwrap();
+    assert_bits_eq(&first, &second, "cache round trip");
+    assert_bits_eq(&first, &fix.reference[0], "cached vs reference");
+    let stats = service.shutdown();
+    assert!(stats.cache.hits >= 1, "second request should hit the cache: {:?}", stats.cache);
+    assert!(stats.cache.entries >= 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_every_queued_request() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig {
+            workers: 2,
+            cache_capacity: 0,
+            // Workers wake only after everything is queued and shutdown has
+            // been requested, so the drain path is what answers.
+            worker_warmup: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..8).map(|i| service.submit(&fix.data[i]).unwrap()).collect();
+    let stats = service.shutdown();
+    for (i, h) in handles.into_iter().enumerate() {
+        let emb = h.wait().unwrap_or_else(|e| panic!("request {i} lost in shutdown: {e}"));
+        assert_bits_eq(&emb, &fix.reference[i], &format!("drained request {i}"));
+    }
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn submitting_after_shutdown_is_a_typed_error() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig {
+            workers: 1,
+            worker_warmup: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+    );
+    let h = service.submit(&fix.data[0]).unwrap();
+    service.begin_shutdown();
+    // New work is refused — including blocking submits — but the request
+    // that made it in still drains.
+    let err = service.submit(&fix.data[1]).unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+    assert!(h.wait().is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.rejected, 1);
+}
+
+#[test]
+fn try_submit_reports_queue_full() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig {
+            workers: 1,
+            queue_cap: 2,
+            worker_warmup: Some(Duration::from_millis(300)),
+            ..ServeConfig::default()
+        },
+    );
+    let h1 = service.try_submit(&fix.data[0]).unwrap();
+    let h2 = service.try_submit(&fix.data[1]).unwrap();
+    let err = service.try_submit(&fix.data[2]).unwrap_err();
+    assert_eq!(err, ServeError::QueueFull { capacity: 2 });
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 1);
+    // The accepted pair still completes once the worker wakes.
+    assert!(h1.wait().is_ok());
+    assert!(h2.wait().is_ok());
+}
+
+#[test]
+fn empty_submission_is_rejected_at_the_door() {
+    let fix = fixture();
+    let service = EmbeddingService::start(Arc::clone(&fix.model), ServeConfig::default());
+    let empty = TrajView { roads: vec![], times: vec![], masked: vec![], embed_dropout: 0.0 };
+    let err = service.submit_view(empty).unwrap_err();
+    assert_eq!(err, ServeError::Invalid(EncodeError::EmptyView { index: 0 }));
+    assert_eq!(service.stats().rejected, 1);
+}
+
+#[test]
+fn overlong_submission_is_rejected_when_clamping_is_off() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { clamp: false, ..ServeConfig::default() },
+    );
+    let max_len = fix.model.cfg.max_len;
+    let mut view = TrajView::identity(&fix.data[0]);
+    while view.roads.len() <= max_len {
+        view.roads.extend_from_slice(&TrajView::identity(&fix.data[0]).roads);
+        view.times.extend_from_slice(&TrajView::identity(&fix.data[0]).times);
+        view.masked.extend_from_slice(&TrajView::identity(&fix.data[0]).masked);
+    }
+    let len = view.roads.len();
+    let err = service.submit_view(view).unwrap_err();
+    assert_eq!(err, ServeError::Invalid(EncodeError::TooLong { index: 0, len, max_len }));
+}
+
+#[test]
+fn worker_panic_is_typed_and_poisons_the_service() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { workers: 1, cache_capacity: 0, ..ServeConfig::default() },
+    );
+    // A road id far outside the network: passes length validation, then
+    // blows up inside the model's embedding gather — a genuine worker panic.
+    let mut view = TrajView::identity(&fix.data[0]);
+    view.roads[0] = SegmentId(fix.num_segments as u32 + 10_000);
+    let err = service.submit_view(view).unwrap().wait().unwrap_err();
+    assert!(
+        matches!(err, ServeError::WorkerPanicked { .. }),
+        "expected WorkerPanicked, got {err:?}"
+    );
+    // The panic poisons the whole service: future submissions are refused.
+    let err = service.submit(&fix.data[0]).unwrap_err();
+    assert_eq!(err, ServeError::ModelPoisoned);
+    let stats = service.shutdown();
+    assert!(stats.failed >= 1);
+}
+
+#[test]
+fn knn_finds_the_indexed_trajectory_itself() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    );
+    for (i, t) in fix.data.iter().enumerate() {
+        service.index(i as u64, t).unwrap();
+    }
+    assert_eq!(service.indexed_len(), fix.data.len());
+    // With the cache on, the query encode returns the identical bits that
+    // were indexed, so the self-distance is exactly zero.
+    let hits = service.knn(&fix.data[3], 5).unwrap();
+    assert_eq!(hits.len(), 5);
+    assert_eq!(hits[0].id, 3);
+    assert_eq!(hits[0].distance, 0.0);
+    for pair in hits.windows(2) {
+        assert!(pair[0].distance <= pair[1].distance, "kNN results must be sorted");
+    }
+    let _ = service.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Micro-batch composition under random arrival patterns (duplicates,
+    /// arbitrary order, odd lengths) never swaps answers between requests:
+    /// response `j` is always the embedding of submission `j`.
+    #[test]
+    fn random_arrival_patterns_preserve_request_response_correspondence(
+        idxs in prop::collection::vec(0..24usize, 1..40),
+        workers in 1..4usize,
+        max_batch in 1..7usize,
+    ) {
+        let fix = fixture();
+        let service = EmbeddingService::start(
+            Arc::clone(&fix.model),
+            ServeConfig {
+                workers,
+                max_batch,
+                max_wait: Duration::from_micros(500),
+                ..ServeConfig::default()
+            },
+        );
+        let handles: Vec<_> = idxs
+            .iter()
+            .map(|&i| service.submit(&fix.data[i]).map_err(|e| TestCaseError::Fail(e.to_string())))
+            .collect::<Result<_, _>>()?;
+        for (handle, &i) in handles.into_iter().zip(&idxs) {
+            let emb = handle.wait().map_err(|e| TestCaseError::Fail(e.to_string()))?;
+            let reference = &fix.reference[i];
+            prop_assert_eq!(emb.len(), reference.len());
+            for (x, y) in emb.iter().zip(reference) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "answer for slot of trajectory {} diverged", i);
+            }
+        }
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed, idxs.len() as u64);
+        prop_assert_eq!(stats.failed, 0u64);
+    }
+}

@@ -18,15 +18,14 @@ use start_roadnet::synth::{generate_city, CityConfig};
 use start_traj::{PreprocessConfig, SimConfig, TrajDataset, Trajectory};
 
 fn small_config() -> StartConfig {
-    StartConfig {
-        dim: 32,
-        gat_layers: 1,
-        gat_heads: vec![2],
-        encoder_layers: 2,
-        encoder_heads: 2,
-        ffn_hidden: 32,
-        ..Default::default()
-    }
+    StartConfig::builder()
+        .dim(32)
+        .gat_heads(vec![2])
+        .encoder_layers(2)
+        .encoder_heads(2)
+        .ffn_hidden(32)
+        .build()
+        .expect("example config is valid")
 }
 
 fn main() {

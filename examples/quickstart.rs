@@ -1,15 +1,20 @@
 //! Quickstart: build a synthetic city, simulate trajectories, pre-train
 //! START self-supervised, and use the representations for three downstream
-//! tasks — the paper's Figure 2 pipeline end to end in one file.
+//! tasks — the paper's Figure 2 pipeline end to end in one file — then
+//! stand the trained model up behind the online embedding service.
 //!
 //! Run: `cargo run --release --example quickstart`
 
+use std::sync::Arc;
+
 use start_bench::{f3, Table};
 use start_core::{
-    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig, StartModel,
+    fine_tune_eta, predict_eta, pretrain, EncodeOptions, FineTuneConfig, PretrainConfig,
+    StartConfig, StartModel,
 };
 use start_eval::metrics::{hit_ratio, mean_rank, regression_report, truth_ranks};
 use start_roadnet::synth::{generate_city, CityConfig};
+use start_serve::{EmbeddingService, ServeConfig};
 use start_traj::{
     build_benchmark, DetourConfig, PreprocessConfig, SimConfig, TrajDataset, Trajectory,
 };
@@ -17,27 +22,28 @@ use start_traj::{
 fn main() {
     // 1. A synthetic city and a congestion-aware taxi fleet (the substitute
     //    for the paper's proprietary BJ dataset — see DESIGN.md §1).
-    println!("[1/5] generating city + trajectories...");
+    println!("[1/6] generating city + trajectories...");
     let city = generate_city("Quickstart-City", &CityConfig::tiny());
     let sim = SimConfig { num_trajectories: 600, num_drivers: 12, ..Default::default() };
     let ds = TrajDataset::build(city, sim, &PreprocessConfig::default());
     println!("      {}", ds.table1_row());
 
-    // 2. The START model: TPE-GAT over the road network + TAT-Enc.
-    println!("[2/5] building START...");
-    let cfg = StartConfig {
-        dim: 32,
-        gat_layers: 1,
-        gat_heads: vec![2],
-        encoder_layers: 2,
-        encoder_heads: 2,
-        ffn_hidden: 32,
-        ..Default::default()
-    };
+    // 2. The START model: TPE-GAT over the road network + TAT-Enc. Configs
+    //    are built through the validating builder — a typo in a dimension
+    //    or head count is a `ConfigError` here, not a panic mid-training.
+    println!("[2/6] building START...");
+    let cfg = StartConfig::builder()
+        .dim(32)
+        .gat_heads(vec![2])
+        .encoder_layers(2)
+        .encoder_heads(2)
+        .ffn_hidden(32)
+        .build()
+        .expect("quickstart config is valid");
     let mut model = StartModel::new(cfg, &ds.city.net, Some(&ds.transfer), None, 42);
 
     // 3. Self-supervised pre-training: span-masked recovery + contrastive.
-    println!("[3/5] pre-training (span-mask + NT-Xent)...");
+    println!("[3/6] pre-training (span-mask + NT-Xent)...");
     let report = pretrain(
         &mut model,
         ds.train(),
@@ -51,11 +57,13 @@ fn main() {
     );
     println!("      loss per epoch: {:?}", report.epoch_losses);
 
-    // 4. Zero-shot similarity search on the detour benchmark.
-    println!("[4/5] zero-shot similarity search...");
+    // 4. Zero-shot similarity search on the detour benchmark, through the
+    //    unified encoder facade (one entry point for every batch encode).
+    println!("[4/6] zero-shot similarity search...");
     let bench = build_benchmark(&ds.city.net, ds.test(), 20, 100, &DetourConfig::default());
-    let q = model.encode_trajectories(&bench.queries);
-    let db = model.encode_trajectories(&bench.database);
+    let opts = EncodeOptions::default();
+    let q = model.encoder().encode(&bench.queries, &opts).expect("encode queries");
+    let db = model.encoder().encode(&bench.database, &opts).expect("encode database");
     let ranks = truth_ranks(&q, &db, |i| bench.truth(i));
     println!(
         "      MR {:.2}  HR@1 {:.2}  HR@5 {:.2}",
@@ -65,7 +73,7 @@ fn main() {
     );
 
     // 5. Fine-tune for travel time estimation.
-    println!("[5/5] fine-tuning for travel time estimation...");
+    println!("[5/6] fine-tuning for travel time estimation...");
     let head = fine_tune_eta(
         &mut model,
         ds.train(),
@@ -84,5 +92,25 @@ fn main() {
     let mut t = Table::new("quickstart results (ETA)", &["MAE (s)", "MAPE (%)", "RMSE (s)"]);
     t.row(vec![f3(reg.mae), f3(reg.mape), f3(reg.rmse)]);
     t.print();
+
+    // 6. Serve the trained model: micro-batched workers, embedding cache,
+    //    and an online kNN endpoint over indexed trajectories.
+    println!("[6/6] serving embeddings online...");
+    let service = EmbeddingService::start(
+        Arc::new(model),
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+    );
+    for (i, t) in ds.test().iter().take(50).enumerate() {
+        service.index(i as u64, t).expect("index trajectory");
+    }
+    let neighbors = service.knn(&ds.test()[0], 3).expect("knn query");
+    println!("      3-NN of test[0]: {neighbors:?}");
+    let stats = service.shutdown();
+    println!(
+        "      served {} requests in {} micro-batches (cache hit rate {:.2})",
+        stats.completed,
+        stats.batches,
+        stats.cache.hit_rate()
+    );
     println!("Done. See crates/bench/src/bin/ for the full per-table/per-figure harness.");
 }

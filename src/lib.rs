@@ -8,7 +8,7 @@
 //! the architecture map and DESIGN.md for the paper-to-module index.
 //!
 //! ```
-//! use start::core::{StartConfig, StartModel, pretrain, PretrainConfig};
+//! use start::core::{EncodeOptions, StartConfig, StartModel, pretrain, PretrainConfig};
 //! use start::roadnet::synth::{generate_city, CityConfig};
 //! use start::traj::{TrajDataset, SimConfig, PreprocessConfig};
 //!
@@ -21,13 +21,19 @@
 //! let cfg = PretrainConfig {
 //!     epochs: 1, batch_size: 8, max_steps_per_epoch: Some(2), ..Default::default() };
 //! pretrain(&mut model, ds.train(), &ds.historical, &cfg);
-//! let embeddings = model.encode_trajectories(&ds.test()[..3]);
+//! let embeddings = model.encoder()
+//!     .encode(&ds.test()[..3], &EncodeOptions::default())
+//!     .unwrap();
 //! assert_eq!(embeddings.len(), 3);
 //! ```
+//!
+//! For online inference — micro-batched workers, an embedding cache, and a
+//! kNN endpoint — see [`serve::EmbeddingService`].
 
 pub use start_baselines as baselines;
 pub use start_core as core;
 pub use start_eval as eval;
 pub use start_nn as nn;
 pub use start_roadnet as roadnet;
+pub use start_serve as serve;
 pub use start_traj as traj;

@@ -5,9 +5,12 @@
 //! experiment harness uses (dim 48, 16x16 city) — smaller configurations
 //! have too few distinct routes for ranking assertions to be meaningful.
 
+use std::sync::Arc;
+
 use start_bench::{bj_mini, ModelKind, Runner, Scale};
 use start_core::{
-    fine_tune_eta, predict_eta, pretrain, FineTuneConfig, PretrainConfig, StartConfig, StartModel,
+    fine_tune_eta, predict_eta, pretrain, EncodeOptions, FineTuneConfig, PretrainConfig,
+    StartConfig, StartModel,
 };
 use start_eval::metrics::{accuracy, hit_ratio, mean_rank, regression_report, truth_ranks};
 use start_roadnet::synth::{generate_city, CityConfig};
@@ -82,15 +85,14 @@ fn tiny_dataset(n: usize, seed: u64) -> TrajDataset {
 }
 
 fn tiny_model(ds: &TrajDataset, seed: u64) -> StartModel {
-    let cfg = StartConfig {
-        dim: 32,
-        gat_layers: 1,
-        gat_heads: vec![2],
-        encoder_layers: 2,
-        encoder_heads: 2,
-        ffn_hidden: 32,
-        ..Default::default()
-    };
+    let cfg = StartConfig::builder()
+        .dim(32)
+        .gat_heads(vec![2])
+        .encoder_layers(2)
+        .encoder_heads(2)
+        .ffn_hidden(32)
+        .build()
+        .expect("integration-test config is valid");
     StartModel::new(cfg, &ds.city.net, Some(&ds.transfer), None, seed)
 }
 
@@ -154,11 +156,51 @@ fn checkpoint_roundtrip_preserves_embeddings() {
         },
     );
     let blob = start_nn::serialize::save_params(&model.store);
-    let before = model.encode_trajectories(&ds.test()[..5]);
+    let opts = EncodeOptions::default();
+    let before = model.encoder().encode(&ds.test()[..5], &opts).unwrap();
 
     let mut restored = tiny_model(&ds, 999); // different init seed
     let loaded = start_nn::serialize::load_params(&mut restored.store, &blob).unwrap();
     assert_eq!(loaded, restored.store.len(), "all tensors must match by name+shape");
-    let after = restored.encode_trajectories(&ds.test()[..5]);
+    let after = restored.encoder().encode(&ds.test()[..5], &opts).unwrap();
     assert_eq!(before, after);
+}
+
+/// The online serving path produces the same bits as the offline encoder,
+/// end to end across crates: dataset -> pre-train -> serve -> kNN.
+#[test]
+fn serving_matches_offline_encoding_end_to_end() {
+    let ds = tiny_dataset(120, 11);
+    let mut model = tiny_model(&ds, 12);
+    pretrain(
+        &mut model,
+        ds.train(),
+        &ds.historical,
+        &PretrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            max_steps_per_epoch: Some(3),
+            ..Default::default()
+        },
+    );
+    let queries: Vec<Trajectory> = ds.test().iter().take(10).cloned().collect();
+    let offline = model.encoder().encode(&queries, &EncodeOptions::default()).unwrap();
+
+    let service = start_serve::EmbeddingService::start(
+        Arc::new(model),
+        start_serve::ServeConfig { workers: 2, ..Default::default() },
+    );
+    let served = service.encode(&queries).unwrap();
+    for (s, o) in served.iter().zip(&offline) {
+        let same = s.iter().zip(o).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "served embedding diverged from the offline encoder");
+    }
+    for (i, q) in queries.iter().enumerate() {
+        service.index(i as u64, q).unwrap();
+    }
+    let hits = service.knn(&queries[2], 1).unwrap();
+    assert_eq!(hits[0].id, 2, "self-query must be its own nearest neighbour");
+    assert_eq!(hits[0].distance, 0.0);
+    let stats = service.shutdown();
+    assert!(stats.completed >= 21, "10 encodes + 10 index + 1 knn");
 }
