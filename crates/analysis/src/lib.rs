@@ -3,7 +3,8 @@
 //! Five rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
-//!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`.
+//!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`,
+//!    `crates/ann`.
 //!    Test modules (`#[cfg(test)]`) and `tests/` trees are exempt; a
 //!    deliberate site can carry a `// lint-ok: <reason>` justification on
 //!    the same line.
@@ -59,7 +60,7 @@ impl fmt::Display for Lint {
 }
 
 /// Crates whose library code must stay panic-free (rule 1).
-pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve"];
+pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve", "ann"];
 
 // ---------------------------------------------------------------------------
 // Line scanner

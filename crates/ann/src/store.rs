@@ -1,0 +1,249 @@
+//! Arena-backed, row-major vector storage with optional int8 scalar
+//! quantization.
+//!
+//! Rows live in fixed-size chunks (~1 MiB each), so growing the store never
+//! copies existing vectors and a million-row store is a handful of stable
+//! allocations instead of a million boxed rows. Rows are append-only —
+//! higher layers (the HNSW index) tombstone instead of compacting, which
+//! keeps row ids stable for the life of the store.
+//!
+//! Quantization is per-row symmetric int8: each row stores `round(x/s)` in
+//! `[-127, 127]` with scale `s = max|x| / 127`. Distances dequantize on the
+//! fly (`code * s`), so a quantized store trades ~4× memory for a bounded
+//! distance error — the `bench_search` sweep records the measured recall
+//! cost next to the f32 baseline.
+
+/// Element representation of a [`VectorStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Exact f32 rows: 4 bytes/component.
+    F32,
+    /// Per-row symmetric scalar-quantized int8: 1 byte/component + one
+    /// f32 scale per row.
+    I8,
+}
+
+enum Arena {
+    F32(Vec<Box<[f32]>>),
+    I8 { chunks: Vec<Box<[i8]>>, scales: Vec<f32> },
+}
+
+/// Append-only row-major vector arena. See the module docs.
+pub struct VectorStore {
+    dim: usize,
+    len: usize,
+    rows_per_chunk: usize,
+    arena: Arena,
+}
+
+impl VectorStore {
+    pub fn new(dim: usize, precision: Precision) -> Self {
+        assert!(dim > 0, "vector store dimension must be positive");
+        let bytes_per_row = dim
+            * match precision {
+                Precision::F32 => 4,
+                Precision::I8 => 1,
+            };
+        // ~1 MiB chunks: big enough that chunk bookkeeping vanishes, small
+        // enough that a tiny store doesn't commit megabytes up front.
+        let rows_per_chunk = ((1 << 20) / bytes_per_row).max(1);
+        let arena = match precision {
+            Precision::F32 => Arena::F32(Vec::new()),
+            Precision::I8 => Arena::I8 { chunks: Vec::new(), scales: Vec::new() },
+        };
+        Self { dim, len: 0, rows_per_chunk, arena }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows ever pushed (tombstoning is the caller's concern).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn precision(&self) -> Precision {
+        match self.arena {
+            Arena::F32(_) => Precision::F32,
+            Arena::I8 { .. } => Precision::I8,
+        }
+    }
+
+    /// Append one row; returns its stable row id.
+    ///
+    /// The caller (the index) validates dimensions at its API boundary, so
+    /// a mismatch here is an internal invariant violation, not user input.
+    pub fn push(&mut self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "vector store row has the wrong dimension");
+        assert!(self.len < u32::MAX as usize, "vector store row ids exhausted");
+        let row = self.len;
+        let chunk_idx = row / self.rows_per_chunk;
+        let offset = (row % self.rows_per_chunk) * self.dim;
+        match &mut self.arena {
+            Arena::F32(chunks) => {
+                if chunk_idx == chunks.len() {
+                    chunks.push(vec![0.0; self.rows_per_chunk * self.dim].into_boxed_slice());
+                }
+                chunks[chunk_idx][offset..offset + self.dim].copy_from_slice(vector);
+            }
+            Arena::I8 { chunks, scales } => {
+                if chunk_idx == chunks.len() {
+                    chunks.push(vec![0i8; self.rows_per_chunk * self.dim].into_boxed_slice());
+                }
+                let max_abs = vector.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+                let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+                let out = &mut chunks[chunk_idx][offset..offset + self.dim];
+                if scale > 0.0 {
+                    for (c, &x) in out.iter_mut().zip(vector) {
+                        *c = (x / scale).round().clamp(-127.0, 127.0) as i8;
+                    }
+                } else {
+                    out.fill(0);
+                }
+                scales.push(scale);
+            }
+        }
+        self.len += 1;
+        row as u32
+    }
+
+    /// Squared Euclidean distance from `query` to stored row `row`.
+    ///
+    /// The f32 path accumulates in the same sequential order as the
+    /// workspace `euclidean` kernel, so `dist2(...).sqrt()` is bit-for-bit
+    /// the brute-force distance — backends agree on ties exactly.
+    pub fn dist2(&self, row: u32, query: &[f32]) -> f32 {
+        debug_assert_eq!(query.len(), self.dim);
+        let row = row as usize;
+        let chunk_idx = row / self.rows_per_chunk;
+        let offset = (row % self.rows_per_chunk) * self.dim;
+        match &self.arena {
+            Arena::F32(chunks) => {
+                let stored = &chunks[chunk_idx][offset..offset + self.dim];
+                stored.iter().zip(query).map(|(x, y)| (x - y) * (x - y)).sum::<f32>()
+            }
+            Arena::I8 { chunks, scales } => {
+                let stored = &chunks[chunk_idx][offset..offset + self.dim];
+                let scale = scales[row];
+                stored
+                    .iter()
+                    .zip(query)
+                    .map(|(&c, y)| {
+                        let x = c as f32 * scale;
+                        (x - y) * (x - y)
+                    })
+                    .sum::<f32>()
+            }
+        }
+    }
+
+    /// Copy row `row` (dequantized) into `out`, replacing its contents.
+    pub fn copy_row(&self, row: u32, out: &mut Vec<f32>) {
+        let row = row as usize;
+        let chunk_idx = row / self.rows_per_chunk;
+        let offset = (row % self.rows_per_chunk) * self.dim;
+        out.clear();
+        match &self.arena {
+            Arena::F32(chunks) => {
+                out.extend_from_slice(&chunks[chunk_idx][offset..offset + self.dim]);
+            }
+            Arena::I8 { chunks, scales } => {
+                let scale = scales[row];
+                out.extend(
+                    chunks[chunk_idx][offset..offset + self.dim].iter().map(|&c| c as f32 * scale),
+                );
+            }
+        }
+    }
+
+    /// Resident bytes of the vector data (chunks + scales), for reporting.
+    pub fn data_bytes(&self) -> usize {
+        match &self.arena {
+            Arena::F32(chunks) => chunks.len() * self.rows_per_chunk * self.dim * 4,
+            Arena::I8 { chunks, scales } => {
+                chunks.len() * self.rows_per_chunk * self.dim + scales.len() * 4
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_is_exact_across_chunks() {
+        // dim large enough that a chunk holds few rows, forcing growth.
+        let dim = 70_000; // > 1 MiB / 4 bytes per row → multiple chunks fast
+        let mut store = VectorStore::new(dim, Precision::F32);
+        let rows: Vec<Vec<f32>> =
+            (0..5).map(|r| (0..dim).map(|j| (r * dim + j) as f32 * 0.25).collect()).collect();
+        for r in &rows {
+            store.push(r);
+        }
+        let mut out = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            store.copy_row(i as u32, &mut out);
+            assert_eq!(&out, r);
+        }
+    }
+
+    #[test]
+    fn f32_dist2_matches_reference() {
+        let mut store = VectorStore::new(3, Precision::F32);
+        store.push(&[1.0, 2.0, 3.0]);
+        let d2 = store.dist2(0, &[1.0, 0.0, 0.0]);
+        assert_eq!(d2, 4.0 + 9.0);
+    }
+
+    #[test]
+    fn i8_quantization_bounds_the_error() {
+        let dim = 16;
+        let mut store = VectorStore::new(dim, Precision::I8);
+        let v: Vec<f32> = (0..dim).map(|j| (j as f32 - 7.5) * 0.3).collect();
+        store.push(&v);
+        let mut out = Vec::new();
+        store.copy_row(0, &mut out);
+        let max_abs = v.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let step = max_abs / 127.0;
+        for (x, y) in v.iter().zip(&out) {
+            assert!((x - y).abs() <= step * 0.5 + 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn i8_zero_vector_roundtrips_to_zero() {
+        let mut store = VectorStore::new(4, Precision::I8);
+        store.push(&[0.0; 4]);
+        let mut out = Vec::new();
+        store.copy_row(0, &mut out);
+        assert_eq!(out, [0.0; 4]);
+        assert_eq!(store.dist2(0, &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn i8_store_is_about_4x_smaller() {
+        let dim = 64;
+        let mut f = VectorStore::new(dim, Precision::F32);
+        let mut q = VectorStore::new(dim, Precision::I8);
+        let v: Vec<f32> = (0..dim).map(|j| j as f32).collect();
+        // Fill past one chunk so both stores have committed real arenas.
+        for _ in 0..40_000 {
+            f.push(&v);
+            q.push(&v);
+        }
+        assert!(f.data_bytes() > 3 * q.data_bytes(), "{} vs {}", f.data_bytes(), q.data_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_dimension_push_is_an_internal_invariant() {
+        let mut store = VectorStore::new(3, Precision::F32);
+        store.push(&[0.0]);
+    }
+}

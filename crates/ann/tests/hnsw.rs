@@ -1,0 +1,190 @@
+//! Property tests pinning the HNSW index to the exact reference.
+//!
+//! The brute-force scan is the recall ground truth (ISSUE/ROADMAP item 2);
+//! these properties assert that with an exhaustive beam the approximate
+//! index *is* the exact index — same ids, same order, same tie-breaks —
+//! and that deletion tombstones and overwrites can never leak a stale id
+//! back into an answer.
+
+use proptest::prelude::*;
+use start_ann::{Hnsw, HnswConfig, Neighbor, VectorIndex};
+
+/// Exact reference: full scan over `(id, vector)` pairs with the
+/// workspace tie-break (ascending distance, then ascending id), distances
+/// accumulated in the same sequential order as the index kernel so equal
+/// inputs give bit-equal distances.
+fn exact_knn(rows: &[(u64, Vec<f32>)], query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = rows
+        .iter()
+        .map(|(id, v)| {
+            let d2: f32 = v.iter().zip(query).map(|(x, y)| (x - y) * (x - y)).sum();
+            Neighbor { id: *id, distance: d2.sqrt() }
+        })
+        .collect();
+    all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+/// Build an index whose beam is exhaustive for stores of up to 10k rows.
+fn exhaustive_index(dim: usize) -> Hnsw {
+    Hnsw::new(dim, HnswConfig { ef_search: 10_000, ..HnswConfig::default() })
+}
+
+const DIM: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// recall@k == 1.0: with an exhaustive `ef_search`, HNSW answers are
+    /// the exact answers on every store, query, and k — including exact
+    /// distance ties, which the tiny integer alphabet makes common.
+    #[test]
+    fn exhaustive_ef_search_has_recall_one(
+        rows in prop::collection::vec(prop::collection::vec(-3..4i32, DIM..DIM + 1), 1..60usize),
+        query in prop::collection::vec(-3..4i32, DIM..DIM + 1),
+        k in 0..15usize,
+    ) {
+        let data: Vec<(u64, Vec<f32>)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.iter().map(|&x| x as f32).collect()))
+            .collect();
+        let q: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+        let mut index = exhaustive_index(DIM);
+        for (id, v) in &data {
+            index.insert(*id, v).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        }
+        let got = index.knn(&q, k).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        let expected = exact_knn(&data, &q, k);
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.id, e.id, "id order diverged (tie-break?)");
+            prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits(), "distance bits diverged");
+        }
+    }
+
+    /// Tombstoned ids never come back, every live id stays reachable, and
+    /// the live answers equal the exact answers over the live set only.
+    #[test]
+    fn tombstoned_ids_never_return_and_live_ids_stay_exact(
+        rows in prop::collection::vec(prop::collection::vec(-3..4i32, DIM..DIM + 1), 2..50usize),
+        kill_mask in prop::collection::vec(any::<bool>(), 2..50usize),
+        query in prop::collection::vec(-3..4i32, DIM..DIM + 1),
+    ) {
+        let data: Vec<(u64, Vec<f32>)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.iter().map(|&x| x as f32).collect()))
+            .collect();
+        let q: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+        let mut index = exhaustive_index(DIM);
+        for (id, v) in &data {
+            index.insert(*id, v).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        }
+        let killed: Vec<u64> = data
+            .iter()
+            .zip(kill_mask.iter().chain(std::iter::repeat(&false)))
+            .filter(|&(_, &kill)| kill)
+            .map(|((id, _), _)| *id)
+            .collect();
+        for id in &killed {
+            prop_assert!(index.remove(*id));
+        }
+        let live: Vec<(u64, Vec<f32>)> =
+            data.iter().filter(|(id, _)| !killed.contains(id)).cloned().collect();
+        prop_assert_eq!(index.len(), live.len());
+        let got = index.knn(&q, data.len()).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        for n in &got {
+            prop_assert!(!killed.contains(&n.id), "tombstoned id {} resurfaced", n.id);
+        }
+        let expected = exact_knn(&live, &q, data.len());
+        prop_assert_eq!(got.len(), expected.len(), "a live id went missing");
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.id, e.id);
+            prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+        }
+    }
+
+    /// Insert-after-delete: re-inserting a removed (or live) id serves the
+    /// *new* vector — the stale row can never answer again.
+    #[test]
+    fn insert_after_delete_serves_the_new_vector(
+        rows in prop::collection::vec(prop::collection::vec(-3..4i32, DIM..DIM + 1), 2..30usize),
+        victim in 0..30usize,
+        delete_first in any::<bool>(),
+    ) {
+        let data: Vec<(u64, Vec<f32>)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r.iter().map(|&x| x as f32).collect()))
+            .collect();
+        let victim = (victim % data.len()) as u64;
+        let mut index = exhaustive_index(DIM);
+        for (id, v) in &data {
+            index.insert(*id, v).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        }
+        if delete_first {
+            prop_assert!(index.remove(victim));
+        }
+        // The replacement sits far outside the data alphabet, so it is
+        // unambiguously the victim id's nearest vector.
+        let replacement: Vec<f32> = (0..DIM).map(|j| 100.0 + j as f32).collect();
+        index.insert(victim, &replacement).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        prop_assert_eq!(index.len(), data.len());
+        prop_assert_eq!(index.get(victim), Some(replacement.clone()));
+        let hits = index.knn(&replacement, 1).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        prop_assert_eq!(hits[0].id, victim);
+        prop_assert_eq!(hits[0].distance, 0.0, "stale vector answered for the re-inserted id");
+        // And the old vector's location no longer answers under that id
+        // unless the data genuinely contains an identical row.
+        let old = &data[victim as usize].1;
+        let near_old = index.knn(old, data.len()).map_err(|e| TestCaseError::Fail(e.to_string()))?;
+        let live: Vec<(u64, Vec<f32>)> = data
+            .iter()
+            .filter(|(id, _)| *id != victim)
+            .cloned()
+            .chain(std::iter::once((victim, replacement)))
+            .collect();
+        let expected = exact_knn(&live, old, data.len());
+        let got_ids: Vec<u64> = near_old.iter().map(|n| n.id).collect();
+        let expected_ids: Vec<u64> = expected.iter().map(|n| n.id).collect();
+        prop_assert_eq!(got_ids, expected_ids);
+    }
+}
+
+/// Default (non-exhaustive) beam on a clustered store: recall against the
+/// exact reference must be high even without the exhaustive fallback —
+/// the graph, not the fallback, carries the accuracy.
+#[test]
+fn default_beam_recall_is_high_on_a_real_sized_store() {
+    let dim = 16;
+    let n = 2000;
+    let mut state = 0xabcd_ef01_2345_6789u64;
+    let mut unit = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) as f32
+    };
+    let data: Vec<(u64, Vec<f32>)> =
+        (0..n).map(|i| (i as u64, (0..dim).map(|_| unit() - 0.5).collect())).collect();
+    let mut index = Hnsw::new(dim, HnswConfig::default());
+    for (id, v) in &data {
+        index.insert(*id, v).expect("insert");
+    }
+    let k = 10;
+    let queries = 50;
+    let mut hits = 0usize;
+    for qi in 0..queries {
+        let q: Vec<f32> = (0..dim).map(|_| unit() - 0.5).collect();
+        let truth: Vec<u64> = exact_knn(&data, &q, k).into_iter().map(|n| n.id).collect();
+        let got = index.knn(&q, k).expect("knn");
+        hits += got.iter().filter(|n| truth.contains(&n.id)).count();
+        assert!(got.len() == k, "query {qi} returned {} of {k}", got.len());
+    }
+    let recall = hits as f64 / (queries * k) as f64;
+    assert!(recall >= 0.9, "default-beam recall too low: {recall:.3}");
+}

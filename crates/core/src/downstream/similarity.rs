@@ -9,8 +9,16 @@ use crate::encoder::EncodeOptions;
 use crate::model::StartModel;
 
 /// Euclidean distance between two representation vectors.
+///
+/// The lengths must match, and the contract holds in release builds too: a
+/// `debug_assert` here once let release-mode mismatches silently compute
+/// the distance over the shorter common prefix (via `zip`), returning
+/// plausible-but-wrong neighbours with no signal. Fallible boundaries (the
+/// kNN index layer) check dimensions first and return a typed
+/// `DimensionMismatch`; by the time two slices reach this kernel, unequal
+/// lengths are an internal invariant violation worth stopping for.
 pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch ({} vs {})", a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
@@ -43,6 +51,14 @@ mod tests {
     fn euclidean_basics() {
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    /// Regression: a length mismatch must fail loudly in every build
+    /// profile — never a silent prefix distance.
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn euclidean_rejects_length_mismatch_in_release_too() {
+        euclidean(&[0.0, 0.0, 0.0], &[1.0]);
     }
 
     #[test]

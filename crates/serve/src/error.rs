@@ -4,6 +4,7 @@
 //! panics are caught at the batch boundary and converted — `resume_unwind`
 //! never crosses the service API.
 
+use start_ann::AnnError;
 use start_core::encoder::EncodeError;
 
 /// Everything that can go wrong between `submit` and `wait`.
@@ -19,6 +20,14 @@ pub enum ServeError {
     /// The request itself is malformed (empty view, over-length with
     /// clamping disabled); rejected before it reaches the queue.
     Invalid(EncodeError),
+    /// An `index`/`knn` vector does not match the index dimension. The
+    /// request is refused; the service and its index stay fully usable.
+    DimensionMismatch {
+        /// The dimension the index was built with.
+        expected: usize,
+        /// The dimension the request carried.
+        got: usize,
+    },
     /// An encode worker panicked while this request was in flight.
     WorkerPanicked {
         /// The panic payload, if it was a string.
@@ -40,6 +49,9 @@ impl std::fmt::Display for ServeError {
             }
             Self::ShuttingDown => write!(f, "service is shutting down"),
             Self::Invalid(e) => write!(f, "invalid request: {e}"),
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "vector dimension mismatch: index holds {expected}, got {got}")
+            }
             Self::WorkerPanicked { message } => {
                 write!(f, "encode worker panicked: {message}")
             }
@@ -56,5 +68,15 @@ impl std::error::Error for ServeError {}
 impl From<EncodeError> for ServeError {
     fn from(e: EncodeError) -> Self {
         Self::Invalid(e)
+    }
+}
+
+impl From<AnnError> for ServeError {
+    fn from(e: AnnError) -> Self {
+        match e {
+            AnnError::DimensionMismatch { expected, got } => {
+                Self::DimensionMismatch { expected, got }
+            }
+        }
     }
 }

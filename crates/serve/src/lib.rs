@@ -6,9 +6,12 @@
 //! [`service::EmbeddingService`]: a bounded submission queue, N encode
 //! workers that micro-batch requests (flush on `max_batch` or `max_wait`),
 //! a sharded LRU [`EmbeddingCache`](start_core::encoder::EmbeddingCache)
-//! keyed by trajectory fingerprint, and a brute-force kNN endpoint over an
-//! in-memory [`store::EmbeddingStore`] — all answering through typed
-//! handles with a typed [`error::ServeError`] surface.
+//! keyed by trajectory fingerprint, and a kNN endpoint behind the
+//! [`VectorIndex`](start_ann::VectorIndex) seam — the exact brute-force
+//! [`store::EmbeddingStore`] by default, the approximate
+//! [`Hnsw`](start_ann::Hnsw) graph via
+//! [`ServeConfig::index`](service::ServeConfig) — all answering through
+//! typed handles with a typed [`error::ServeError`] surface.
 //!
 //! The service is a scheduler, not a second encoder: every batch goes
 //! through the same [`Encoder`](start_core::encoder::Encoder) facade the
@@ -22,6 +25,7 @@ pub mod stats;
 pub mod store;
 
 pub use error::ServeError;
-pub use service::{EmbeddingHandle, EmbeddingService, ServeConfig};
+pub use service::{EmbeddingHandle, EmbeddingService, IndexKind, ServeConfig};
+pub use start_ann::{AnnError, Hnsw, HnswConfig, Precision, VectorIndex};
 pub use stats::{Histogram, HistogramSnapshot, ServiceStats};
 pub use store::{EmbeddingStore, Neighbor};

@@ -26,6 +26,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use start_ann::{Hnsw, HnswConfig, VectorIndex};
 use start_core::encoder::{EmbeddingCache, EncodeError, EncodeOptions};
 use start_core::{CacheStats, Embedding, StartModel};
 use start_nn::BufferPool;
@@ -34,6 +35,21 @@ use start_traj::{TrajView, Trajectory};
 use crate::error::ServeError;
 use crate::stats::{Histogram, ServiceStats};
 use crate::store::{EmbeddingStore, Neighbor};
+
+/// Which kNN backend the service builds behind its `index`/`knn`
+/// endpoints. Swapping kinds changes latency/recall economics only — the
+/// endpoint API and the deterministic tie-break stay identical.
+#[derive(Debug, Clone, Default)]
+pub enum IndexKind {
+    /// Exact brute-force scan ([`EmbeddingStore`]) — the recall ground
+    /// truth; right up to ~10⁵ embeddings.
+    #[default]
+    BruteForce,
+    /// Approximate HNSW graph ([`Hnsw`]) — the scaling path for
+    /// million-embedding stores; recall governed by
+    /// [`HnswConfig::ef_search`].
+    Hnsw(HnswConfig),
+}
 
 /// Tunables for [`EmbeddingService::start`].
 #[derive(Debug, Clone)]
@@ -56,6 +72,8 @@ pub struct ServeConfig {
     /// offline default). When false, over-length submissions are rejected
     /// with a typed error instead.
     pub clamp: bool,
+    /// kNN backend behind `index`/`knn` (brute force by default).
+    pub index: IndexKind,
     /// Test hook: stall each worker this long before it starts draining,
     /// making queue-full conditions deterministic.
     #[doc(hidden)]
@@ -72,6 +90,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             clamp: true,
+            index: IndexKind::default(),
             worker_warmup: None,
         }
     }
@@ -99,7 +118,7 @@ struct Shared {
     cfg: ServeConfig,
     model: Arc<StartModel>,
     cache: Option<Arc<EmbeddingCache>>,
-    store: RwLock<EmbeddingStore>,
+    store: RwLock<Box<dyn VectorIndex>>,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -171,6 +190,10 @@ impl EmbeddingService {
         let cache = (cfg.cache_capacity > 0)
             .then(|| Arc::new(EmbeddingCache::with_shards(cfg.cache_capacity, cfg.cache_shards)));
         let dim = model.cfg.dim;
+        let index: Box<dyn VectorIndex> = match &cfg.index {
+            IndexKind::BruteForce => Box::new(EmbeddingStore::new(dim)),
+            IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
+        };
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -183,7 +206,7 @@ impl EmbeddingService {
             cfg,
             model,
             cache,
-            store: RwLock::new(EmbeddingStore::new(dim)),
+            store: RwLock::new(index),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -232,20 +255,66 @@ impl EmbeddingService {
     /// [`EmbeddingService::knn`] queries. Re-indexing an id overwrites it.
     pub fn index(&self, id: u64, trajectory: &Trajectory) -> Result<(), ServeError> {
         let emb = self.submit(trajectory)?.wait()?;
-        self.shared.store.write().unwrap_or_else(PoisonError::into_inner).insert(id, &emb);
-        Ok(())
+        self.index_embedding(id, &emb)
+    }
+
+    /// Index a pre-computed embedding under `id` — the bulk-load path when
+    /// embeddings come from an offline encode. A wrong-dimension vector is
+    /// refused with [`ServeError::DimensionMismatch`]; the service and its
+    /// index stay fully usable afterwards.
+    pub fn index_embedding(&self, id: u64, embedding: &[f32]) -> Result<(), ServeError> {
+        let result =
+            self.shared.store.write().unwrap_or_else(PoisonError::into_inner).insert(id, embedding);
+        if result.is_err() {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(result?)
     }
 
     /// Encode the query trajectory and return its `k` nearest indexed
     /// neighbours by Euclidean distance, closest first.
     pub fn knn(&self, query: &Trajectory, k: usize) -> Result<Vec<Neighbor>, ServeError> {
         let emb = self.submit(query)?.wait()?;
-        Ok(self.shared.store.read().unwrap_or_else(PoisonError::into_inner).knn(&emb, k))
+        self.knn_embedding(&emb, k)
+    }
+
+    /// kNN over a pre-computed query embedding. A wrong-dimension query is
+    /// refused with [`ServeError::DimensionMismatch`], never a panic.
+    pub fn knn_embedding(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let result = self.shared.store.read().unwrap_or_else(PoisonError::into_inner).knn(query, k);
+        if result.is_err() {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(result?)
+    }
+
+    /// Drop `id` from the kNN index; returns whether it was indexed.
+    /// (HNSW backends tombstone: the id is never returned again, the graph
+    /// node keeps routing until a rebuild.)
+    pub fn remove_index(&self, id: u64) -> bool {
+        self.shared.store.write().unwrap_or_else(PoisonError::into_inner).remove(id)
     }
 
     /// Number of embeddings currently indexed for kNN.
     pub fn indexed_len(&self) -> usize {
         self.shared.store.read().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Rebuild the kNN index as `kind`, re-inserting every live embedding
+    /// in stable (insertion) order — how a service migrates from the exact
+    /// scan to HNSW (or between HNSW tunings) without re-encoding anything.
+    pub fn rebuild_index(&self, kind: IndexKind) {
+        let mut store = self.shared.store.write().unwrap_or_else(PoisonError::into_inner);
+        let dim = store.dim();
+        let mut fresh: Box<dyn VectorIndex> = match &kind {
+            IndexKind::BruteForce => Box::new(EmbeddingStore::new(dim)),
+            IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
+        };
+        store.for_each(&mut |id, vector| {
+            // Dimensions match by construction: both indexes share `dim`.
+            let _ = fresh.insert(id, vector);
+        });
+        *store = fresh;
     }
 
     /// A point-in-time counter snapshot.

@@ -7,13 +7,22 @@ use start_core::CacheStats;
 
 /// A power-of-two-bucketed histogram of microsecond latencies.
 ///
-/// Bucket `i > 0` counts samples in `[2^(i-1), 2^i)` µs; bucket 0 counts
-/// zeros. `record` is a handful of relaxed atomic adds — wait-free, callable
-/// from every worker — and `snapshot` walks the buckets without stopping
-/// recorders, so a snapshot taken under load is approximate. Quantiles are
-/// reported as the upper edge of the bucket containing them (≤ 2×
-/// resolution), which is exactly what a latency monitor needs and nothing a
-/// correctness test should depend on.
+/// Bucket `i` in `1..63` counts samples in `[2^(i-1), 2^i)` µs; bucket 0
+/// counts zeros; the top bucket (63) is open-ended, `[2^62, ∞)` — samples
+/// at or above 2⁶³ µs land there too, outside the power-of-two invariant
+/// the lower buckets keep. Quantiles that fall in the top bucket report
+/// the observed maximum rather than a nominal bucket edge. The running sum
+/// saturates at `u64::MAX` instead of wrapping, so `mean_us` degrades to a
+/// pessimistic floor on pathological inputs instead of silently
+/// corrupting after long uptimes.
+///
+/// `record` is a handful of relaxed atomic updates — lock-free (the
+/// saturating sum is a CAS loop that only retries under contention on the
+/// same counter), callable from every worker — and `snapshot` walks the
+/// buckets without stopping recorders, so a snapshot taken under load is
+/// approximate. Quantiles are reported as the upper edge of the bucket
+/// containing them (≤ 2× resolution), which is exactly what a latency
+/// monitor needs and nothing a correctness test should depend on.
 pub struct Histogram {
     buckets: [AtomicU64; 64],
     count: AtomicU64,
@@ -33,14 +42,22 @@ impl Histogram {
 
     /// Record one latency sample, in microseconds.
     pub fn record_us(&self, us: u64) {
+        // `bucket.min(63)` folds the >= 2^63 range into the open-ended top
+        // bucket — see the type docs for its semantics.
         let bucket = (64 - us.leading_zeros()) as usize; // 0 for us == 0
         self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        // Saturate rather than wrap: a sum pinned at u64::MAX yields an
+        // obviously-degenerate mean; a wrapped sum yields a believable lie.
+        let _ = self
+            .sum_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(us)));
         self.max_us.fetch_max(us, Ordering::Relaxed);
     }
 
     /// Upper bucket edge (µs) of the sample at quantile `q` in `[0, 1]`.
+    /// The top bucket has no upper edge; quantiles landing there report the
+    /// observed maximum instead.
     fn quantile_us(&self, counts: &[u64; 64], total: u64, q: f64) -> u64 {
         if total == 0 {
             return 0;
@@ -50,7 +67,11 @@ impl Histogram {
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
+                return match i {
+                    0 => 0,
+                    63 => self.max_us.load(Ordering::Relaxed),
+                    _ => 1u64 << i,
+                };
             }
         }
         self.max_us.load(Ordering::Relaxed)
@@ -169,5 +190,35 @@ mod tests {
         let h = Histogram::new();
         h.record_us(u64::MAX);
         assert_eq!(h.snapshot().max_us, u64::MAX);
+    }
+
+    /// Regression: the running sum must saturate, not wrap. Two `u64::MAX`
+    /// samples used to wrap the sum to `u64::MAX - 1` … with a carry lost,
+    /// quietly corrupting `mean_us` for the rest of the uptime.
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(u64::MAX);
+        h.record_us(10);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        // A wrapped sum would make the mean ~3 µs; the saturated sum keeps
+        // it pinned at the (pessimistic, obviously degenerate) ceiling.
+        assert!(s.mean_us >= (u64::MAX / 3) as f64, "mean collapsed: {}", s.mean_us);
+    }
+
+    /// The top bucket is open-ended `[2^62, ∞)`: quantiles landing in it
+    /// report the observed max, not a fictitious power-of-two edge.
+    #[test]
+    fn top_bucket_quantiles_report_the_observed_max() {
+        let h = Histogram::new();
+        h.record_us(1 << 62); // nominal top-bucket floor
+        h.record_us(u64::MAX); // beyond 2^63: folded into the same bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50_us, u64::MAX);
+        assert_eq!(s.p99_us, u64::MAX);
+        assert_eq!(s.max_us, u64::MAX);
     }
 }

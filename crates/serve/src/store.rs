@@ -1,24 +1,29 @@
-//! In-memory embedding store backing the service's kNN endpoint (§III-D3
-//! zero-shot similarity, served online instead of batch-evaluated).
+//! In-memory brute-force embedding index backing the service's kNN
+//! endpoint (§III-D3 zero-shot similarity, served online instead of
+//! batch-evaluated) — and the *exactness reference* behind the
+//! [`VectorIndex`] seam: the HNSW index (`start_ann::Hnsw`) is measured
+//! against this scan's answers.
 
 use std::collections::HashMap;
 
+use start_ann::{AnnError, TopK, VectorIndex};
 use start_core::euclidean;
 
-/// One kNN answer: an indexed id and its Euclidean distance to the query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Neighbor {
-    pub id: u64,
-    pub distance: f32,
-}
+pub use start_ann::Neighbor;
 
 /// A flat-matrix embedding index with brute-force kNN.
 ///
 /// Row-major storage keeps the scan cache-friendly; `id → row` lives in a
 /// side map so ids can be sparse. Re-inserting an id overwrites its row in
-/// place. Brute force is the right baseline at the scale the service holds
-/// in memory — exact, branch-free, and the distance kernel is the same
-/// [`euclidean`] used by the offline similarity evaluation.
+/// place; removal swap-fills the hole with the last row. Brute force is the
+/// exact baseline — the distance kernel is the same [`euclidean`] used by
+/// the offline similarity evaluation, and selection goes through the shared
+/// [`TopK`] bound (O(N log k), not a full sort) with the workspace
+/// tie-break: ascending distance, then ascending id.
+///
+/// Malformed vectors are refused with a typed [`AnnError`], never a panic:
+/// the store must survive a bad request with its state intact, because a
+/// panic here would poison the whole service for every later caller.
 pub struct EmbeddingStore {
     dim: usize,
     data: Vec<f32>,
@@ -39,17 +44,24 @@ impl EmbeddingStore {
         self.ids.is_empty()
     }
 
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn check_dim(&self, got: usize) -> Result<(), AnnError> {
+        if got == self.dim {
+            Ok(())
+        } else {
+            Err(AnnError::DimensionMismatch { expected: self.dim, got })
+        }
+    }
+
     /// Insert or overwrite the embedding for `id`.
     ///
-    /// The vector length must match the store dimension.
-    pub fn insert(&mut self, id: u64, emb: &[f32]) {
-        assert_eq!(
-            emb.len(),
-            self.dim,
-            "embedding dimension mismatch: store holds {}, got {}",
-            self.dim,
-            emb.len()
-        );
+    /// A wrong-length vector is refused with
+    /// [`AnnError::DimensionMismatch`]; the store is unchanged.
+    pub fn insert(&mut self, id: u64, emb: &[f32]) -> Result<(), AnnError> {
+        self.check_dim(emb.len())?;
         match self.rows.get(&id) {
             Some(&row) => {
                 self.data[row * self.dim..(row + 1) * self.dim].copy_from_slice(emb);
@@ -61,6 +73,26 @@ impl EmbeddingStore {
                 self.rows.insert(id, row);
             }
         }
+        Ok(())
+    }
+
+    /// Remove `id`, swap-filling its row with the last one; returns whether
+    /// it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(row) = self.rows.remove(&id) else {
+            return false;
+        };
+        let last = self.ids.len() - 1;
+        if row != last {
+            let moved_id = self.ids[last];
+            self.ids.swap(row, last);
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[row * self.dim..(row + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            self.rows.insert(moved_id, row);
+        }
+        self.ids.pop();
+        self.data.truncate(last * self.dim);
+        true
     }
 
     /// The stored embedding for `id`, if indexed.
@@ -70,34 +102,64 @@ impl EmbeddingStore {
 
     /// The `k` nearest stored embeddings to `query`, closest first; ties
     /// break toward the smaller id so results are deterministic.
-    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let mut all: Vec<Neighbor> = self
-            .ids
-            .iter()
-            .enumerate()
-            .map(|(row, &id)| Neighbor {
-                id,
-                distance: euclidean(query, &self.data[row * self.dim..(row + 1) * self.dim]),
-            })
-            .collect();
-        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
-        all.truncate(k);
-        all
+    ///
+    /// A wrong-length query is refused with
+    /// [`AnnError::DimensionMismatch`] instead of panicking mid-service.
+    pub fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, AnnError> {
+        self.check_dim(query.len())?;
+        let mut top = TopK::new(k);
+        for (row, &id) in self.ids.iter().enumerate() {
+            let distance = euclidean(query, &self.data[row * self.dim..(row + 1) * self.dim]);
+            top.push(id, distance);
+        }
+        Ok(top.into_sorted())
+    }
+}
+
+impl VectorIndex for EmbeddingStore {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<(), AnnError> {
+        EmbeddingStore::insert(self, id, vector)
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        EmbeddingStore::remove(self, id)
+    }
+
+    fn knn(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, AnnError> {
+        EmbeddingStore::knn(self, query, k)
+    }
+
+    fn get(&self, id: u64) -> Option<Vec<f32>> {
+        EmbeddingStore::get(self, id).map(<[f32]>::to_vec)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, &[f32])) {
+        for (row, &id) in self.ids.iter().enumerate() {
+            f(id, &self.data[row * self.dim..(row + 1) * self.dim]);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn knn_returns_sorted_exact_neighbors() {
         let mut store = EmbeddingStore::new(2);
-        store.insert(1, &[0.0, 0.0]);
-        store.insert(2, &[3.0, 4.0]);
-        store.insert(3, &[1.0, 0.0]);
-        let hits = store.knn(&[0.0, 0.0], 2);
+        store.insert(1, &[0.0, 0.0]).unwrap();
+        store.insert(2, &[3.0, 4.0]).unwrap();
+        store.insert(3, &[1.0, 0.0]).unwrap();
+        let hits = store.knn(&[0.0, 0.0], 2).unwrap();
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].id, 1);
         assert_eq!(hits[0].distance, 0.0);
@@ -108,8 +170,8 @@ mod tests {
     #[test]
     fn reinsert_overwrites_in_place() {
         let mut store = EmbeddingStore::new(2);
-        store.insert(7, &[1.0, 1.0]);
-        store.insert(7, &[2.0, 2.0]);
+        store.insert(7, &[1.0, 1.0]).unwrap();
+        store.insert(7, &[2.0, 2.0]).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(7), Some(&[2.0, 2.0][..]));
     }
@@ -117,9 +179,9 @@ mod tests {
     #[test]
     fn ties_break_toward_smaller_ids() {
         let mut store = EmbeddingStore::new(1);
-        store.insert(9, &[5.0]);
-        store.insert(2, &[5.0]);
-        let hits = store.knn(&[5.0], 2);
+        store.insert(9, &[5.0]).unwrap();
+        store.insert(2, &[5.0]).unwrap();
+        let hits = store.knn(&[5.0], 2).unwrap();
         assert_eq!(hits[0].id, 2);
         assert_eq!(hits[1].id, 9);
     }
@@ -127,14 +189,76 @@ mod tests {
     #[test]
     fn k_larger_than_store_returns_everything() {
         let mut store = EmbeddingStore::new(1);
-        store.insert(1, &[0.0]);
-        assert_eq!(store.knn(&[0.0], 10).len(), 1);
+        store.insert(1, &[0.0]).unwrap();
+        assert_eq!(store.knn(&[0.0], 10).unwrap().len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "dimension mismatch")]
-    fn dimension_mismatch_is_rejected() {
+    fn dimension_mismatch_is_a_typed_error_not_a_panic() {
         let mut store = EmbeddingStore::new(3);
-        store.insert(1, &[0.0]);
+        assert_eq!(
+            store.insert(1, &[0.0]),
+            Err(AnnError::DimensionMismatch { expected: 3, got: 1 })
+        );
+        assert_eq!(store.len(), 0, "failed insert must not mutate the store");
+        assert_eq!(
+            store.knn(&[0.0; 4], 1),
+            Err(AnnError::DimensionMismatch { expected: 3, got: 4 })
+        );
+        // The store survives bad requests: good ones still work.
+        store.insert(1, &[1.0, 2.0, 3.0]).unwrap();
+        let hits = store.knn(&[1.0, 2.0, 3.0], 1).unwrap();
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn remove_swap_fills_and_keeps_answers_correct() {
+        let mut store = EmbeddingStore::new(1);
+        for id in 0..5u64 {
+            store.insert(id, &[id as f32]).unwrap();
+        }
+        assert!(store.remove(1));
+        assert!(!store.remove(1), "double remove reports absence");
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.get(4), Some(&[4.0][..]), "swapped row still resolves");
+        let hits = store.knn(&[1.1], 2).unwrap();
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The bounded-heap selection returns exactly what the legacy full
+        /// sort did, for every store/query/k — including duplicate vectors
+        /// (distance ties) drawn from a tiny value alphabet.
+        #[test]
+        fn heap_selection_matches_full_sort(
+            rows in prop::collection::vec(prop::collection::vec(0..4i32, 2..3usize), 1..40usize),
+            query in prop::collection::vec(0..4i32, 2..3usize),
+            k in 0..12usize,
+        ) {
+            let dim = 2;
+            let mut store = EmbeddingStore::new(dim);
+            for (i, r) in rows.iter().enumerate() {
+                let v: Vec<f32> = r.iter().take(dim).map(|&x| x as f32).collect();
+                if v.len() == dim {
+                    store.insert(i as u64, &v).unwrap();
+                }
+            }
+            let q: Vec<f32> = query.iter().take(dim).map(|&x| x as f32).collect();
+            prop_assume!(q.len() == dim);
+            let got = store.knn(&q, k).unwrap();
+            // Reference: materialize all candidates, full sort, truncate —
+            // the pre-optimization implementation.
+            let mut all: Vec<Neighbor> = Vec::new();
+            store.for_each(&mut |id, v| {
+                all.push(Neighbor { id, distance: euclidean(&q, v) });
+            });
+            all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+            all.truncate(k);
+            prop_assert_eq!(got, all);
+        }
     }
 }

@@ -10,7 +10,7 @@ use start_core::encoder::{EncodeError, EncodeOptions};
 use start_core::{StartConfig, StartModel};
 use start_roadnet::synth::{generate_city, CityConfig};
 use start_roadnet::SegmentId;
-use start_serve::{EmbeddingService, ServeConfig, ServeError};
+use start_serve::{EmbeddingService, HnswConfig, IndexKind, ServeConfig, ServeError};
 use start_traj::{SimConfig, Simulator, TrajView, Trajectory};
 
 struct Fixture {
@@ -270,4 +270,162 @@ proptest! {
         prop_assert_eq!(stats.completed, idxs.len() as u64);
         prop_assert_eq!(stats.failed, 0u64);
     }
+}
+
+// ---------------------------------------------------------------------------
+// kNN index hardening + the VectorIndex seam (brute force vs HNSW)
+// ---------------------------------------------------------------------------
+
+/// Regression for the kNN-path panic: a dimension-mismatched `index`/`knn`
+/// request used to `assert_eq!` inside the service and, via panic
+/// containment, poison it for every later caller. It must now be a typed
+/// error, and the service must keep answering afterwards.
+#[test]
+fn dimension_mismatch_is_typed_and_the_service_stays_healthy() {
+    let fix = fixture();
+    let dim = fix.reference[0].len();
+    for kind in [IndexKind::BruteForce, IndexKind::Hnsw(HnswConfig::default())] {
+        let service = EmbeddingService::start(
+            Arc::clone(&fix.model),
+            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+        );
+        service.index(0, &fix.data[0]).unwrap();
+
+        let bad = vec![0.0f32; dim + 3];
+        assert_eq!(
+            service.index_embedding(1, &bad),
+            Err(ServeError::DimensionMismatch { expected: dim, got: dim + 3 }),
+            "{kind:?}"
+        );
+        assert_eq!(
+            service.knn_embedding(&bad, 1),
+            Err(ServeError::DimensionMismatch { expected: dim, got: dim + 3 }),
+            "{kind:?}"
+        );
+
+        // The bad requests left no trace: the store is intact and both the
+        // encode path and the kNN path still answer.
+        assert_eq!(service.indexed_len(), 1, "{kind:?}");
+        service.index(2, &fix.data[2]).unwrap();
+        let hits = service.knn(&fix.data[0], 1).unwrap();
+        assert_eq!(hits[0].id, 0, "{kind:?}");
+        assert_eq!(hits[0].distance, 0.0, "{kind:?}");
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 2, "{kind:?}: both bad vectors counted as rejected");
+    }
+}
+
+/// On a small store with an exhaustive beam, the HNSW-backed service must
+/// return exactly the brute-force answers — same ids, same order, same
+/// distance bits (both backends accumulate distances in the same order).
+#[test]
+fn hnsw_backed_service_matches_brute_force_exactly_on_small_stores() {
+    let fix = fixture();
+    let brute = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    let hnsw = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig {
+            workers: 1,
+            index: IndexKind::Hnsw(HnswConfig {
+                ef_search: 10_000, // exhaustive at this scale: exact answers
+                ..HnswConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    for (i, t) in fix.data.iter().enumerate() {
+        brute.index(i as u64, t).unwrap();
+        hnsw.index(i as u64, t).unwrap();
+    }
+    for t in fix.data.iter().take(6) {
+        let expected = brute.knn(t, 5).unwrap();
+        let got = hnsw.knn(t, 5).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.id, e.id);
+            assert_eq!(g.distance.to_bits(), e.distance.to_bits(), "distance bits diverged");
+        }
+    }
+    let _ = brute.shutdown();
+    let _ = hnsw.shutdown();
+}
+
+/// Exact distance ties (identical vectors under different ids) rank by
+/// ascending id in both backends.
+#[test]
+fn both_backends_break_ties_toward_smaller_ids() {
+    let fix = fixture();
+    let dim = fix.reference[0].len();
+    let tied: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.1).sin()).collect();
+    let far: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.1).sin() + 10.0).collect();
+    for kind in [
+        IndexKind::BruteForce,
+        IndexKind::Hnsw(HnswConfig { ef_search: 1000, ..HnswConfig::default() }),
+    ] {
+        let service = EmbeddingService::start(
+            Arc::clone(&fix.model),
+            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+        );
+        for id in [9u64, 2, 5] {
+            service.index_embedding(id, &tied).unwrap();
+        }
+        service.index_embedding(1, &far).unwrap();
+        let hits = service.knn_embedding(&tied, 4).unwrap();
+        let ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+        assert_eq!(ids, [2, 5, 9, 1], "{kind:?}: ties must rank by ascending id");
+        let _ = service.shutdown();
+    }
+}
+
+/// `remove_index` drops an id from both backends; HNSW tombstones must
+/// never resurface through `knn`.
+#[test]
+fn removed_ids_are_never_returned_by_either_backend() {
+    let fix = fixture();
+    for kind in [IndexKind::BruteForce, IndexKind::Hnsw(HnswConfig::default())] {
+        let service = EmbeddingService::start(
+            Arc::clone(&fix.model),
+            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+        );
+        for (i, t) in fix.data.iter().enumerate() {
+            service.index(i as u64, t).unwrap();
+        }
+        assert!(service.remove_index(3), "{kind:?}");
+        assert!(!service.remove_index(3), "{kind:?}: second remove reports absence");
+        assert_eq!(service.indexed_len(), fix.data.len() - 1, "{kind:?}");
+        let hits = service.knn(&fix.data[3], fix.data.len()).unwrap();
+        assert!(hits.iter().all(|n| n.id != 3), "{kind:?}: tombstoned id resurfaced");
+        assert_eq!(hits.len(), fix.data.len() - 1, "{kind:?}: every live id still reachable");
+        let _ = service.shutdown();
+    }
+}
+
+/// `rebuild_index` migrates every live embedding between backends without
+/// re-encoding; answers survive the swap exactly (exhaustive beam).
+#[test]
+fn rebuilding_from_brute_force_to_hnsw_preserves_answers() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+    );
+    for (i, t) in fix.data.iter().enumerate() {
+        service.index(i as u64, t).unwrap();
+    }
+    let before: Vec<_> = fix.data.iter().take(4).map(|t| service.knn(t, 3).unwrap()).collect();
+    service
+        .rebuild_index(IndexKind::Hnsw(HnswConfig { ef_search: 10_000, ..HnswConfig::default() }));
+    assert_eq!(service.indexed_len(), fix.data.len());
+    for (t, expected) in fix.data.iter().take(4).zip(&before) {
+        let got = service.knn(t, 3).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected) {
+            assert_eq!(g.id, e.id);
+            assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+        }
+    }
+    let _ = service.shutdown();
 }
