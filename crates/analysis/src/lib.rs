@@ -30,6 +30,20 @@
 //!    construction goes through `StartConfig::builder()` (or a preset), so
 //!    it cannot skip validation. `// lint-ok: <reason>` escapes a
 //!    deliberate site.
+//! 6. **no-std-sync**: library code uses the `start_sync` shim layer, not
+//!    `std::sync` — otherwise the code is invisible to the deterministic
+//!    model checker and the lock-order sanitizer. The shim crate itself
+//!    (`crates/sync`) and `third_party/` are the allowlist; a deliberate
+//!    site carries `// sync-ok: <reason>`.
+//! 7. **wait-needs-predicate**: every `Condvar::wait`/`wait_timeout` call
+//!    sits inside a `while`/`loop`/`for` body, so a spurious wakeup always
+//!    re-checks the predicate. `// wait-ok: <reason>` escapes a deliberate
+//!    site (argument-less `.wait()` calls — e.g. handles and barriers — are
+//!    not condvar waits and are ignored).
+//! 8. **relaxed-needs-reason**: `Ordering::Relaxed` only with a
+//!    `// relaxed-ok: <reason>` justification on the same line or in the
+//!    comment block directly above, mirroring `// f64-ok:` — every relaxed
+//!    access must say why no ordering is needed.
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -60,7 +74,7 @@ impl fmt::Display for Lint {
 }
 
 /// Crates whose library code must stay panic-free (rule 1).
-pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve", "ann"];
+pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve", "ann", "sync"];
 
 // ---------------------------------------------------------------------------
 // Line scanner
@@ -433,6 +447,173 @@ pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: library code goes through start_sync, not std::sync
+// ---------------------------------------------------------------------------
+
+/// Flag `std::sync` paths outside `#[cfg(test)]` code. The driver never
+/// feeds this rule the shim crate or `third_party/`; a deliberate site in
+/// scanned code carries `// sync-ok: <reason>`.
+pub fn lint_std_sync(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut tracker = TestModTracker::default();
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let in_test = tracker.line_is_test(&code);
+        if !in_test && code.contains("std::sync") && !comment.contains("sync-ok:") {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "no-std-sync",
+                message: "`std::sync` in library code is invisible to the model checker and \
+                          the lock-order sanitizer; use `start_sync` (or justify with \
+                          `// sync-ok: <reason>`)"
+                    .to_string(),
+            });
+        }
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: condvar waits sit inside a predicate loop
+// ---------------------------------------------------------------------------
+
+/// What kind of block a `{` opened, as far as rule 7 cares.
+#[derive(Clone, Copy, PartialEq)]
+enum Frame {
+    /// `while`/`loop`/`for` body: a wait here re-checks its predicate.
+    Loop,
+    /// `fn` body: the search for an enclosing loop stops here.
+    Fn,
+    /// Anything else (`if`, `match`, plain block, closure body…).
+    Other,
+}
+
+fn classify_frame(header: &str) -> Frame {
+    if has_token(header, "while") || has_token(header, "loop") || has_token(header, "for") {
+        Frame::Loop
+    } else if has_token(header, "fn") {
+        Frame::Fn
+    } else {
+        Frame::Other
+    }
+}
+
+/// Is the innermost relevant frame a loop (searching outward, stopping at
+/// the enclosing `fn`)? An empty stack (top level) counts as not-in-loop.
+fn in_loop(stack: &[Frame]) -> bool {
+    for f in stack.iter().rev() {
+        match f {
+            Frame::Loop => return true,
+            Frame::Fn => return false,
+            Frame::Other => {}
+        }
+    }
+    false
+}
+
+/// Flag `.wait(guard)` / `.wait_timeout(` calls with no enclosing
+/// `while`/`loop`/`for` in the same function — the shape that loses a
+/// predicate re-check on spurious wakeup. Argument-less `.wait()` is not a
+/// condvar wait (handles, barriers) and is skipped; `// wait-ok: <reason>`
+/// escapes a deliberate site.
+///
+/// The block structure is tracked line-by-line with a brace stack, each
+/// frame classified by the code between the previous boundary and its `{`.
+/// This is a syntactic approximation (a wait inside a closure does not see
+/// loops outside the closure header), which matches how the real condvar
+/// call sites are written.
+pub fn lint_wait_predicate(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut header = String::new();
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let rest: String = chars[i..].iter().collect();
+            let bad_wait = (rest.starts_with(".wait(")
+                && !rest.starts_with(".wait()")
+                && !has_token(&header, "while"))
+                || (rest.starts_with(".wait_timeout(") && !has_token(&header, "while"));
+            if bad_wait && !in_loop(&stack) && !comment.contains("wait-ok:") {
+                lints.push(Lint {
+                    file: file.to_string(),
+                    line: n + 1,
+                    rule: "wait-needs-predicate",
+                    message: "condvar wait outside a `while`-predicate loop: a spurious \
+                              wakeup escapes without re-checking (or justify with \
+                              `// wait-ok: <reason>`)"
+                        .to_string(),
+                });
+                i += ".wait(".len();
+                continue;
+            }
+            match chars[i] {
+                '{' => {
+                    stack.push(classify_frame(&header));
+                    header.clear();
+                }
+                '}' => {
+                    stack.pop();
+                    header.clear();
+                }
+                ';' => header.clear(),
+                c => header.push(c),
+            }
+            i += 1;
+        }
+        header.push(' ');
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: Ordering::Relaxed needs a justification
+// ---------------------------------------------------------------------------
+
+/// Flag `Relaxed` memory-ordering tokens outside `#[cfg(test)]` code unless
+/// the same line or the contiguous comment block directly above carries
+/// `// relaxed-ok: <reason>` — the `// f64-ok:` convention applied to
+/// memory ordering.
+pub fn lint_relaxed_ordering(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut tracker = TestModTracker::default();
+    // True while the contiguous run of comment-only lines directly above
+    // the current line contains the marker.
+    let mut run_ok = false;
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let in_test = tracker.line_is_test(&code);
+        if code.trim().is_empty() {
+            // Comment-only (or blank) line: extend or reset the run.
+            if comment.contains("relaxed-ok:") {
+                run_ok = true;
+            } else if comment.is_empty() {
+                run_ok = false; // blank line breaks the comment block
+            }
+            continue;
+        }
+        if !in_test && has_token(&code, "Relaxed") && !comment.contains("relaxed-ok:") && !run_ok {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "relaxed-needs-reason",
+                message: "`Ordering::Relaxed` without a `// relaxed-ok: <reason>` \
+                          justification — say why no ordering is needed"
+                    .to_string(),
+            });
+        }
+        run_ok = false;
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -509,6 +690,33 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
             continue;
         }
         lints.extend(lint_config_literal(&label, &std::fs::read_to_string(&file)?));
+    }
+
+    // Rules 6–8 cover every library tree that could take a concurrency
+    // dependency: all crate src trees plus the root facade. The shim layer
+    // itself (`crates/sync`) is the one legitimate `std::sync` user and is
+    // allowlisted wholesale; `third_party/` is vendored and never scanned.
+    let mut sync_files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let path = entry?.path();
+        if path.file_name().is_some_and(|n| n == "sync") {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut sync_files)?;
+        }
+    }
+    let facade = root.join("src");
+    if facade.is_dir() {
+        rust_files(&facade, &mut sync_files)?;
+    }
+    for file in sync_files {
+        let label = rel(root, &file);
+        let source = std::fs::read_to_string(&file)?;
+        lints.extend(lint_std_sync(&label, &source));
+        lints.extend(lint_wait_predicate(&label, &source));
+        lints.extend(lint_relaxed_ordering(&label, &source));
     }
 
     Ok(lints)
@@ -726,6 +934,132 @@ mod tests {
     fn config_literal_lint_ok_escape_is_honoured() {
         let src = "let c = StartConfig { dim: 1 }; // lint-ok: serde round-trip fixture\n";
         assert!(lint_config_literal("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn std_sync_is_flagged_outside_tests() {
+        let src = "use std::sync::{Arc, Mutex};\nfn f() {}\n";
+        let lints = lint_std_sync("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 1);
+        assert_eq!(lints[0].rule, "no-std-sync");
+    }
+
+    #[test]
+    fn std_sync_escape_and_exemptions_are_honoured() {
+        let src = concat!(
+            "pub use std::sync::Arc; // sync-ok: the shim re-exports it\n",
+            "// a comment mentioning std::sync is fine\n",
+            "fn f() { let s = \"std::sync in a string\"; }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::sync::Mutex;\n",
+            "}\n",
+        );
+        assert!(lint_std_sync("lib.rs", src).is_empty());
+        // start_sync paths never trip the rule.
+        assert!(lint_std_sync("lib.rs", "use start_sync::Mutex;\n").is_empty());
+    }
+
+    #[test]
+    fn unguarded_condvar_wait_is_flagged() {
+        let src = concat!(
+            "fn f(cv: &Condvar, m: &Mutex<bool>) {\n",
+            "    let mut g = m.lock().unwrap();\n",
+            "    if !*g {\n",
+            "        g = cv.wait(g).unwrap();\n",
+            "    }\n",
+            "}\n",
+        );
+        let lints = lint_wait_predicate("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 4);
+        assert_eq!(lints[0].rule, "wait-needs-predicate");
+    }
+
+    #[test]
+    fn while_guarded_waits_pass_the_rule() {
+        let src = concat!(
+            "fn f(cv: &Condvar, m: &Mutex<bool>) {\n",
+            "    let mut g = m.lock().unwrap();\n",
+            "    while !*g {\n",
+            "        g = cv.wait(g).unwrap();\n",
+            "    }\n",
+            "    loop {\n",
+            "        let (g2, t) = cv.wait_timeout(g, d).unwrap();\n",
+            "        g = g2;\n",
+            "        if t.timed_out() { break; }\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(lint_wait_predicate("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn argless_wait_and_wait_ok_escape_are_honoured() {
+        let src = concat!(
+            "fn f(h: Handle, cv: &Condvar, g: G) {\n",
+            "    h.wait(); // a join handle, not a condvar\n",
+            "    let g = cv.wait(g).unwrap(); // wait-ok: woken exactly once by drop\n",
+            "}\n",
+        );
+        assert!(lint_wait_predicate("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wait_in_a_later_function_does_not_inherit_a_loop() {
+        // The loop closes with its fn; the next fn's wait is unguarded.
+        let src = concat!(
+            "fn a(cv: &Condvar, g: G) {\n",
+            "    while p() { let g = cv.wait(g); }\n",
+            "}\n",
+            "fn b(cv: &Condvar, g: G) {\n",
+            "    let g = cv.wait(g);\n",
+            "}\n",
+        );
+        let lints = lint_wait_predicate("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 5);
+    }
+
+    #[test]
+    fn relaxed_ordering_requires_a_reason() {
+        let bad = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let lints = lint_relaxed_ordering("lib.rs", bad);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].rule, "relaxed-needs-reason");
+
+        let same_line = "c.fetch_add(1, Ordering::Relaxed); // relaxed-ok: advisory tally\n";
+        assert!(lint_relaxed_ordering("lib.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn relaxed_comment_block_above_covers_the_next_statement() {
+        let src = concat!(
+            "// relaxed-ok: independent tallies, snapshots are\n",
+            "// documented as approximate under load.\n",
+            "c.fetch_add(1, Ordering::Relaxed);\n",
+            "d.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        // Only the first statement is covered by the block above.
+        let lints = lint_relaxed_ordering("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 4);
+        // A blank line breaks the block.
+        let broken = "// relaxed-ok: reason\n\nc.load(Ordering::Relaxed);\n";
+        assert_eq!(lint_relaxed_ordering("lib.rs", broken).len(), 1);
+    }
+
+    #[test]
+    fn relaxed_in_tests_and_other_orderings_are_exempt() {
+        let src = concat!(
+            "fn f() { c.load(Ordering::Acquire); c.store(1, Ordering::Release); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { c.load(Ordering::Relaxed); }\n",
+            "}\n",
+        );
+        assert!(lint_relaxed_ordering("lib.rs", src).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! autodiff graph — that is the [`BaselineEncoder`] contract, and the
 //! generic fine-tuning heads in [`crate::heads`] work against it.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -12,7 +12,7 @@
 //!
 //! The trajectory representation is the encoder's final hidden state.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -2,7 +2,7 @@
 //! paper applies to every model (§IV-C1 "the baselines have the same
 //! settings as START").
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -4,7 +4,7 @@
 //! local (per-road) states against other paths' (curriculum negative
 //! sampling approximated by in-batch negatives).
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

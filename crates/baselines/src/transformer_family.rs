@@ -5,7 +5,7 @@
 //!
 //! The trajectory representation is the `[CLS]` hidden state.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -27,8 +27,8 @@
 //! CI smoke: `cargo run -p start-bench --release --bin bench_serve -- --smoke`
 //! (tiny stream, asserts bitwise identity, no JSON).
 
+use start_sync::Arc;
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Duration;
 
 use start_bench::{bj_mini, start_config, timed, Scale};

@@ -5,7 +5,7 @@
 //! BJ-mini (binary), driver id on Porto-mini (multi-class), transport mode
 //! on Geolife-mini (Table III).
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -34,9 +34,9 @@
 //! the caller via `resume_unwind` exactly like the legacy paths — turning
 //! them into typed errors is the job of `start-serve`'s service boundary.
 
+use start_sync::atomic::{AtomicU64, Ordering};
+use start_sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,7 +68,7 @@ pub struct EncodeOptions {
     /// `false`, over-long views are an [`EncodeError::TooLong`].
     pub clamp: bool,
     /// Optional shared embedding cache consulted (and filled) per view.
-    pub cache: Option<std::sync::Arc<EmbeddingCache>>,
+    pub cache: Option<Arc<EmbeddingCache>>,
 }
 
 impl Default for EncodeOptions {
@@ -336,9 +336,10 @@ impl EmbeddingCache {
     /// Look up a fingerprint, refreshing its recency on hit.
     pub fn get(&self, fp: Fingerprint) -> Option<Embedding> {
         let got = lock(self.shard(fp)).get(fp.0);
+        // Hit/miss tallies are advisory; stats() is approximate.
         match got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed), // relaxed-ok: advisory tally
+            None => self.misses.fetch_add(1, Ordering::Relaxed),  // relaxed-ok: advisory tally
         };
         got
     }
@@ -361,8 +362,8 @@ impl EmbeddingCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed), // relaxed-ok: approximate snapshot
+            misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: approximate snapshot
             entries: self.len(),
             capacity: self.shards.iter().map(|s| lock(s).capacity).sum(),
         }
@@ -372,8 +373,8 @@ impl EmbeddingCache {
 /// Lock a shard, riding through poisoning: the cache holds plain data and a
 /// panicked writer can only have left a consistent-but-stale shard (every
 /// mutation completes or the entry stays absent), so serving from it is safe.
-fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+fn lock(m: &Mutex<Shard>) -> start_sync::MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(start_sync::PoisonError::into_inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -665,7 +666,7 @@ mod tests {
     fn cache_round_trip_returns_the_identical_vector() {
         let (city, data, tm) = setup(10);
         let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
-        let cache = std::sync::Arc::new(EmbeddingCache::new(64));
+        let cache = Arc::new(EmbeddingCache::new(64));
         let opts = EncodeOptions { cache: Some(cache.clone()), ..EncodeOptions::default() };
         let first = model.encoder().encode(&data[..4], &opts).unwrap();
         let again = model.encoder().encode(&data[..4], &opts).unwrap();

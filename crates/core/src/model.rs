@@ -1,7 +1,7 @@
 //! The START model (§III): TPE-GAT road stage + Time-Aware Trajectory
 //! Encoder (TAT-Enc) with `[CLS]` pooling.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -5,7 +5,7 @@
 //! partner among the other `2(N_b - 1)` views via temperature-scaled cosine
 //! similarity.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use start_nn::graph::{Graph, NodeId};
 use start_nn::Array;

@@ -4,7 +4,7 @@
 //! replaced by `[MASK]`/`[MASKT]` tokens; the model predicts the masked road
 //! ids from the encoder output with a linear head over the road vocabulary.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 

@@ -258,7 +258,7 @@ pub fn pretrain(
     // loss is checked finite, with the first poisoned op named on failure.
     // See `start_nn::audit` and DESIGN.md §8.
     let audit_on = start_nn::audit::audit_enabled();
-    let audit_pending = std::sync::atomic::AtomicBool::new(audit_on);
+    let audit_pending = start_sync::atomic::AtomicBool::new(audit_on);
 
     for _epoch in 0..cfg.epochs {
         indices.shuffle(&mut rng);
@@ -277,7 +277,8 @@ pub fn pretrain(
             let shard_loss = |g: &mut Graph, shard: &[usize], r: &mut StdRng| {
                 let res = build_shard_loss(model, train, historical, g, shard, r)?;
                 if audit_on {
-                    use std::sync::atomic::Ordering;
+                    use start_sync::atomic::Ordering;
+                    // relaxed-ok: one-shot latch, no data published through it
                     if audit_pending.swap(false, Ordering::Relaxed) {
                         let audit = g.audit(res.loss);
                         assert!(

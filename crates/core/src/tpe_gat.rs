@@ -14,7 +14,7 @@
 //! segment operations (one edge row per (i, j) pair), so cost scales with
 //! |E|, not |V|², matching the paper's sparse-matrix implementation note.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 

@@ -210,7 +210,7 @@ impl Array {
 /// Worker count for the parallel kernel paths, derived from
 /// `available_parallelism` exactly once and reused by every call.
 fn kernel_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    static THREADS: start_sync::OnceLock<usize> = start_sync::OnceLock::new();
     *THREADS
         .get_or_init(|| std::thread::available_parallelism().map_or(4, |p| p.get()).min(8))
         .max(&1)
@@ -237,17 +237,20 @@ fn parallel_rows(out: &mut [f32], m: usize, n: usize, body: impl Fn(&mut [f32], 
 /// Routes the matmul family through [`reference`] when set — a bench-only
 /// escape hatch so `bench_kernels` can time this crate's kernels against
 /// the pre-blocking loops in one process. Never enable in production code.
-static REFERENCE_KERNELS: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static REFERENCE_KERNELS: start_sync::atomic::AtomicBool =
+    start_sync::atomic::AtomicBool::new(false);
 
 /// Enable or disable the [`reference`] kernel routing (see
 /// [`REFERENCE_KERNELS`]); returns the previous setting.
 pub fn set_reference_kernels(enabled: bool) -> bool {
-    REFERENCE_KERNELS.swap(enabled, std::sync::atomic::Ordering::Relaxed)
+    // relaxed-ok: bench-only escape hatch, flipped before any kernel runs
+    REFERENCE_KERNELS.swap(enabled, start_sync::atomic::Ordering::Relaxed)
 }
 
 #[inline]
 fn reference_kernels() -> bool {
-    REFERENCE_KERNELS.load(std::sync::atomic::Ordering::Relaxed)
+    // relaxed-ok: bench-only escape hatch, no data published through it
+    REFERENCE_KERNELS.load(start_sync::atomic::Ordering::Relaxed)
 }
 
 /// The pre-blocking matmul family, kept verbatim: branchy zero-skip scalar

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::sync::Arc;
+use start_sync::Arc;
 
 use crate::array::{self, Array};
 use crate::liveness::MemoryPlan;

@@ -1,6 +1,6 @@
 //! Token embedding table with gather-based lookup.
 
-use std::sync::Arc;
+use start_sync::Arc;
 
 use rand::rngs::StdRng;
 

@@ -1,0 +1,97 @@
+//! Executable concurrency model of the gradient-merge protocol behind
+//! `BatchTrainer::step`, explored by the `start_sync` model checker: N
+//! workers compute shard gradients and merge into one accumulator; the
+//! result must be identical in every interleaving, and a panicking worker
+//! must surface through `join` without wedging or corrupting the merge.
+//!
+//! CI floor: at least 1,000 distinct clean schedules, pinned seeds.
+
+use start_sync::atomic::{AtomicU64, Ordering};
+use start_sync::model::{check, spawn_named, ModelConfig};
+use start_sync::{Arc, Mutex, PoisonError};
+
+const MIN_SCHEDULES: usize = 1_000;
+
+fn cfg() -> ModelConfig {
+    ModelConfig { max_schedules: 1_500, random_iters: 200, ..ModelConfig::default() }
+}
+
+/// Shared-accumulator skeleton of the merge: each worker adds its
+/// pre-scaled shard gradient under the lock and bumps the shard counter.
+/// Small integers commute exactly in f32, so the merged vector must be
+/// bit-identical across schedules.
+#[test]
+fn trainer_gradient_merge_model_is_clean() {
+    let report = check(&cfg(), || {
+        let grads = Arc::new(Mutex::new(vec![0.0f32; 2]));
+        let merged = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                let g = Arc::clone(&grads);
+                let m = Arc::clone(&merged);
+                spawn_named("merge-worker", move || {
+                    // "Backward pass": worker w contributes 2^w per slot.
+                    let wgrad = vec![(1u32 << w) as f32; 2];
+                    let mut acc = g.lock().unwrap_or_else(PoisonError::into_inner);
+                    for (a, b) in acc.iter_mut().zip(&wgrad) {
+                        *a += b;
+                    }
+                    drop(acc);
+                    m.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        assert_eq!(merged.load(Ordering::Acquire), 3, "a merge was lost");
+        let acc = grads.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(*acc, vec![7.0, 7.0], "merge result depends on the schedule");
+    });
+    report.assert_clean();
+    assert!(
+        report.distinct_schedules >= MIN_SCHEDULES,
+        "explored only {} schedules",
+        report.distinct_schedules
+    );
+}
+
+/// One worker panics mid-merge (lock held). Every schedule must still
+/// terminate: the panic rides out through `join`, the poisoned accumulator
+/// stays usable for the surviving workers, and their contributions land.
+#[test]
+fn trainer_merge_worker_panic_model_is_clean() {
+    let report = check(&cfg(), || {
+        let grads = Arc::new(Mutex::new(vec![0.0f32; 1]));
+        let good: Vec<_> = (0..3)
+            .map(|w| {
+                let g = Arc::clone(&grads);
+                spawn_named("good-worker", move || {
+                    let mut acc = g.lock().unwrap_or_else(PoisonError::into_inner);
+                    acc[0] += (1u32 << w) as f32;
+                })
+            })
+            .collect();
+        let g = Arc::clone(&grads);
+        let bad = spawn_named("bad-worker", move || {
+            let _acc = g.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("shard backward exploded");
+        });
+        let err = match bad.join() {
+            Err(e) => e,
+            Ok(()) => panic!("bad worker should have panicked"),
+        };
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("shard backward exploded"));
+        for h in good {
+            assert!(h.join().is_ok(), "survivors must finish");
+        }
+        let acc = grads.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(acc[0], 7.0, "surviving contributions lost after the panic");
+    });
+    report.assert_clean();
+    assert!(
+        report.distinct_schedules >= MIN_SCHEDULES,
+        "explored only {} schedules",
+        report.distinct_schedules
+    );
+}

@@ -138,3 +138,30 @@ fn same_seed_parallel_runs_are_bitwise_identical() {
     };
     assert_eq!(bits(&grads_a), bits(&grads_b));
 }
+
+/// Regression: a panic inside one shard's loss closure must propagate out
+/// of `step` as a panic with the original payload — never a hang on the
+/// scoped join, never a silent partial merge. (The panic crosses two joins:
+/// the worker handle and the crossbeam scope itself.)
+#[test]
+fn worker_panic_propagates_out_of_step_with_its_payload() {
+    let batch: Vec<usize> = (0..12).collect();
+    let (store, fc) = toy_model(7);
+    let mut trainer = BatchTrainer::exact(3, 123);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut grads = GradStore::new(&store);
+    let shard_loss = |g: &mut Graph, shard: &[usize], _r: &mut StdRng| {
+        if shard.contains(&0) {
+            panic!("seeded shard failure");
+        }
+        Some(shard_mse(&fc, g, shard))
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trainer.step(&store, &mut grads, 0, &batch, 1, &mut rng, &shard_loss)
+    }));
+    let payload = match outcome {
+        Err(p) => p,
+        Ok(_) => panic!("step should have propagated the worker panic"),
+    };
+    assert_eq!(payload.downcast_ref::<&str>().copied(), Some("seeded shard failure"));
+}

@@ -21,9 +21,11 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
+
+use start_sync::atomic::{AtomicU64, Ordering};
+use start_sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+
 use std::time::{Duration, Instant};
 
 use start_ann::{Hnsw, HnswConfig, VectorIndex};
@@ -138,12 +140,22 @@ impl Shared {
 
     fn stats(&self) -> ServiceStats {
         let queue_depth = self.lock().queue.len();
+        // Snapshot ordering: read the outcome counters (completed/failed)
+        // BEFORE submitted. `submitted` is incremented (Release) before a
+        // request is visible to workers, and completed/failed only after the
+        // answer is sent, so reading outcomes first means any request that
+        // slips in between the loads can only raise `submitted` — every
+        // snapshot satisfies `submitted >= completed + failed`, and a drained
+        // shutdown reports exact equality.
+        let completed = self.completed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let submitted = self.submitted.load(Ordering::Acquire);
         ServiceStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
+            submitted,
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed), // relaxed-ok: standalone reject tally, no cross-counter invariant
+            failed,
+            batches: self.batches.load(Ordering::Relaxed), // relaxed-ok: monotone batch tally, no cross-counter invariant
             queue_depth,
             queue_wait: self.queue_wait.snapshot(),
             encode: self.encode.snapshot(),
@@ -266,7 +278,7 @@ impl EmbeddingService {
         let result =
             self.shared.store.write().unwrap_or_else(PoisonError::into_inner).insert(id, embedding);
         if result.is_err() {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
         }
         Ok(result?)
     }
@@ -283,7 +295,7 @@ impl EmbeddingService {
     pub fn knn_embedding(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
         let result = self.shared.store.read().unwrap_or_else(PoisonError::into_inner).knn(query, k);
         if result.is_err() {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
         }
         Ok(result?)
     }
@@ -353,32 +365,39 @@ impl EmbeddingService {
 
     fn enqueue(&self, view: TrajView, block: bool) -> Result<EmbeddingHandle, ServeError> {
         if let Err(e) = self.validate(&view) {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
             return Err(ServeError::Invalid(e));
         }
         let (tx, rx) = mpsc::channel();
         let mut st = self.shared.lock();
         loop {
             if st.poisoned {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
                 return Err(ServeError::ModelPoisoned);
             }
             if st.shutdown {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
                 return Err(ServeError::ShuttingDown);
             }
             if st.queue.len() < self.shared.cfg.queue_cap {
                 break;
             }
             if !block {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
                 return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_cap });
             }
             st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
+        // Counter coherence: `submitted` is incremented BEFORE the request
+        // becomes visible to any worker (we still hold the queue lock), with
+        // Release so the matching Acquire loads in `Shared::stats` order it
+        // against the later `completed`/`failed` increments. Together with
+        // reading completed/failed first in `stats`, every snapshot observes
+        // `submitted >= completed + failed`, with equality once a shutdown
+        // has drained the queue and joined the workers.
+        self.shared.submitted.fetch_add(1, Ordering::Release);
         st.queue.push_back(Request { view, tx, submitted_at: Instant::now() });
         drop(st);
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.not_empty.notify_one();
         Ok(EmbeddingHandle { rx })
     }
@@ -427,13 +446,16 @@ fn collect_batch(shared: &Shared) -> Option<Vec<Request>> {
                 if batch.len() >= max_batch || st.shutdown || st.poisoned {
                     break;
                 }
-                let now = Instant::now();
-                if now >= deadline {
+                // Saturating: a deadline already in the past yields a zero
+                // budget, never an `Instant` subtraction panic — the clock
+                // may jump between the deadline computation and this check.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     break;
                 }
                 let (guard, _timeout) = shared
                     .not_empty
-                    .wait_timeout(st, deadline - now)
+                    .wait_timeout(st, remaining)
                     .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
             }
@@ -515,14 +537,15 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             shared.model.encoder().encode_views_pooled(&views, &opts, taken)
         }));
         shared.encode.record_us(picked_up.elapsed().as_micros() as u64);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone batch tally
         match outcome {
             Ok(Ok((embeddings, returned))) => {
                 pool = returned;
                 for (req, emb) in batch.into_iter().zip(embeddings) {
                     // A dropped handle is a caller choice, not a failure.
                     let _ = req.tx.send(Ok(emb));
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                    // Release pairs with the Acquire snapshot in `stats`.
+                    shared.completed.fetch_add(1, Ordering::Release);
                 }
             }
             Ok(Err(e)) => {
@@ -531,7 +554,7 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
                 // with the typed error rather than wedging the callers.
                 for req in batch {
                     let _ = req.tx.send(Err(ServeError::Invalid(e.clone())));
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.failed.fetch_add(1, Ordering::Release);
                 }
             }
             Err(payload) => {
@@ -546,11 +569,11 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
                 for req in batch {
                     let _ =
                         req.tx.send(Err(ServeError::WorkerPanicked { message: message.clone() }));
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.failed.fetch_add(1, Ordering::Release);
                 }
                 for req in drained {
                     let _ = req.tx.send(Err(ServeError::ModelPoisoned));
-                    shared.failed.fetch_add(1, Ordering::Relaxed);
+                    shared.failed.fetch_add(1, Ordering::Release);
                 }
                 return;
             }

@@ -1,7 +1,7 @@
 //! Serving observability: wait-free log-bucketed latency histograms and
 //! point-in-time [`ServiceStats`] snapshots.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use start_sync::atomic::{AtomicU64, Ordering};
 
 use start_core::CacheStats;
 
@@ -45,14 +45,17 @@ impl Histogram {
         // `bucket.min(63)` folds the >= 2^63 range into the open-ended top
         // bucket — see the type docs for its semantics.
         let bucket = (64 - us.leading_zeros()) as usize; // 0 for us == 0
+                                                         // relaxed-ok: independent monotone tallies; snapshots are documented
+                                                         // as approximate under load, no cross-counter ordering is promised.
         self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        // Saturate rather than wrap: a sum pinned at u64::MAX yields an
-        // obviously-degenerate mean; a wrapped sum yields a believable lie.
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed-ok: see above
+                                                    // Saturate rather than wrap: a sum pinned at u64::MAX yields an
+                                                    // obviously-degenerate mean; a wrapped sum yields a believable lie.
         let _ = self
             .sum_us
+            // relaxed-ok: single-counter CAS loop, approximate snapshot
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| Some(s.saturating_add(us)));
-        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed); // relaxed-ok: monotone max
     }
 
     /// Upper bucket edge (µs) of the sample at quantile `q` in `[0, 1]`.
@@ -69,24 +72,25 @@ impl Histogram {
             if seen >= rank {
                 return match i {
                     0 => 0,
-                    63 => self.max_us.load(Ordering::Relaxed),
+                    63 => self.max_us.load(Ordering::Relaxed), // relaxed-ok: approximate snapshot
                     _ => 1u64 << i,
                 };
             }
         }
-        self.max_us.load(Ordering::Relaxed)
+        self.max_us.load(Ordering::Relaxed) // relaxed-ok: approximate snapshot
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // relaxed-ok: snapshots are documented as approximate under load
         let counts: [u64; 64] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let total: u64 = counts.iter().sum();
-        let sum = self.sum_us.load(Ordering::Relaxed);
+        let sum = self.sum_us.load(Ordering::Relaxed); // relaxed-ok: approximate snapshot
         HistogramSnapshot {
             count: total,
             mean_us: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
             p50_us: self.quantile_us(&counts, total, 0.50),
             p99_us: self.quantile_us(&counts, total, 0.99),
-            max_us: self.max_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed), // relaxed-ok: approximate snapshot
         }
     }
 }

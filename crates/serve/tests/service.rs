@@ -429,3 +429,36 @@ fn rebuilding_from_brute_force_to_hnsw_preserves_answers() {
     }
     let _ = service.shutdown();
 }
+
+/// Counter-coherence contract (see `Shared::stats`): `submitted` rises
+/// before a request is visible and outcomes are read first in a snapshot,
+/// so `submitted >= completed + failed` in every point-in-time read, and a
+/// drained shutdown reports exact equality.
+#[test]
+fn drained_shutdown_reports_submitted_equals_completed_plus_failed() {
+    let fix = fixture();
+    let service = EmbeddingService::start(
+        Arc::clone(&fix.model),
+        ServeConfig {
+            workers: 3,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    );
+    let handles: Vec<_> = fix.data.iter().map(|t| service.submit(t).unwrap()).collect();
+    // Mid-flight snapshots may lag but can never over-report outcomes.
+    let mid = service.stats();
+    assert!(mid.submitted >= mid.completed + mid.failed, "incoherent mid-flight snapshot: {mid:?}");
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, fix.data.len() as u64);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.failed,
+        "drained shutdown must account for every accepted request: {stats:?}"
+    );
+    assert_eq!(stats.queue_depth, 0);
+}

@@ -1,0 +1,178 @@
+//! Atomic shims: each operation takes one scheduling decision in model mode
+//! and then delegates to the real `std` atomic, so exploration is
+//! sequentially consistent regardless of the `Ordering` argument (weak
+//! orderings are accepted and honored by the delegated op, but the explorer
+//! does not model weak-memory reorderings).
+
+use std::sync::atomic::Ordering; // sync-ok: the shim layer itself
+
+fn decision_point() {
+    if let Some(ctx) = crate::tls::ctx() {
+        ctx.exec.yield_point(ctx.tid);
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $t:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $t) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            pub fn load(&self, order: Ordering) -> $t {
+                decision_point();
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, val: $t, order: Ordering) {
+                decision_point();
+                self.inner.store(val, order)
+            }
+
+            pub fn swap(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.swap(val, order)
+            }
+
+            pub fn fetch_add(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_add(val, order)
+            }
+
+            pub fn fetch_sub(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_sub(val, order)
+            }
+
+            pub fn fetch_max(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_max(val, order)
+            }
+
+            pub fn fetch_min(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_min(val, order)
+            }
+
+            pub fn fetch_and(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_and(val, order)
+            }
+
+            pub fn fetch_or(&self, val: $t, order: Ordering) -> $t {
+                decision_point();
+                self.inner.fetch_or(val, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                decision_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                decision_point();
+                self.inner.compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// One decision point for the whole read-modify-write loop: the
+            /// closure-retry cycle runs without interleaving, which is the
+            /// atomicity `fetch_update` is used for.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$t, $t>
+            where
+                F: FnMut($t) -> Option<$t>,
+            {
+                decision_point();
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
+            pub fn into_inner(self) -> $t {
+                self.inner.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $t {
+                self.inner.get_mut()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64); // sync-ok: the shim wraps std
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32); // sync-ok: the shim wraps std
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize); // sync-ok: the shim wraps std
+
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool, // sync-ok: the shim wraps std
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self { inner: std::sync::atomic::AtomicBool::new(v) } // sync-ok: the shim wraps std
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        decision_point();
+        self.inner.load(order)
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        decision_point();
+        self.inner.store(val, order)
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        decision_point();
+        self.inner.swap(val, order)
+    }
+
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        decision_point();
+        self.inner.fetch_and(val, order)
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        decision_point();
+        self.inner.fetch_or(val, order)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        decision_point();
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}

@@ -1,0 +1,153 @@
+//! `Condvar` shim. Normal mode delegates to `std::sync::Condvar` (keeping
+//! the lock-order sanitizer's held-set accurate across the wait); model mode
+//! routes the full wait protocol — release, block, wake, re-acquire —
+//! through the schedule explorer.
+//!
+//! Model-mode timeout semantics: the `Duration` passed to [`wait_timeout`]
+//! is abstract. A timed wait "times out" exactly when the model execution is
+//! otherwise stuck, which is the schedule where the timeout path is
+//! observable; in all other schedules the wait returns via notify.
+
+use std::panic::Location;
+use std::sync::atomic::AtomicU64 as RawAtomicU64; // sync-ok: shim-internal id cell
+use std::sync::{Condvar as StdCondvar, LockResult, PoisonError}; // sync-ok: the shim wraps std
+use std::time::Duration;
+
+use crate::model::exec::{self, WakeReason};
+use crate::mutex::MutexGuard;
+use crate::order;
+
+pub struct Condvar {
+    inner: StdCondvar,
+    id: RawAtomicU64,
+}
+
+/// Our own `WaitTimeoutResult` (std's has no public constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: StdCondvar::new(), id: RawAtomicU64::new(0) }
+    }
+
+    /// Block until notified. Always re-check the predicate in a `while`
+    /// loop — lint rule 7 enforces this at every call site.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        self.wait_inner(guard, None).map(|(g, _)| g).map_err(|p| {
+            let (g, _) = p.into_inner();
+            PoisonError::new(g)
+        })
+    }
+
+    /// Block until notified or (abstractly) timed out.
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        self.wait_inner(guard, Some(dur))
+    }
+
+    #[track_caller]
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Option<Duration>,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.is_model() {
+            let lock = guard.mutex();
+            let (_, std_guard, model, _) = guard.dissolve_for_wait();
+            let Some((exec, tid, mutex_id)) = model else {
+                panic!("model guard without model bookkeeping");
+            };
+            // Model mode: unlock the real mutex up front — the explorer's
+            // serialized scheduling provides the wait-entry atomicity.
+            drop(std_guard);
+            let cv_id = exec::object_id(&self.id);
+            let reason = exec.cond_wait(tid, cv_id, mutex_id, dur.is_some());
+            // The explorer has re-granted the mutex to this thread.
+            let (g, poisoned) = lock.relock_after_grant();
+            let guard = MutexGuard::from_parts(lock, g, Some((exec, tid, mutex_id)), None);
+            let res = WaitTimeoutResult { timed_out: reason == WakeReason::Timeout };
+            return if poisoned { Err(PoisonError::new((guard, res))) } else { Ok((guard, res)) };
+        }
+
+        let lock = guard.mutex();
+        let (_, std_guard, _, order_tok) = guard.dissolve_for_wait();
+        let Some(std_guard) = std_guard else {
+            panic!("wait on a dissolved MutexGuard");
+        };
+        // The mutex is released for the duration of the wait; keep the
+        // sanitizer's held-set truthful.
+        if let Some(tok) = order_tok {
+            order::on_release(tok);
+        }
+        let mut poisoned = false;
+        let (std_guard, timed_out) = match dur {
+            None => match self.inner.wait(std_guard) {
+                Ok(g) => (g, false),
+                Err(p) => {
+                    poisoned = true;
+                    (p.into_inner(), false)
+                }
+            },
+            Some(d) => match self.inner.wait_timeout(std_guard, d) {
+                Ok((g, t)) => (g, t.timed_out()),
+                Err(p) => {
+                    poisoned = true;
+                    let (g, t) = p.into_inner();
+                    (g, t.timed_out())
+                }
+            },
+        };
+        let order = order::on_acquire(lock.class, Location::caller());
+        let guard = MutexGuard::from_parts(lock, std_guard, None, order);
+        let res = WaitTimeoutResult { timed_out };
+        if poisoned {
+            Err(PoisonError::new((guard, res)))
+        } else {
+            Ok((guard, res))
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(ctx) = crate::tls::ctx() {
+            let cv_id = exec::object_id(&self.id);
+            ctx.exec.notify(ctx.tid, cv_id, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(ctx) = crate::tls::ctx() {
+            let cv_id = exec::object_id(&self.id);
+            ctx.exec.notify(ctx.tid, cv_id, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}

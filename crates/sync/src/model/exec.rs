@@ -1,0 +1,693 @@
+//! The execution engine behind [`model::check`](crate::model::check).
+//!
+//! One [`Execution`] drives one run of the model body under one schedule.
+//! Model threads are real OS threads, but the engine serializes them: a
+//! thread runs user code only while it holds the (logical) grant, and every
+//! visible sync operation announces itself and parks until the scheduler
+//! grants it. Because at most one model thread is ever between decision
+//! points, the interleaving is exactly the recorded decision sequence, and
+//! replaying a prefix of decisions replays the execution deterministically —
+//! the property the DFS backtracking in [`check`](crate::model::check)
+//! relies on.
+//!
+//! Scheduling is performed by whichever thread parks last ("last parker
+//! schedules"): there is no controller thread. When a thread announces an
+//! operation and observes that no thread holds the grant, it picks the next
+//! runnable thread itself (following the replay prefix, the DFS default, or
+//! the seeded RNG) before parking.
+
+use std::collections::HashMap;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard}; // sync-ok: the engine's own plumbing must not be model-hooked
+
+use crate::model::{Finding, FindingKind, ModelConfig};
+use crate::Arc;
+
+/// Global id source for model-visible sync objects. Ids are assigned lazily
+/// at first model-mode use and are process-unique, so address reuse across
+/// executions can never alias two objects.
+static NEXT_OBJECT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1); // sync-ok: engine plumbing
+
+/// Resolve (assigning if needed) the model id stored in a shim object's id
+/// cell. `0` means unassigned.
+pub(crate) fn object_id(cell: &std::sync::atomic::AtomicU64) -> u64 {
+    use std::sync::atomic::Ordering; // sync-ok: engine plumbing
+    let v = cell.load(Ordering::Relaxed); // relaxed-ok: id cell is write-once, any winner is fine
+    if v != 0 {
+        return v;
+    }
+    let id = NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed); // relaxed-ok: unique-id counter
+    match cell.compare_exchange(0, id, Ordering::Relaxed, Ordering::Relaxed) {
+        // relaxed-ok: id cell is write-once, any winner is fine
+        Ok(_) => id,
+        Err(winner) => winner,
+    }
+}
+
+/// A visible operation a parked thread is waiting to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Acquire the mutex with this id.
+    Acquire(u64),
+    /// Acquire the rwlock with this id, exclusively iff `write`.
+    Rw { id: u64, write: bool },
+    /// Wait for the thread with this index to finish.
+    Join(usize),
+    /// Any other decision point (atomic op, notify, spawn, explicit yield).
+    Yield,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WakeReason {
+    Notify,
+    Timeout,
+    Spurious,
+}
+
+#[derive(Debug)]
+enum Status {
+    /// Holds the grant; executing user code.
+    Running,
+    /// Parked, waiting for `op` to be granted.
+    Ready(Op),
+    /// Parked inside `Condvar::wait`; not runnable until woken.
+    /// `entry_epoch`/`entry_acq` snapshot the condvar's notify count and the
+    /// mutex's acquisition count at wait entry (unguarded-wait detection).
+    CondBlocked {
+        cv: u64,
+        mutex: u64,
+        timed: bool,
+        entry_epoch: u64,
+        entry_acq: u64,
+    },
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    name: String,
+    /// Why the last condvar wake happened (consumed by `cond_wait`).
+    wake: Option<WakeReason>,
+    /// Set after a spurious wakeup: `(condvar, mutex, notify epoch at wait
+    /// entry, mutex acquisition count at wait entry)`. If the thread
+    /// releases `mutex` while this is set, no notify has occurred since wait
+    /// entry, and no thread other than the waiter itself has acquired the
+    /// mutex since (so the mutex-protected predicate cannot have changed),
+    /// the wait was not predicate-guarded: nothing forced a re-check, and a
+    /// re-check could not have legitimately released the thread.
+    after_spurious: Option<(u64, u64, u64, u64)>,
+}
+
+impl ThreadSlot {
+    fn new(name: String, status: Status) -> Self {
+        ThreadSlot { status, name, wake: None, after_spurious: None }
+    }
+}
+
+#[derive(Default)]
+struct MutexSt {
+    owner: Option<usize>,
+    /// Times this mutex has been granted (spurious-wakeup bookkeeping).
+    acquisitions: u64,
+}
+
+#[derive(Default)]
+struct RwSt {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CvSt {
+    /// FIFO wait queue of thread indices.
+    waiters: Vec<usize>,
+    /// Total notify calls so far (epoch for unguarded-wait detection).
+    notifies: u64,
+}
+
+/// One recorded scheduling decision: which of `n_choices` enabled choices
+/// was taken.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub n_choices: u32,
+    pub chosen: u32,
+}
+
+/// How the scheduler picks beyond the replay prefix.
+pub(crate) enum PickMode {
+    /// Replay `prefix`, then always take choice 0 (DFS leftmost descent).
+    Dfs { prefix: Vec<u32> },
+    /// Seeded random walk.
+    Random { state: u64 },
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy)]
+enum Choice {
+    Run(usize),
+    /// Inject a spurious wakeup into this cond-blocked thread.
+    Spurious(usize),
+}
+
+struct ExecState {
+    slots: Vec<ThreadSlot>,
+    mutexes: HashMap<u64, MutexSt>,
+    rwlocks: HashMap<u64, RwSt>,
+    condvars: HashMap<u64, CvSt>,
+    /// Thread currently holding the grant (executing user code), if any.
+    running: Option<usize>,
+    /// Thread that held the grant most recently (preemption accounting).
+    last_running: Option<usize>,
+    preemptions: usize,
+    spurious_used: usize,
+    record: Vec<Decision>,
+    cursor: usize,
+    mode: PickMode,
+    finding: Option<(FindingKind, String)>,
+    done: bool,
+    // Config snapshot.
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    spurious: bool,
+    max_spurious: usize,
+}
+
+pub(crate) struct Execution {
+    st: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+impl Execution {
+    pub(crate) fn new(cfg: &ModelConfig, mode: PickMode) -> Self {
+        Execution {
+            st: StdMutex::new(ExecState {
+                slots: vec![ThreadSlot::new("main".to_string(), Status::Running)],
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                condvars: HashMap::new(),
+                running: Some(0),
+                last_running: Some(0),
+                preemptions: 0,
+                spurious_used: 0,
+                record: Vec::new(),
+                cursor: 0,
+                mode,
+                finding: None,
+                done: false,
+                preemption_bound: cfg.preemption_bound,
+                max_steps: cfg.max_steps,
+                spurious: cfg.spurious_wakeups,
+                max_spurious: cfg.max_spurious,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(std::sync::PoisonError::into_inner) // sync-ok: engine plumbing
+    }
+
+    // ---- scheduling core ------------------------------------------------
+
+    /// Whether `op` can be granted right now.
+    fn enabled(st: &ExecState, op: Op) -> bool {
+        match op {
+            Op::Acquire(m) => st.mutexes.get(&m).is_none_or(|s| s.owner.is_none()),
+            Op::Rw { id, write } => match st.rwlocks.get(&id) {
+                None => true,
+                Some(s) => {
+                    if write {
+                        s.writer.is_none() && s.readers.is_empty()
+                    } else {
+                        s.writer.is_none()
+                    }
+                }
+            },
+            Op::Join(t) => matches!(st.slots[t].status, Status::Finished),
+            Op::Yield => true,
+        }
+    }
+
+    fn abort(&self, st: &mut ExecState, kind: FindingKind, detail: String) {
+        if st.finding.is_none() {
+            st.finding = Some((kind, detail));
+        }
+        st.done = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick and grant the next runnable thread. Called with `running ==
+    /// None` (all model threads parked, blocked, or finished) by whichever
+    /// thread parked last.
+    fn schedule_next(&self, st: &mut ExecState) {
+        loop {
+            if st.done {
+                return;
+            }
+            let mut choices: Vec<Choice> = Vec::new();
+            for (i, slot) in st.slots.iter().enumerate() {
+                if let Status::Ready(op) = slot.status {
+                    if Self::enabled(st, op) {
+                        choices.push(Choice::Run(i));
+                    }
+                }
+            }
+            if st.spurious && st.spurious_used < st.max_spurious {
+                for (i, slot) in st.slots.iter().enumerate() {
+                    if matches!(slot.status, Status::CondBlocked { .. }) {
+                        choices.push(Choice::Spurious(i));
+                    }
+                }
+            }
+
+            if choices.is_empty() {
+                if st.slots.iter().all(|s| matches!(s.status, Status::Finished)) {
+                    st.done = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                // Stuck. Timed condvar waits fire now — the only schedule
+                // where the timeout path is observable. Deterministic order:
+                // lowest thread index first.
+                let timed = st
+                    .slots
+                    .iter()
+                    .position(|s| matches!(s.status, Status::CondBlocked { timed: true, .. }));
+                if let Some(t) = timed {
+                    self.wake_waiter(st, t, WakeReason::Timeout);
+                    continue;
+                }
+                let blocked_waiters: Vec<String> = st
+                    .slots
+                    .iter()
+                    .filter(|s| matches!(s.status, Status::CondBlocked { .. }))
+                    .map(|s| s.name.clone())
+                    .collect();
+                if !blocked_waiters.is_empty() {
+                    self.abort(
+                        st,
+                        FindingKind::LostWakeup,
+                        format!(
+                            "condvar waiters with no reachable notify: [{}]",
+                            blocked_waiters.join(", ")
+                        ),
+                    );
+                } else {
+                    let blocked: Vec<String> = st
+                        .slots
+                        .iter()
+                        .filter(|s| !matches!(s.status, Status::Finished))
+                        .map(|s| match s.status {
+                            Status::Ready(op) => format!("{} (on {:?})", s.name, op),
+                            _ => s.name.clone(),
+                        })
+                        .collect();
+                    self.abort(
+                        st,
+                        FindingKind::Deadlock,
+                        format!("all runnable threads blocked: [{}]", blocked.join(", ")),
+                    );
+                }
+                return;
+            }
+
+            // Bounded preemption: once the budget is spent, keep running the
+            // last-granted thread whenever it is still enabled.
+            if let Some(bound) = st.preemption_bound {
+                if st.preemptions >= bound {
+                    if let Some(last) = st.last_running {
+                        if choices.iter().any(|c| matches!(c, Choice::Run(i) if *i == last)) {
+                            choices = vec![Choice::Run(last)];
+                        }
+                    }
+                }
+            }
+
+            let n = choices.len() as u32;
+            let chosen: u32 = if st.cursor < prefix_len(&st.mode) {
+                let want = prefix_at(&st.mode, st.cursor);
+                // A deterministic body can never diverge from its own replay
+                // prefix; clamp defensively anyway.
+                want.min(n - 1)
+            } else {
+                match &mut st.mode {
+                    PickMode::Dfs { .. } => 0,
+                    PickMode::Random { state } => (splitmix64(state) % n as u64) as u32,
+                }
+            };
+            st.cursor += 1;
+            st.record.push(Decision { n_choices: n, chosen });
+            if st.record.len() > st.max_steps {
+                self.abort(
+                    st,
+                    FindingKind::StepLimit,
+                    format!("execution exceeded {} scheduling decisions", st.max_steps),
+                );
+                return;
+            }
+
+            match choices[chosen as usize] {
+                Choice::Spurious(t) => {
+                    st.spurious_used += 1;
+                    if let Status::CondBlocked { cv, mutex, entry_epoch, entry_acq, .. } =
+                        st.slots[t].status
+                    {
+                        self.wake_waiter(st, t, WakeReason::Spurious);
+                        st.slots[t].after_spurious = Some((cv, mutex, entry_epoch, entry_acq));
+                    }
+                    // A spurious injection only makes the waiter runnable;
+                    // loop to take another decision about who runs.
+                    continue;
+                }
+                Choice::Run(i) => {
+                    if let Status::Ready(op) = st.slots[i].status {
+                        match op {
+                            Op::Acquire(m) => {
+                                let ms = st.mutexes.entry(m).or_default();
+                                ms.owner = Some(i);
+                                ms.acquisitions += 1;
+                            }
+                            Op::Rw { id, write } => {
+                                let s = st.rwlocks.entry(id).or_default();
+                                if write {
+                                    s.writer = Some(i);
+                                } else {
+                                    s.readers.push(i);
+                                }
+                            }
+                            Op::Join(_) | Op::Yield => {}
+                        }
+                    }
+                    if let Some(last) = st.last_running {
+                        if last != i
+                            && choices.iter().any(|c| matches!(c, Choice::Run(j) if *j == last))
+                        {
+                            st.preemptions += 1;
+                        }
+                    }
+                    st.slots[i].status = Status::Running;
+                    st.running = Some(i);
+                    st.last_running = Some(i);
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Move a cond-blocked thread to the re-acquire phase.
+    fn wake_waiter(&self, st: &mut ExecState, t: usize, reason: WakeReason) {
+        if let Status::CondBlocked { cv, mutex, .. } = st.slots[t].status {
+            let cvst = st.condvars.entry(cv).or_default();
+            cvst.waiters.retain(|&w| w != t);
+            st.slots[t].status = Status::Ready(Op::Acquire(mutex));
+            st.slots[t].wake = Some(reason);
+        }
+    }
+
+    /// Park `me` until granted. Never returns if the execution aborted with
+    /// a finding: the thread must not re-enter user code, so it blocks
+    /// forever (leaked — bounded, since the first finding stops exploration).
+    fn wait_granted<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, ExecState> {
+        loop {
+            if matches!(st.slots[me].status, Status::Running) {
+                return st;
+            }
+            if st.done {
+                // Finding recorded; park forever.
+                loop {
+                    st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    // sync-ok: engine plumbing
+                }
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            // sync-ok: engine plumbing
+        }
+    }
+
+    /// Announce `op`, hand off scheduling, and park until granted.
+    pub(crate) fn sched(&self, me: usize, op: Op) {
+        let mut st = self.lock();
+        st.slots[me].status = Status::Ready(op);
+        if st.running == Some(me) {
+            st.running = None;
+        }
+        if st.running.is_none() {
+            self.schedule_next(&mut st);
+        }
+        let _st = self.wait_granted(st, me);
+    }
+
+    // ---- operations invoked by the shims --------------------------------
+
+    pub(crate) fn acquire_mutex(&self, me: usize, id: u64) {
+        self.sched(me, Op::Acquire(id));
+    }
+
+    /// Inline release (no decision point): clears ownership and runs the
+    /// unguarded-wait check.
+    pub(crate) fn release_mutex(&self, me: usize, id: u64) {
+        let mut st = self.lock();
+        if let Some(m) = st.mutexes.get_mut(&id) {
+            if m.owner == Some(me) {
+                m.owner = None;
+            }
+        }
+        if let Some((cv, mutex, entry_epoch, entry_acq)) = st.slots[me].after_spurious {
+            if mutex == id {
+                st.slots[me].after_spurious = None;
+                let notifies = st.condvars.entry(cv).or_default().notifies;
+                let acqs = st.mutexes.entry(id).or_default().acquisitions;
+                // `entry_acq + 1` = only the waiter's own post-wake
+                // re-acquire touched the mutex: the protected predicate
+                // cannot have changed, so a legitimate re-check could not
+                // have released the thread.
+                if notifies == entry_epoch && acqs == entry_acq + 1 {
+                    let name = st.slots[me].name.clone();
+                    self.abort(
+                        &mut st,
+                        FindingKind::UnguardedWait,
+                        format!(
+                            "{name} left Condvar::wait on a spurious wakeup and released the \
+                             mutex without re-checking its predicate (no notify had occurred)",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Non-blocking acquire attempt. Returns whether the mutex was free (and
+    /// is now owned by `me`).
+    pub(crate) fn try_acquire_mutex(&self, me: usize, id: u64) -> bool {
+        self.sched(me, Op::Yield);
+        let mut st = self.lock();
+        let m = st.mutexes.entry(id).or_default();
+        if m.owner.is_none() {
+            m.owner = Some(me);
+            m.acquisitions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn acquire_rw(&self, me: usize, id: u64, write: bool) {
+        self.sched(me, Op::Rw { id, write });
+    }
+
+    pub(crate) fn release_rw(&self, me: usize, id: u64, write: bool) {
+        let mut st = self.lock();
+        let s = st.rwlocks.entry(id).or_default();
+        if write {
+            if s.writer == Some(me) {
+                s.writer = None;
+            }
+        } else if let Some(pos) = s.readers.iter().position(|&r| r == me) {
+            s.readers.remove(pos);
+        }
+    }
+
+    /// Full condvar wait protocol: atomically release the mutex and block,
+    /// then (once woken by notify/timeout/spurious injection) re-acquire the
+    /// mutex. Returns why the thread woke.
+    pub(crate) fn cond_wait(
+        &self,
+        me: usize,
+        cv_id: u64,
+        mutex_id: u64,
+        timed: bool,
+    ) -> WakeReason {
+        let mut st = self.lock();
+        if let Some(m) = st.mutexes.get_mut(&mutex_id) {
+            if m.owner == Some(me) {
+                m.owner = None;
+            }
+        }
+        // Re-entering a wait is exactly the predicate re-check discipline;
+        // clear any pending spurious marker.
+        st.slots[me].after_spurious = None;
+        let entry_epoch = st.condvars.entry(cv_id).or_default().notifies;
+        let entry_acq = st.mutexes.entry(mutex_id).or_default().acquisitions;
+        st.condvars.entry(cv_id).or_default().waiters.push(me);
+        st.slots[me].status =
+            Status::CondBlocked { cv: cv_id, mutex: mutex_id, timed, entry_epoch, entry_acq };
+        if st.running == Some(me) {
+            st.running = None;
+        }
+        if st.running.is_none() {
+            self.schedule_next(&mut st);
+        }
+        let mut st = self.wait_granted(st, me);
+        st.slots[me].wake.take().unwrap_or(WakeReason::Notify)
+    }
+
+    /// Notify: one decision point, then wake FIFO waiter(s) inline.
+    pub(crate) fn notify(&self, me: usize, cv_id: u64, all: bool) {
+        self.sched(me, Op::Yield);
+        let mut st = self.lock();
+        let cvst = st.condvars.entry(cv_id).or_default();
+        cvst.notifies += 1;
+        let to_wake: Vec<usize> = if all {
+            std::mem::take(&mut cvst.waiters)
+        } else {
+            let mut v = Vec::new();
+            if !cvst.waiters.is_empty() {
+                v.push(cvst.waiters.remove(0));
+            }
+            v
+        };
+        for t in to_wake {
+            if let Status::CondBlocked { mutex, .. } = st.slots[t].status {
+                st.slots[t].status = Status::Ready(Op::Acquire(mutex));
+                st.slots[t].wake = Some(WakeReason::Notify);
+            }
+        }
+    }
+
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.sched(me, Op::Yield);
+    }
+
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        self.sched(me, Op::Join(target));
+    }
+
+    /// Register a new model thread (called by the spawning thread, which
+    /// takes a decision point first). The child starts parked.
+    pub(crate) fn spawn_register(&self, me: usize, name: Option<String>) -> usize {
+        self.sched(me, Op::Yield);
+        let mut st = self.lock();
+        let tid = st.slots.len();
+        let name = name.unwrap_or_else(|| format!("t{tid}"));
+        st.slots.push(ThreadSlot::new(name, Status::Ready(Op::Yield)));
+        tid
+    }
+
+    /// Child threads park here until first granted.
+    pub(crate) fn thread_started(&self, me: usize) {
+        let st = self.lock();
+        let _st = self.wait_granted(st, me);
+    }
+
+    pub(crate) fn thread_finished(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.slots[me].status = Status::Finished;
+        if me == 0 {
+            if let Some(msg) = panic_msg {
+                self.abort(&mut st, FindingKind::Panic, format!("model body panicked: {msg}"));
+                return;
+            }
+        }
+        if st.running == Some(me) {
+            st.running = None;
+        }
+        if st.running.is_none() {
+            self.schedule_next(&mut st);
+        }
+    }
+
+    /// Block the (non-model) driver thread until the execution completes,
+    /// then return the decision record and any finding.
+    pub(crate) fn wait_outcome(&self) -> (Vec<Decision>, Option<(FindingKind, String)>) {
+        let mut st = self.lock();
+        while !st.done {
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+            // sync-ok: engine plumbing
+        }
+        (std::mem::take(&mut st.record), st.finding.take())
+    }
+}
+
+fn prefix_len(mode: &PickMode) -> usize {
+    match mode {
+        PickMode::Dfs { prefix } => prefix.len(),
+        PickMode::Random { .. } => 0,
+    }
+}
+
+fn prefix_at(mode: &PickMode, i: usize) -> u32 {
+    match mode {
+        PickMode::Dfs { prefix } => prefix[i],
+        PickMode::Random { .. } => 0,
+    }
+}
+
+/// Outcome of a single execution.
+pub(crate) struct ExecOutcome {
+    pub decisions: Vec<Decision>,
+    pub finding: Option<Finding>,
+}
+
+/// Run the model body once under `mode`.
+pub(crate) fn run_one(
+    cfg: &ModelConfig,
+    mode: PickMode,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> ExecOutcome {
+    let exec = Arc::new(Execution::new(cfg, mode));
+    let thread_exec = Arc::clone(&exec);
+    let thread_body = Arc::clone(body);
+    let spawned = std::thread::Builder::new().name("model-main".to_string()).spawn(move || {
+        crate::tls::set_ctx(Some(crate::tls::ThreadCtx { exec: Arc::clone(&thread_exec), tid: 0 }));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| thread_body()));
+        let msg = r.err().map(|p| panic_message(&p));
+        thread_exec.thread_finished(0, msg);
+        crate::tls::set_ctx(None);
+    });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => panic!("model checker could not spawn the root thread: {e}"),
+    };
+    let (decisions, finding) = exec.wait_outcome();
+    let schedule: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
+    if finding.is_none() {
+        // Clean execution: every model thread has finished; the root OS
+        // thread is winding down and joins promptly.
+        let _ = handle.join();
+    }
+    ExecOutcome {
+        decisions,
+        finding: finding.map(|(kind, detail)| Finding { kind, detail, schedule }),
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic schedule exploration ("model checking") for code written
+//! against the `start_sync` shims.
+//!
+//! [`check`] runs a closure — the *model body* — many times, each time under
+//! a different thread interleaving, and reports how many distinct schedules
+//! were explored plus any findings (deadlock, lost wakeup, unguarded wait,
+//! panic). The body spawns model threads with [`spawn`]; every `start_sync`
+//! primitive the body (and anything it calls) touches automatically becomes
+//! part of the explored schedule because the shims detect model mode through
+//! thread-local state.
+//!
+//! Exploration runs in two phases: a bounded-preemption exhaustive DFS over
+//! decision prefixes (capped at [`ModelConfig::max_schedules`] executions),
+//! then a seeded random walk ([`ModelConfig::seeds`] ×
+//! [`ModelConfig::random_iters`]). Schedules are deduplicated by their full
+//! decision sequence, so [`Report::distinct_schedules`] counts genuinely
+//! different interleavings. Exploration stops at the first finding; the
+//! finding carries the decision sequence that reproduces it.
+//!
+//! Determinism contract for model bodies: no wall-clock reads, no
+//! `std::thread` primitives (use [`spawn`]/[`JoinHandle`]), no OS
+//! randomness. `Duration` arguments to `wait_timeout`/`recv_timeout` are
+//! abstract — timeouts fire exactly when the model is otherwise stuck.
+
+pub(crate) mod exec;
+
+use std::collections::HashSet;
+
+use crate::Arc;
+
+/// Exploration parameters. `Default` is sized for the workspace's CI models:
+/// a few thousand executions in a couple of seconds.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Cap on exhaustive-DFS executions (the DFS is usually cut off by this
+    /// cap, not by exhausting the space).
+    pub max_schedules: usize,
+    /// Random-walk executions per seed.
+    pub random_iters: usize,
+    /// Seeds for the random-walk phase.
+    pub seeds: Vec<u64>,
+    /// Max preemptions (involuntary context switches) per execution in the
+    /// DFS phase; `None` explores unrestricted.
+    pub preemption_bound: Option<usize>,
+    /// Abort an execution (StepLimit finding) after this many scheduling
+    /// decisions — catches livelock/spin in model bodies.
+    pub max_steps: usize,
+    /// Offer spurious condvar wakeups as scheduling choices. Off by default;
+    /// enable to hunt non-predicate-guarded waits.
+    pub spurious_wakeups: bool,
+    /// Max spurious wakeups injected per execution (keeps the DFS finite).
+    pub max_spurious: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            max_schedules: 2_000,
+            random_iters: 400,
+            seeds: vec![0x5747_5243_0007], // pinned: "START" PR 7
+            preemption_bound: None,
+            max_steps: 50_000,
+            spurious_wakeups: false,
+            max_spurious: 1,
+        }
+    }
+}
+
+/// What kind of concurrency defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// No runnable thread and no condvar waiter: a cycle of lock/join waits.
+    Deadlock,
+    /// A condvar waiter with no reachable future notify.
+    LostWakeup,
+    /// A wait escaped via spurious wakeup without a predicate re-check.
+    UnguardedWait,
+    /// The model body panicked.
+    Panic,
+    /// An execution exceeded [`ModelConfig::max_steps`] decisions.
+    StepLimit,
+}
+
+/// One defect, with the decision sequence that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub detail: String,
+    /// Replayable schedule: the chosen index at every decision point.
+    pub schedule: Vec<u32>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: {} (schedule: {:?})",
+            self.kind,
+            self.detail,
+            &self.schedule[..self.schedule.len().min(64)]
+        )
+    }
+}
+
+/// Result of a [`check`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of genuinely different interleavings executed.
+    pub distinct_schedules: usize,
+    /// Total executions (DFS + random phases; random walks may repeat).
+    pub executions: usize,
+    /// Defects found (exploration stops at the first).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Panic with the findings unless the run is clean — the assertion CI
+    /// model tests use.
+    pub fn assert_clean(&self) {
+        if let Some(f) = self.findings.first() {
+            panic!("model check found a defect after {} executions: {f}", self.executions);
+        }
+    }
+}
+
+/// Explore the interleavings of `body` under `cfg`. See the module docs.
+///
+/// `body` runs once per execution and must set up all its own state (the
+/// explorer re-runs it from scratch for every schedule).
+pub fn check<F>(cfg: &ModelConfig, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if crate::tls::in_model() {
+        panic!("model::check cannot be nested inside a model execution");
+    }
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut distinct: HashSet<Vec<u32>> = HashSet::new();
+    let mut findings = Vec::new();
+    let mut executions = 0usize;
+
+    // Phase 1: bounded-preemption exhaustive DFS over decision prefixes.
+    let mut prefix: Vec<u32> = Vec::new();
+    loop {
+        let out = exec::run_one(cfg, exec::PickMode::Dfs { prefix: prefix.clone() }, &body);
+        executions += 1;
+        distinct.insert(out.decisions.iter().map(|d| d.chosen).collect());
+        if let Some(f) = out.finding {
+            findings.push(f);
+            break;
+        }
+        if executions >= cfg.max_schedules {
+            break;
+        }
+        // Backtrack: bump the deepest decision that still has an untried
+        // alternative, drop everything after it.
+        let mut decisions = out.decisions;
+        let mut advanced = false;
+        while let Some(d) = decisions.pop() {
+            if d.chosen + 1 < d.n_choices {
+                let mut p: Vec<u32> = decisions.iter().map(|x| x.chosen).collect();
+                p.push(d.chosen + 1);
+                prefix = p;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break; // space exhausted
+        }
+    }
+
+    // Phase 2: seeded random walks.
+    if findings.is_empty() {
+        'seeds: for (si, &seed) in cfg.seeds.iter().enumerate() {
+            for i in 0..cfg.random_iters {
+                let state = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((si as u64) << 32)
+                    .wrapping_add(i as u64);
+                let out = exec::run_one(cfg, exec::PickMode::Random { state }, &body);
+                executions += 1;
+                distinct.insert(out.decisions.iter().map(|d| d.chosen).collect());
+                if let Some(f) = out.finding {
+                    findings.push(f);
+                    break 'seeds;
+                }
+            }
+        }
+    }
+
+    Report { distinct_schedules: distinct.len(), executions, findings }
+}
+
+/// Handle to a thread started with [`spawn`]. In model mode, `join` is a
+/// scheduling decision enabled only once the target thread finished; outside
+/// a model it is plain `std::thread` join.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    model: Option<(Arc<exec::Execution>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish; `Err` carries the panic payload, as
+    /// with `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, target)) = &self.model {
+            let Some(ctx) = crate::tls::ctx() else {
+                panic!("joining a model thread from outside its model execution");
+            };
+            if !Arc::ptr_eq(exec, &ctx.exec) {
+                panic!("joining a model thread from a different model execution");
+            }
+            ctx.exec.join(ctx.tid, *target);
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread. Inside a model execution the thread is registered with
+/// the explorer and participates in schedule exploration; outside, this is
+/// `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    named(None, f)
+}
+
+/// [`spawn`] with a thread name (used in finding reports).
+pub fn spawn_named<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    named(Some(name.to_string()), f)
+}
+
+fn named<T, F>(name: Option<String>, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let Some(ctx) = crate::tls::ctx() else {
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = &name {
+            b = b.name(n.clone());
+        }
+        let inner = match b.spawn(f) {
+            Ok(h) => h,
+            Err(e) => panic!("thread spawn failed: {e}"),
+        };
+        return JoinHandle { inner, model: None };
+    };
+    let tid = ctx.exec.spawn_register(ctx.tid, name.clone());
+    let child_exec = Arc::clone(&ctx.exec);
+    let mut b = std::thread::Builder::new();
+    b = b.name(name.unwrap_or_else(|| format!("model-t{tid}")));
+    let spawned = b.spawn(move || {
+        crate::tls::set_ctx(Some(crate::tls::ThreadCtx { exec: Arc::clone(&child_exec), tid }));
+        child_exec.thread_started(tid);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        child_exec.thread_finished(tid, r.as_ref().err().map(|p| exec::panic_message(p.as_ref())));
+        crate::tls::set_ctx(None);
+        match r {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    });
+    let inner = match spawned {
+        Ok(h) => h,
+        Err(e) => panic!("model thread spawn failed: {e}"),
+    };
+    JoinHandle { inner, model: Some((ctx.exec, tid)) }
+}

@@ -1,0 +1,216 @@
+//! `mpsc` shim. Outside a model this is `std::sync::mpsc`; inside, channels
+//! are built on the shim `Mutex`/`Condvar`, so every send/recv participates
+//! in schedule exploration and the deadlock/lost-wakeup detectors compose
+//! for free (a `recv` on an empty channel whose senders never send again is
+//! reported, not hung).
+//!
+//! Mode is fixed at `channel()` time by the creating thread's context —
+//! channels created inside a model body are model channels.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+use crate::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a closed channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on a closed channel")
+    }
+}
+
+struct ChanState<T> {
+    q: VecDeque<T>,
+    senders: usize,
+    recv_alive: bool,
+}
+
+struct Chan<T> {
+    st: Mutex<ChanState<T>>,
+    cv: Condvar,
+}
+
+fn chan_lock<T>(chan: &Chan<T>) -> MutexGuard<'_, ChanState<T>> {
+    chan.st.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Sender<T>(SenderInner<T>);
+
+enum SenderInner<T> {
+    Std(std::sync::mpsc::Sender<T>), // sync-ok: the shim wraps std
+    Model(Arc<Chan<T>>),
+}
+
+pub struct Receiver<T>(ReceiverInner<T>);
+
+enum ReceiverInner<T> {
+    Std(std::sync::mpsc::Receiver<T>), // sync-ok: the shim wraps std
+    Model(Arc<Chan<T>>),
+}
+
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    if crate::tls::in_model() {
+        let chan = Arc::new(Chan {
+            st: Mutex::new(ChanState { q: VecDeque::new(), senders: 1, recv_alive: true }),
+            cv: Condvar::new(),
+        });
+        (Sender(SenderInner::Model(Arc::clone(&chan))), Receiver(ReceiverInner::Model(chan)))
+    } else {
+        let (tx, rx) = std::sync::mpsc::channel(); // sync-ok: the shim wraps std
+        (Sender(SenderInner::Std(tx)), Receiver(ReceiverInner::Std(rx)))
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderInner::Std(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            SenderInner::Model(chan) => {
+                let mut st = chan_lock(chan);
+                if !st.recv_alive {
+                    return Err(SendError(value));
+                }
+                st.q.push_back(value);
+                drop(st);
+                chan.cv.notify_one();
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SenderInner::Std(tx) => Sender(SenderInner::Std(tx.clone())),
+            SenderInner::Model(chan) => {
+                chan_lock(chan).senders += 1;
+                Sender(SenderInner::Model(Arc::clone(chan)))
+            }
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let SenderInner::Model(chan) = &self.0 {
+            let mut st = chan_lock(chan);
+            st.senders = st.senders.saturating_sub(1);
+            let disconnected = st.senders == 0;
+            drop(st);
+            if disconnected {
+                // Wake a blocked receiver so it observes the disconnect
+                // instead of tripping the lost-wakeup detector.
+                chan.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.recv().map_err(|_| RecvError),
+            ReceiverInner::Model(chan) => {
+                let mut st = chan_lock(chan);
+                loop {
+                    if let Some(v) = st.q.pop_front() {
+                        return Ok(v);
+                    }
+                    if st.senders == 0 {
+                        return Err(RecvError);
+                    }
+                    st = chan.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.try_recv().map_err(|e| match e {
+                std::sync::mpsc::TryRecvError::Empty => TryRecvError::Empty, // sync-ok: the shim wraps std
+                std::sync::mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected, // sync-ok: the shim wraps std
+            }),
+            ReceiverInner::Model(chan) => {
+                let mut st = chan_lock(chan);
+                if let Some(v) = st.q.pop_front() {
+                    Ok(v)
+                } else if st.senders == 0 {
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        match &self.0 {
+            ReceiverInner::Std(rx) => rx.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout, // sync-ok: the shim wraps std
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected, // sync-ok: the shim wraps std
+            }),
+            ReceiverInner::Model(chan) => {
+                let mut st = chan_lock(chan);
+                loop {
+                    if let Some(v) = st.q.pop_front() {
+                        return Ok(v);
+                    }
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    let (g, res) =
+                        chan.cv.wait_timeout(st, timeout).unwrap_or_else(PoisonError::into_inner);
+                    st = g;
+                    if res.timed_out() {
+                        return if let Some(v) = st.q.pop_front() {
+                            Ok(v)
+                        } else if st.senders == 0 {
+                            Err(RecvTimeoutError::Disconnected)
+                        } else {
+                            Err(RecvTimeoutError::Timeout)
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverInner::Model(chan) = &self.0 {
+            chan_lock(chan).recv_alive = false;
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! `Mutex` shim: `std::sync::Mutex` semantics (including poisoning), plus
+//! model-mode scheduling and the normal-mode lock-order sanitizer.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::AtomicU64 as RawAtomicU64; // sync-ok: shim-internal id cell
+use std::sync::{
+    LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError, TryLockError,
+}; // sync-ok: the shim wraps std
+
+use crate::model::exec::{self, Execution};
+use crate::{order, tls, Arc};
+
+pub struct Mutex<T> {
+    pub(crate) inner: StdMutex<T>,
+    /// Lazily assigned model-object id (0 = unassigned).
+    pub(crate) id: RawAtomicU64,
+    /// Creation site — the lock's *class* for lock-order analysis. All locks
+    /// created at one source location (e.g. the shards of a sharded cache)
+    /// share a class; same-class nesting is ignored.
+    pub(crate) class: &'static Location<'static>,
+}
+
+/// Model-mode bookkeeping carried by a guard: the execution, the owning
+/// model thread, and the mutex's model id.
+pub(crate) type ModelOwner = (Arc<Execution>, usize, u64);
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only while the guard is being dissolved (condvar wait) or
+    /// dropped.
+    std: Option<StdMutexGuard<'a, T>>,
+    model: Option<ModelOwner>,
+    order: Option<order::Token>,
+}
+
+impl<T> Mutex<T> {
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value), id: RawAtomicU64::new(0), class: Location::caller() }
+    }
+
+    /// Acquire, blocking. Poisoning behaves exactly like `std`.
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(ctx) = tls::ctx() {
+            let id = exec::object_id(&self.id);
+            ctx.exec.acquire_mutex(ctx.tid, id);
+            let (g, poisoned) = self.relock_after_grant();
+            let guard = MutexGuard {
+                lock: self,
+                std: Some(g),
+                model: Some((ctx.exec, ctx.tid, id)),
+                order: None,
+            };
+            return if poisoned { Err(PoisonError::new(guard)) } else { Ok(guard) };
+        }
+        let order = order::on_acquire(self.class, Location::caller());
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard { lock: self, std: Some(g), model: None, order }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                std: Some(p.into_inner()),
+                model: None,
+                order,
+            })),
+        }
+    }
+
+    /// Non-blocking acquire.
+    #[track_caller]
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError<MutexGuard<'_, T>>> {
+        if let Some(ctx) = tls::ctx() {
+            let id = exec::object_id(&self.id);
+            if !ctx.exec.try_acquire_mutex(ctx.tid, id) {
+                return Err(TryLockError::WouldBlock);
+            }
+            let (g, poisoned) = self.relock_after_grant();
+            let guard = MutexGuard {
+                lock: self,
+                std: Some(g),
+                model: Some((ctx.exec, ctx.tid, id)),
+                order: None,
+            };
+            return if poisoned {
+                Err(TryLockError::Poisoned(PoisonError::new(guard)))
+            } else {
+                Ok(guard)
+            };
+        }
+        match self.inner.try_lock() {
+            Ok(g) => {
+                let order = order::on_acquire(self.class, Location::caller());
+                Ok(MutexGuard { lock: self, std: Some(g), model: None, order })
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => {
+                let order = order::on_acquire(self.class, Location::caller());
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    lock: self,
+                    std: Some(p.into_inner()),
+                    model: None,
+                    order,
+                })))
+            }
+        }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Take the real lock after the model already granted exclusivity; the
+    /// only legitimate contention is poison. Returns `(guard, poisoned)`.
+    pub(crate) fn relock_after_grant(&self) -> (StdMutexGuard<'_, T>, bool) {
+        match self.inner.try_lock() {
+            Ok(g) => (g, false),
+            Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+            Err(TryLockError::WouldBlock) => match self.inner.lock() {
+                Ok(g) => (g, false),
+                Err(p) => (p.into_inner(), true),
+            },
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    pub(crate) fn mutex(&self) -> &'a Mutex<T> {
+        self.lock
+    }
+
+    pub(crate) fn is_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Dissolve the guard for a condvar wait: hands the still-held raw
+    /// `std` guard and the bookkeeping to the caller (`Condvar::wait`)
+    /// without running the release hooks. Critically the real mutex stays
+    /// locked — in normal mode the raw guard must flow into
+    /// `std::sync::Condvar::wait` unbroken to keep release-and-wait atomic.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn dissolve_for_wait(
+        mut self,
+    ) -> (&'a Mutex<T>, Option<StdMutexGuard<'a, T>>, Option<ModelOwner>, Option<order::Token>)
+    {
+        let lock = self.lock;
+        let std = self.std.take();
+        let model = self.model.take();
+        let order = self.order.take();
+        (lock, std, model, order)
+    }
+
+    pub(crate) fn from_parts(
+        lock: &'a Mutex<T>,
+        std: StdMutexGuard<'a, T>,
+        model: Option<ModelOwner>,
+        order: Option<order::Token>,
+    ) -> Self {
+        MutexGuard { lock, std: Some(std), model, order }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.std {
+            Some(g) => g,
+            None => panic!("use of a dissolved MutexGuard"),
+        }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.std {
+            Some(g) => g,
+            None => panic!("use of a dissolved MutexGuard"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Unlock the real mutex first so that when the model later grants
+        // another thread, `relock_after_grant` always succeeds.
+        drop(self.std.take());
+        if let Some((exec, tid, id)) = self.model.take() {
+            exec.release_mutex(tid, id);
+        } else if let Some(tok) = self.order.take() {
+            order::on_release(tok);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}

@@ -1,0 +1,189 @@
+//! `RwLock` shim: delegates to `std::sync::RwLock`, with model-mode
+//! scheduling (readers share, writers exclusive) and lock-order tracking —
+//! read and write acquisitions participate in the same order class.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::AtomicU64 as RawAtomicU64; // sync-ok: shim-internal id cell
+use std::sync::{
+    LockResult, PoisonError, RwLock as StdRwLock, RwLockReadGuard as StdReadGuard,
+    RwLockWriteGuard as StdWriteGuard, TryLockError,
+}; // sync-ok: the shim wraps std
+
+use crate::model::exec::{self, Execution};
+use crate::{order, tls, Arc};
+
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+    id: RawAtomicU64,
+    class: &'static Location<'static>,
+}
+
+type ModelOwner = (Arc<Execution>, usize, u64);
+
+pub struct RwLockReadGuard<'a, T> {
+    std: Option<StdReadGuard<'a, T>>,
+    model: Option<ModelOwner>,
+    order: Option<order::Token>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    std: Option<StdWriteGuard<'a, T>>,
+    model: Option<ModelOwner>,
+    order: Option<order::Token>,
+}
+
+impl<T> RwLock<T> {
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        RwLock { inner: StdRwLock::new(value), id: RawAtomicU64::new(0), class: Location::caller() }
+    }
+
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some(ctx) = tls::ctx() {
+            let id = exec::object_id(&self.id);
+            ctx.exec.acquire_rw(ctx.tid, id, false);
+            let (g, poisoned) = match self.inner.try_read() {
+                Ok(g) => (g, false),
+                Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+                Err(TryLockError::WouldBlock) => match self.inner.read() {
+                    Ok(g) => (g, false),
+                    Err(p) => (p.into_inner(), true),
+                },
+            };
+            let guard =
+                RwLockReadGuard { std: Some(g), model: Some((ctx.exec, ctx.tid, id)), order: None };
+            return if poisoned { Err(PoisonError::new(guard)) } else { Ok(guard) };
+        }
+        let order = order::on_acquire(self.class, Location::caller());
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard { std: Some(g), model: None, order }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                std: Some(p.into_inner()),
+                model: None,
+                order,
+            })),
+        }
+    }
+
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some(ctx) = tls::ctx() {
+            let id = exec::object_id(&self.id);
+            ctx.exec.acquire_rw(ctx.tid, id, true);
+            let (g, poisoned) = match self.inner.try_write() {
+                Ok(g) => (g, false),
+                Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+                Err(TryLockError::WouldBlock) => match self.inner.write() {
+                    Ok(g) => (g, false),
+                    Err(p) => (p.into_inner(), true),
+                },
+            };
+            let guard = RwLockWriteGuard {
+                std: Some(g),
+                model: Some((ctx.exec, ctx.tid, id)),
+                order: None,
+            };
+            return if poisoned { Err(PoisonError::new(guard)) } else { Ok(guard) };
+        }
+        let order = order::on_acquire(self.class, Location::caller());
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard { std: Some(g), model: None, order }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                std: Some(p.into_inner()),
+                model: None,
+                order,
+            })),
+        }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.std {
+            Some(g) => g,
+            None => panic!("use of a dissolved RwLockReadGuard"),
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.std {
+            Some(g) => g,
+            None => panic!("use of a dissolved RwLockWriteGuard"),
+        }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.std {
+            Some(g) => g,
+            None => panic!("use of a dissolved RwLockWriteGuard"),
+        }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.std.take());
+        if let Some((exec, tid, id)) = self.model.take() {
+            exec.release_rw(tid, id, false);
+        } else if let Some(tok) = self.order.take() {
+            order::on_release(tok);
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.std.take());
+        if let Some((exec, tid, id)) = self.model.take() {
+            exec.release_rw(tid, id, true);
+        } else if let Some(tok) = self.order.take() {
+            order::on_release(tok);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}

@@ -1,0 +1,36 @@
+//! Per-thread model-mode context.
+//!
+//! A thread is "in model mode" iff its TLS slot holds a handle to a live
+//! [`Execution`](crate::model::exec::Execution). The shims consult this on
+//! every operation: `None` → delegate straight to `std`, `Some` → route the
+//! operation through the schedule explorer.
+
+use std::cell::RefCell;
+
+use crate::model::exec::Execution;
+use crate::Arc;
+
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub exec: Arc<Execution>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's model context, if any.
+pub(crate) fn ctx() -> Option<ThreadCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True iff the current thread is running inside a model execution.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Install the model context for the current thread (model threads only).
+pub(crate) fn set_ctx(ctx: Option<ThreadCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}

@@ -1,0 +1,93 @@
+//! Seeded-bug tests for the normal-mode lock-order sanitizer: a
+//! deliberately reversed lock pair must abort with both acquisition sites;
+//! a consistent order must stay quiet.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use start_sync::{Mutex, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> start_sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn force_sanitizer_on() {
+    // Cached process-wide on first use; every test in this binary sets it
+    // first, so release-mode runs exercise the sanitizer too.
+    std::env::set_var("START_SANITIZE", "1");
+}
+
+#[test]
+fn reversed_lock_pair_aborts_with_both_acquisition_sites() {
+    force_sanitizer_on();
+    let a = Mutex::new(0u8); // class A
+    let b = Mutex::new(0u8); // class B
+
+    // First pass establishes the order A → B.
+    {
+        let _ga = lock(&a);
+        let _gb = lock(&b);
+    }
+
+    // Second pass takes them reversed: the sanitizer must abort on the
+    // acquisition of A while holding B, naming both sites.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = lock(&b);
+        let _ga = lock(&a);
+    }));
+    let payload = match result {
+        Err(p) => p,
+        Ok(()) => panic!("reversed acquisition should have aborted"),
+    };
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".to_string());
+    assert!(msg.contains("lock-order inversion"), "unexpected message: {msg}");
+    // Both acquisition sites: the one in this (reversed) pass and the
+    // exemplar from the first pass — all in this file.
+    let occurrences = msg.matches("tests/lock_order.rs").count();
+    assert!(occurrences >= 2, "expected both acquisition sites in: {msg}");
+}
+
+#[test]
+fn consistent_lock_order_stays_quiet() {
+    force_sanitizer_on();
+    let outer = Mutex::new(());
+    let inner = Mutex::new(());
+    for _ in 0..3 {
+        let _go = lock(&outer);
+        let _gi = lock(&inner);
+    }
+    // Taking only the inner lock is not an inversion.
+    let _gi = lock(&inner);
+}
+
+#[test]
+fn same_class_sharded_locks_are_exempt() {
+    force_sanitizer_on();
+    // N locks created at one source site share a class; nesting them (as a
+    // sharded structure might under rehash/drain) must not self-report.
+    let shards: Vec<Mutex<u32>> = (0..4).map(|i| Mutex::new(i)).collect();
+    let _g0 = lock(&shards[0]);
+    let _g1 = lock(&shards[1]);
+    let _g2 = lock(&shards[2]);
+}
+
+#[test]
+fn condvar_wait_releases_the_held_entry() {
+    force_sanitizer_on();
+    use std::time::Duration;
+    let pair = start_sync::Arc::new((Mutex::new(false), start_sync::Condvar::new()));
+    let other = Mutex::new(());
+    // Holding `flag`'s mutex, wait (times out); during the wait the mutex is
+    // not held, so another thread taking `other` then `flag` is NOT an
+    // inversion — verify the held-set bookkeeping by taking `other` after
+    // the wait returns re-acquired, which records flag→other... then take
+    // the locks in the same order again: still quiet.
+    let (flag, cv) = &*pair;
+    let g = lock(flag);
+    let (g, _) =
+        cv.wait_timeout(g, Duration::from_millis(1)).unwrap_or_else(PoisonError::into_inner);
+    let _go = lock(&other);
+    drop(g);
+}
