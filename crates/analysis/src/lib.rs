@@ -1,6 +1,6 @@
 //! Syntactic workspace lints — repo invariants clippy cannot express.
 //!
-//! Five rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//! Nine rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
 //!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`,
@@ -44,6 +44,12 @@
 //!    `// relaxed-ok: <reason>` justification on the same line or in the
 //!    comment block directly above, mirroring `// f64-ok:` — every relaxed
 //!    access must say why no ordering is needed.
+//! 9. **unsafe-needs-reason**: every `unsafe` *block* in non-test library
+//!    code carries `// unsafe-ok: <reason>` on the same line or in the
+//!    comment block directly above — the safety argument lives next to the
+//!    code that assumes it. `unsafe fn`/`impl`/`trait` declarations are
+//!    exempt (they state the contract; the block is where it is assumed),
+//!    and the `start_sync` shim is *not* exempt from this rule.
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -614,6 +620,76 @@ pub fn lint_relaxed_ordering(file: &str, source: &str) -> Vec<Lint> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 9: unsafe blocks need a justification
+// ---------------------------------------------------------------------------
+
+/// True when `code` enters an `unsafe` *block* — the `unsafe` keyword not
+/// followed by `fn`/`impl`/`trait`/`extern`. Declarations state a contract;
+/// a block is where unchecked code actually starts running, so that is
+/// where the rule demands the safety argument.
+fn has_unsafe_block(code: &str) -> bool {
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let at = start + pos;
+        let end = at + "unsafe".len();
+        let before_ok = at == 0 || !code[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !code[end..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            let rest = code[end..].trim_start();
+            let is_decl = ["fn", "impl", "trait", "extern"].iter().any(|kw| {
+                rest.starts_with(kw) && !rest[kw.len()..].chars().next().is_some_and(is_ident)
+            });
+            if !is_decl {
+                return true;
+            }
+        }
+        start = end;
+    }
+    false
+}
+
+/// Flag `unsafe` blocks outside `#[cfg(test)]` code unless the same line or
+/// the contiguous comment block directly above carries
+/// `// unsafe-ok: <reason>` — the safety argument (what guards the call,
+/// which invariant makes it sound) must live next to the block, not in a
+/// reviewer's head. `unsafe fn`/`unsafe impl`/`unsafe trait` declarations
+/// are exempt: they state the contract, the block is where it is assumed.
+pub fn lint_unsafe_blocks(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut tracker = TestModTracker::default();
+    // True while the contiguous run of comment-only lines directly above
+    // the current line contains the marker.
+    let mut run_ok = false;
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let in_test = tracker.line_is_test(&code);
+        if code.trim().is_empty() {
+            // Comment-only (or blank) line: extend or reset the run.
+            if comment.contains("unsafe-ok:") {
+                run_ok = true;
+            } else if comment.is_empty() {
+                run_ok = false; // blank line breaks the comment block
+            }
+            continue;
+        }
+        if !in_test && has_unsafe_block(&code) && !comment.contains("unsafe-ok:") && !run_ok {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: n + 1,
+                rule: "unsafe-needs-reason",
+                message: "`unsafe` block without a `// unsafe-ok: <reason>` justification \
+                          — state what guarantees the operation is sound"
+                    .to_string(),
+            });
+        }
+        run_ok = false;
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -717,6 +793,20 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
         lints.extend(lint_std_sync(&label, &source));
         lints.extend(lint_wait_predicate(&label, &source));
         lints.extend(lint_relaxed_ordering(&label, &source));
+        lints.extend(lint_unsafe_blocks(&label, &source));
+    }
+
+    // Rule 9 also covers the sync shim: it is the one legitimate
+    // `std::sync` user (exempt from rules 6–8) but gets no pass on
+    // undocumented unsafe.
+    let sync_src = root.join("crates/sync/src");
+    if sync_src.is_dir() {
+        let mut files = Vec::new();
+        rust_files(&sync_src, &mut files)?;
+        for file in files {
+            let label = rel(root, &file);
+            lints.extend(lint_unsafe_blocks(&label, &std::fs::read_to_string(&file)?));
+        }
     }
 
     Ok(lints)
@@ -1060,6 +1150,57 @@ mod tests {
             "}\n",
         );
         assert!(lint_relaxed_ordering("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_requires_a_reason() {
+        let bad = "fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+        let lints = lint_unsafe_blocks("lib.rs", bad);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].rule, "unsafe-needs-reason");
+
+        let same_line =
+            "fn f(p: *const f32) -> f32 { unsafe { *p } } // unsafe-ok: caller checked\n";
+        assert!(lint_unsafe_blocks("lib.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn unsafe_comment_block_above_covers_the_next_statement() {
+        let src = concat!(
+            "// unsafe-ok: AVX2 availability checked by the dispatch\n",
+            "// gate at construction time.\n",
+            "let x = unsafe { kernel(a) };\n",
+            "let y = unsafe { kernel(b) };\n",
+        );
+        // Only the first block is covered by the comment above.
+        let lints = lint_unsafe_blocks("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 4);
+        // A blank line breaks the block.
+        let broken = "// unsafe-ok: reason\n\nlet x = unsafe { kernel(a) };\n";
+        assert_eq!(lint_unsafe_blocks("lib.rs", broken).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_declarations_and_tests_are_exempt() {
+        let src = concat!(
+            "#[target_feature(enable = \"avx2\")]\n",
+            "unsafe fn kernel(a: &[f32]) -> f32 { 0.0 }\n",
+            "unsafe impl Send for Pool {}\n",
+            "unsafe trait Arena {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let _ = unsafe { raw() }; }\n",
+            "}\n",
+        );
+        assert!(
+            lint_unsafe_blocks("lib.rs", src).is_empty(),
+            "{:?}",
+            lint_unsafe_blocks("lib.rs", src)
+        );
+        // Mentions inside strings and comments never fire.
+        let quoted = "fn f() { log(\"unsafe { }\"); } // unsafe { } in prose\n";
+        assert!(lint_unsafe_blocks("lib.rs", quoted).is_empty());
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn run_lint() {
     };
 
     if lints.is_empty() {
-        println!("start-analysis: workspace clean ({} rules)", 8);
+        println!("start-analysis: workspace clean ({} rules)", 9);
         return;
     }
     for lint in &lints {

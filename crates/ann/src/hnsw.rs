@@ -454,6 +454,10 @@ impl VectorIndex for Hnsw {
             f(self.ids[node], &row);
         }
     }
+
+    fn memory_bytes(&self) -> usize {
+        Hnsw::memory_bytes(self)
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,13 @@ pub trait VectorIndex: Send + Sync {
     /// Visit every live `(id, vector)` pair, in unspecified order — the
     /// rebuild path when the service swaps one index kind for another.
     fn for_each(&self, f: &mut dyn FnMut(u64, &[f32]));
+
+    /// Approximate resident bytes of the index's vector payload (and graph,
+    /// where one exists) — what the serving tier reports when comparing
+    /// precision configurations.
+    fn memory_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Heap key ordered by `(distance, id)` under `total_cmp`, so a max-heap's

@@ -1,24 +1,28 @@
-//! Kernel microbenchmarks for the blocked matmul family and the fused
-//! multi-head attention tape op.
+//! Kernel microbenchmarks for the matmul family and the fused multi-head
+//! attention tape op, three-way across the [`start_nn::backend`] seam.
 //!
 //! Two layers of measurement:
 //!
 //! 1. Raw kernels — the pre-blocking reference implementations (branchy
-//!    zero-skip triple loops, kept verbatim in this binary as `naive_*`)
-//!    against the shipped `start_nn::array` kernels, reported as GFLOP/s per
-//!    shape.
+//!    zero-skip triple loops, kept verbatim in `start_nn::array::reference`)
+//!    against the blocked scalar backend and, where the host supports
+//!    AVX2+FMA, the SIMD backend; reported as GFLOP/s per shape.
 //! 2. A full Transformer encoder layer, forward + backward — "current main"
-//!    (zero-skip reference kernels via `set_reference_kernels`, legacy
-//!    per-head attention tape, a fresh graph each step) against this PR
-//!    (blocked kernels, fused [`Graph::mh_attention`] op, pooled reused
-//!    graph), reported as tokens/sec. Both paths run the same seed and must
-//!    agree on the loss to 1e-4 at every step.
+//!    (zero-skip reference kernels, legacy per-head attention tape, a fresh
+//!    graph each step) against the blocked scalar backend and the SIMD
+//!    backend (fused [`Graph::mh_attention`] op, pooled reused graph),
+//!    reported as tokens/sec. All paths run the same seed and must agree on
+//!    the loss to 1e-4 at every step.
 //!
 //! Results land in `BENCH_kernels.json` at the repo root.
 //!
 //! Run: `cargo run -p start-bench --release --bin bench_kernels`
+//!   (add `--write-floors` to regenerate `KERNEL_FLOORS.json` from this
+//!   machine's measurements, at 0.6x so CI noise never trips a fresh floor)
 //! CI smoke: `cargo run -p start-bench --release --bin bench_kernels -- --smoke`
-//! (tiny shapes, asserts fused == unfused and finiteness, no timing, no JSON).
+//! (correctness on tiny shapes, then the perf-regression gate: per-kernel
+//! speedup vs the reference loops must hold the committed
+//! `KERNEL_FLOORS.json` figures minus 10% slack.)
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,6 +31,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use start_nn::array::{self, Array};
+use start_nn::backend::{self, BackendKind};
 use start_nn::graph::Graph;
 use start_nn::layers::TransformerEncoderLayer;
 use start_nn::params::{GradStore, ParamStore};
@@ -64,8 +69,8 @@ fn max_abs_diff(a: &Array, b: &Array) -> f32 {
     a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
 }
 
-/// Wall-time `f` enough times to exceed ~80ms and return GFLOP/s.
-fn gflops(flops_per_call: f64, mut f: impl FnMut() -> Array) -> f64 {
+/// Wall-time `f` enough times to exceed `window` seconds and return GFLOP/s.
+fn gflops_windowed(flops_per_call: f64, window: f64, mut f: impl FnMut() -> Array) -> f64 {
     // Warmup + sanity.
     let out = f();
     assert!(out.all_finite(), "kernel produced non-finite values");
@@ -76,73 +81,272 @@ fn gflops(flops_per_call: f64, mut f: impl FnMut() -> Array) -> f64 {
             std::hint::black_box(f());
         }
         let dt = t0.elapsed().as_secs_f64();
-        if dt > 0.08 || reps >= 1 << 14 {
+        if dt > window || reps >= 1 << 14 {
             return flops_per_call * f64::from(reps) / dt / 1e9;
         }
         reps *= 4;
     }
 }
 
+/// Run `f` with the process-global backend forced to `kind`, restoring the
+/// previous selection after.
+fn with_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> T {
+    let prev = backend::set_backend(Some(kind));
+    let out = f();
+    backend::set_backend(prev);
+    out
+}
+
+const KERNELS: [&str; 3] = ["matmul", "matmul_bt", "matmul_at"];
+
 struct KernelRow {
     kernel: &'static str,
     m: usize,
     k: usize,
     n: usize,
-    gflops_before: f64,
-    gflops_after: f64,
+    gflops_reference: f64,
+    gflops_scalar: f64,
+    gflops_simd: Option<f64>,
 }
 
-fn bench_kernel_shapes(shapes: &[(usize, usize, usize)]) -> Vec<KernelRow> {
+impl KernelRow {
+    fn speedup(&self, kind: BackendKind) -> f64 {
+        match kind {
+            BackendKind::Scalar => self.gflops_scalar / self.gflops_reference,
+            BackendKind::Simd => self.gflops_simd.map_or(0.0, |g| g / self.gflops_reference),
+        }
+    }
+}
+
+fn bench_kernel_shapes(shapes: &[(usize, usize, usize)], window: f64) -> Vec<KernelRow> {
     let mut rows = Vec::new();
     for &(m, k, n) in shapes {
         let flops = 2.0 * m as f64 * k as f64 * n as f64;
-
-        let a = fill(m, k, 0.1);
-        let b = fill(k, n, 0.7);
-        rows.push(KernelRow {
-            kernel: "matmul",
-            m,
-            k,
-            n,
-            gflops_before: gflops(flops, || naive_matmul(&a, &b)),
-            gflops_after: gflops(flops, || array::matmul(&a, &b)),
-        });
-
-        let bt = fill(n, k, 0.7);
-        rows.push(KernelRow {
-            kernel: "matmul_bt",
-            m,
-            k,
-            n,
-            gflops_before: gflops(flops, || naive_matmul_bt(&a, &bt)),
-            gflops_after: gflops(flops, || array::matmul_bt(&a, &bt)),
-        });
-
-        let at = fill(k, m, 0.1);
-        rows.push(KernelRow {
-            kernel: "matmul_at",
-            m,
-            k,
-            n,
-            gflops_before: gflops(flops, || naive_matmul_at(&at, &b)),
-            gflops_after: gflops(flops, || array::matmul_at(&at, &b)),
-        });
+        for kernel in KERNELS {
+            // Inputs are rebuilt per call inside `run_kernel`; build them
+            // once out here so the timed closure measures only the kernel.
+            let (a, b, bt, at) =
+                (fill(m, k, 0.1), fill(k, n, 0.7), fill(n, k, 0.7), fill(k, m, 0.1));
+            let timed: Box<dyn FnMut() -> Array> = match kernel {
+                "matmul" => Box::new(|| array::matmul(&a, &b)),
+                "matmul_bt" => Box::new(|| array::matmul_bt(&a, &bt)),
+                _ => Box::new(|| array::matmul_at(&at, &b)),
+            };
+            let mut timed = timed;
+            let reference = match kernel {
+                "matmul" => gflops_windowed(flops, window, || naive_matmul(&a, &b)),
+                "matmul_bt" => gflops_windowed(flops, window, || naive_matmul_bt(&a, &bt)),
+                _ => gflops_windowed(flops, window, || naive_matmul_at(&at, &b)),
+            };
+            let scalar =
+                with_backend(BackendKind::Scalar, || gflops_windowed(flops, window, &mut timed));
+            let simd = backend::simd().map(|_| {
+                with_backend(BackendKind::Simd, || gflops_windowed(flops, window, &mut timed))
+            });
+            rows.push(KernelRow {
+                kernel,
+                m,
+                k,
+                n,
+                gflops_reference: reference,
+                gflops_scalar: scalar,
+                gflops_simd: simd,
+            });
+        }
     }
     rows
 }
 
-/// Assert the shipped kernels agree with the naive references on one shape.
+/// Assert both shipped backends agree with the naive references on one shape.
 fn check_kernels_agree(m: usize, k: usize, n: usize) {
-    let a = fill(m, k, 0.3);
-    let b = fill(k, n, 0.9);
-    let d = max_abs_diff(&naive_matmul(&a, &b), &array::matmul(&a, &b));
-    assert!(d <= 1e-4, "matmul diverged from reference: {d}");
-    let bt = fill(n, k, 0.9);
-    let d = max_abs_diff(&naive_matmul_bt(&a, &bt), &array::matmul_bt(&a, &bt));
-    assert!(d <= 1e-4, "matmul_bt diverged from reference: {d}");
-    let at = fill(k, m, 0.3);
-    let d = max_abs_diff(&naive_matmul_at(&at, &b), &array::matmul_at(&at, &b));
-    assert!(d <= 1e-4, "matmul_at diverged from reference: {d}");
+    let mut kinds = vec![BackendKind::Scalar];
+    if backend::simd().is_some() {
+        kinds.push(BackendKind::Simd);
+    }
+    for kind in kinds {
+        with_backend(kind, || {
+            let a = fill(m, k, 0.3);
+            let b = fill(k, n, 0.9);
+            let d = max_abs_diff(&naive_matmul(&a, &b), &array::matmul(&a, &b));
+            assert!(d <= 1e-4, "{kind:?} matmul diverged from reference: {d}");
+            let bt = fill(n, k, 0.9);
+            let d = max_abs_diff(&naive_matmul_bt(&a, &bt), &array::matmul_bt(&a, &bt));
+            assert!(d <= 1e-4, "{kind:?} matmul_bt diverged from reference: {d}");
+            let at = fill(k, m, 0.3);
+            let d = max_abs_diff(&naive_matmul_at(&at, &b), &array::matmul_at(&at, &b));
+            assert!(d <= 1e-4, "{kind:?} matmul_at diverged from reference: {d}");
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KERNEL_FLOORS.json: the checked-in perf-regression floors the CI smoke
+// gate enforces, mirroring the `start-analysis plan --check` memory gate.
+
+const FLOORS_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../KERNEL_FLOORS.json");
+
+/// Gate slack: a measured speedup may undershoot its floor by this fraction
+/// before the gate fails (CI machines are noisy; real regressions are not
+/// 10% events — the SIMD kernels sit 2–30x above the reference loops).
+const FLOOR_SLACK: f64 = 0.10;
+
+struct Floor {
+    kernel: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    backend: BackendKind,
+    min_speedup: f64,
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let end = line[at..].find('"')?;
+    Some(line[at..at + end].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the floors file: one `{"kernel": ...}` object per line.
+fn parse_floors(json: &str) -> Vec<Floor> {
+    json.lines()
+        .filter_map(|line| {
+            let kernel = json_str_field(line, "kernel")?;
+            let backend = match json_str_field(line, "backend")?.as_str() {
+                "scalar" => BackendKind::Scalar,
+                "simd" => BackendKind::Simd,
+                other => panic!("KERNEL_FLOORS.json: unknown backend {other:?}"),
+            };
+            Some(Floor {
+                kernel,
+                m: json_num_field(line, "m")? as usize,
+                k: json_num_field(line, "k")? as usize,
+                n: json_num_field(line, "n")? as usize,
+                backend,
+                min_speedup: json_num_field(line, "min_speedup_vs_reference")?,
+            })
+        })
+        .collect()
+}
+
+/// The CI perf-regression gate: re-measure every floored (kernel, shape,
+/// backend) with short timing windows and fail on any speedup-vs-reference
+/// more than [`FLOOR_SLACK`] below its committed floor.
+fn check_floors() {
+    let json = std::fs::read_to_string(FLOORS_PATH).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {FLOORS_PATH}: {e}\n\
+             regenerate with: cargo run -p start-bench --release --bin bench_kernels -- --write-floors"
+        )
+    });
+    let floors = parse_floors(&json);
+    assert!(!floors.is_empty(), "KERNEL_FLOORS.json contains no floor entries");
+
+    let simd_available = backend::simd().is_some();
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut failures = Vec::new();
+    for f in &floors {
+        if f.backend == BackendKind::Simd && !simd_available {
+            skipped += 1;
+            continue;
+        }
+        let flops = 2.0 * f.m as f64 * f.k as f64 * f.n as f64;
+        // Short windows keep the whole gate around a second; the floors are
+        // set far enough below real throughput that this noise is absorbed.
+        // Inputs are built once so both sides time only the kernel.
+        let window = 0.02;
+        let (a, b, bt, at) =
+            (fill(f.m, f.k, 0.1), fill(f.k, f.n, 0.7), fill(f.n, f.k, 0.7), fill(f.k, f.m, 0.1));
+        let (reference, current) = match f.kernel.as_str() {
+            "matmul" => (
+                gflops_windowed(flops, window, || naive_matmul(&a, &b)),
+                with_backend(f.backend, || {
+                    gflops_windowed(flops, window, || array::matmul(&a, &b))
+                }),
+            ),
+            "matmul_bt" => (
+                gflops_windowed(flops, window, || naive_matmul_bt(&a, &bt)),
+                with_backend(f.backend, || {
+                    gflops_windowed(flops, window, || array::matmul_bt(&a, &bt))
+                }),
+            ),
+            _ => (
+                gflops_windowed(flops, window, || naive_matmul_at(&at, &b)),
+                with_backend(f.backend, || {
+                    gflops_windowed(flops, window, || array::matmul_at(&at, &b))
+                }),
+            ),
+        };
+        let speedup = current / reference;
+        checked += 1;
+        if speedup < f.min_speedup * (1.0 - FLOOR_SLACK) {
+            failures.push(format!(
+                "{} {}x{}x{} [{:?}]: speedup {:.2}x below floor {:.2}x (slack {:.0}%)",
+                f.kernel,
+                f.m,
+                f.k,
+                f.n,
+                f.backend,
+                speedup,
+                f.min_speedup,
+                FLOOR_SLACK * 100.0
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "kernel perf-regression gate failed:\n  {}",
+        failures.join("\n  ")
+    );
+    println!(
+        "  perf floors held: {checked} checked, {skipped} skipped \
+         (simd {}available)",
+        if simd_available { "" } else { "un" }
+    );
+}
+
+fn write_floors(rows: &[KernelRow]) {
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"perf-regression floors for bench_kernels --smoke: \
+         speedup vs the zero-skip reference loops, set at 0.6x of a clean \
+         measurement; the gate allows a further {:.0}% slack\",",
+        FLOOR_SLACK * 100.0
+    );
+    let _ = writeln!(json, "  \"floors\": [");
+    let mut entries = Vec::new();
+    for r in rows {
+        let mut push = |backend: &str, speedup: f64| {
+            entries.push(format!(
+                "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+                 \"backend\": \"{}\", \"min_speedup_vs_reference\": {:.2}}}",
+                r.kernel,
+                r.m,
+                r.k,
+                r.n,
+                backend,
+                (speedup * 0.6).max(0.5)
+            ));
+        };
+        push("scalar", r.speedup(BackendKind::Scalar));
+        if r.gflops_simd.is_some() {
+            push("simd", r.speedup(BackendKind::Simd));
+        }
+    }
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(FLOORS_PATH, &json).expect("write KERNEL_FLOORS.json");
+    println!("\n  wrote {FLOORS_PATH} ({} floors)", entries.len());
 }
 
 // ---------------------------------------------------------------------------
@@ -154,9 +358,20 @@ struct EncoderBench {
     ffn_hidden: usize,
     steps: usize,
     tokens_per_sec_main: f64,
-    tokens_per_sec_optimized: f64,
-    speedup: f64,
+    tokens_per_sec_scalar: f64,
+    tokens_per_sec_simd: Option<f64>,
     max_loss_diff: f32,
+}
+
+impl EncoderBench {
+    /// The headline figure: best available backend over "current main".
+    fn best_tokens_per_sec(&self) -> f64 {
+        self.tokens_per_sec_simd.unwrap_or(self.tokens_per_sec_scalar)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.best_tokens_per_sec() / self.tokens_per_sec_main
+    }
 }
 
 struct EncoderSetup {
@@ -201,17 +416,20 @@ fn bench_encoder(
     steps: usize,
 ) -> EncoderBench {
     let setup = encoder_setup(t, dim, heads, ffn_hidden);
+    let simd_available = backend::simd().is_some();
 
-    // The two paths are timed in interleaved rounds and scored by their
-    // fastest round, so slow-timer noise (frequency scaling, co-tenant
-    // interference on shared machines) hits both sides equally instead of
-    // whichever path happened to run second.
+    // The paths are timed in interleaved rounds and scored by their fastest
+    // round, so slow-timer noise (frequency scaling, co-tenant interference
+    // on shared machines) hits every side equally instead of whichever path
+    // happened to run second.
     const ROUNDS: usize = 6;
     let chunk = steps.div_ceil(ROUNDS).max(1);
     let mut main_losses = Vec::new();
-    let mut opt_losses = Vec::new();
+    let mut scalar_losses = Vec::new();
+    let mut simd_losses = Vec::new();
     let mut best_main = f64::INFINITY;
-    let mut best_opt = f64::INFINITY;
+    let mut best_scalar = f64::INFINITY;
+    let mut best_simd = f64::INFINITY;
     let mut pool = BufferPool::new();
     for _ in 0..ROUNDS {
         // "Current main": zero-skip reference kernels, per-head attention
@@ -225,23 +443,46 @@ fn bench_encoder(
         best_main = best_main.min(t0.elapsed().as_secs_f64());
         array::set_reference_kernels(false);
 
-        // This PR: blocked kernels, fused attention op, one pooled graph
-        // reused across steps.
-        let t1 = Instant::now();
-        for _ in 0..chunk {
-            let mut g = Graph::with_pool(&setup.store, true, pool);
-            opt_losses.push(encoder_step(&setup, &mut g, true));
-            pool = g.into_pool();
+        // Blocked scalar backend: fused attention op, pooled reused graph.
+        pool = with_backend(BackendKind::Scalar, || {
+            let mut pool = pool;
+            let t1 = Instant::now();
+            for _ in 0..chunk {
+                let mut g = Graph::with_pool(&setup.store, true, pool);
+                scalar_losses.push(encoder_step(&setup, &mut g, true));
+                pool = g.into_pool();
+            }
+            best_scalar = best_scalar.min(t1.elapsed().as_secs_f64());
+            pool
+        });
+
+        // SIMD backend, same fused + pooled configuration.
+        if simd_available {
+            pool = with_backend(BackendKind::Simd, || {
+                let mut pool = pool;
+                let t2 = Instant::now();
+                for _ in 0..chunk {
+                    let mut g = Graph::with_pool(&setup.store, true, pool);
+                    simd_losses.push(encoder_step(&setup, &mut g, true));
+                    pool = g.into_pool();
+                }
+                best_simd = best_simd.min(t2.elapsed().as_secs_f64());
+                pool
+            });
         }
-        best_opt = best_opt.min(t1.elapsed().as_secs_f64());
     }
 
     let mut max_loss_diff = 0.0f32;
-    for (a, b) in main_losses.iter().zip(&opt_losses) {
-        assert!(a.is_finite() && b.is_finite(), "encoder loss went non-finite");
-        max_loss_diff = max_loss_diff.max((a - b).abs());
+    for (i, a) in main_losses.iter().enumerate() {
+        assert!(a.is_finite(), "encoder loss went non-finite");
+        for other in [&scalar_losses, &simd_losses] {
+            if let Some(b) = other.get(i) {
+                assert!(b.is_finite(), "encoder loss went non-finite");
+                max_loss_diff = max_loss_diff.max((a - b).abs());
+            }
+        }
     }
-    assert!(max_loss_diff <= 1e-4, "fused and unfused encoder losses diverged: {max_loss_diff}");
+    assert!(max_loss_diff <= 1e-4, "encoder losses diverged across backends: {max_loss_diff}");
 
     let tokens = (t * chunk) as f64;
     EncoderBench {
@@ -251,13 +492,13 @@ fn bench_encoder(
         ffn_hidden,
         steps: chunk * ROUNDS,
         tokens_per_sec_main: tokens / best_main,
-        tokens_per_sec_optimized: tokens / best_opt,
-        speedup: best_main / best_opt,
+        tokens_per_sec_scalar: tokens / best_scalar,
+        tokens_per_sec_simd: simd_available.then(|| tokens / best_simd),
         max_loss_diff,
     }
 }
 
-/// Tiny-shape correctness pass for CI: no timing, no JSON.
+/// CI pass: correctness on tiny shapes, then the perf-regression gate.
 fn smoke() {
     check_kernels_agree(5, 7, 3);
     check_kernels_agree(8, 8, 8);
@@ -281,7 +522,9 @@ fn smoke() {
         assert_eq!(pooled.to_bits(), fused.to_bits(), "pooled graph changed the loss");
         pool = g.into_pool();
     }
-    println!("bench_kernels --smoke: fused == unfused, all finite, pooled reuse stable");
+
+    check_floors();
+    println!("bench_kernels --smoke: kernels agree, pooled reuse stable, perf floors held");
 }
 
 fn main() {
@@ -289,25 +532,54 @@ fn main() {
         smoke();
         return;
     }
+    let write_floors_flag = std::env::args().any(|a| a == "--write-floors");
 
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    println!("START reproduction — kernel throughput (cores: {cores})\n");
+    let simd_name = backend::simd().map_or("unavailable", |b| b.name());
+    println!("START reproduction — kernel throughput (cores: {cores}, simd: {simd_name})\n");
 
     check_kernels_agree(33, 65, 17);
 
     let shapes = [(64, 64, 64), (128, 256, 64), (256, 64, 256)];
-    let rows = bench_kernel_shapes(&shapes);
+    let rows = bench_kernel_shapes(&shapes, 0.08);
     for r in &rows {
+        let simd = r.gflops_simd.map_or_else(|| "     n/a".to_string(), |g| format!("{g:8.2}"));
         println!(
-            "  {:<10} {:>3}x{:<3}x{:<3}: {:6.2} -> {:6.2} GFLOP/s ({:.2}x)",
+            "  {:<10} {:>3}x{:<3}x{:<3}: ref {:6.2}  scalar {:6.2} ({:4.2}x)  simd {simd} ({:5.2}x) GFLOP/s",
             r.kernel,
             r.m,
             r.k,
             r.n,
-            r.gflops_before,
-            r.gflops_after,
-            r.gflops_after / r.gflops_before
+            r.gflops_reference,
+            r.gflops_scalar,
+            r.speedup(BackendKind::Scalar),
+            r.speedup(BackendKind::Simd),
         );
+    }
+    // No shape class may lose to the pre-blocking reference loops — the
+    // dispatch thresholds exist precisely so small shapes fall back to the
+    // cheapest kernel instead of paying packing overhead.
+    for r in &rows {
+        assert!(
+            r.speedup(BackendKind::Scalar) >= 1.0,
+            "{} {}x{}x{} scalar backend slower than reference: {:.3}x",
+            r.kernel,
+            r.m,
+            r.k,
+            r.n,
+            r.speedup(BackendKind::Scalar)
+        );
+        if r.gflops_simd.is_some() {
+            assert!(
+                r.speedup(BackendKind::Simd) >= 1.0,
+                "{} {}x{}x{} simd backend slower than reference: {:.3}x",
+                r.kernel,
+                r.m,
+                r.k,
+                r.n,
+                r.speedup(BackendKind::Simd)
+            );
+        }
     }
 
     let enc = bench_encoder(256, 64, 4, 128, 30);
@@ -316,26 +588,38 @@ fn main() {
         enc.t, enc.dim, enc.heads, enc.ffn_hidden, enc.steps
     );
     println!(
-        "    main (zero-skip kernels, per-head tape, fresh graphs): {:8.0} tokens/s\n    this PR (blocked kernels, fused op, pooled graph):     {:8.0} tokens/s\n    speedup: {:.2}x (max loss diff {:.2e})",
-        enc.tokens_per_sec_main, enc.tokens_per_sec_optimized, enc.speedup, enc.max_loss_diff
+        "    main (zero-skip kernels, per-head tape, fresh graphs): {:8.0} tokens/s\n    \
+         scalar backend (blocked kernels, fused op, pooled graph): {:8.0} tokens/s\n    \
+         simd backend   (avx2+fma kernels, fused op, pooled graph): {} tokens/s\n    \
+         speedup: {:.2}x (max loss diff {:.2e})",
+        enc.tokens_per_sec_main,
+        enc.tokens_per_sec_scalar,
+        enc.tokens_per_sec_simd.map_or_else(|| "     n/a".to_string(), |t| format!("{t:8.0}")),
+        enc.speedup(),
+        enc.max_loss_diff
     );
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"kernel_throughput\",");
     let _ = writeln!(json, "  \"machine_cores\": {cores},");
+    let _ = writeln!(json, "  \"simd\": \"{simd_name}\",");
     let _ = writeln!(json, "  \"kernels\": [");
     for (i, r) in rows.iter().enumerate() {
+        let simd = r.gflops_simd.map_or_else(|| "null".to_string(), |g| format!("{g:.3}"));
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
-             \"gflops_before\": {:.3}, \"gflops_after\": {:.3}, \"speedup\": {:.3}}}{}",
+             \"gflops_reference\": {:.3}, \"gflops_scalar\": {:.3}, \"gflops_simd\": {}, \
+             \"scalar_speedup\": {:.3}, \"simd_speedup\": {:.3}}}{}",
             r.kernel,
             r.m,
             r.k,
             r.n,
-            r.gflops_before,
-            r.gflops_after,
-            r.gflops_after / r.gflops_before,
+            r.gflops_reference,
+            r.gflops_scalar,
+            simd,
+            r.speedup(BackendKind::Scalar),
+            r.speedup(BackendKind::Simd),
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -348,9 +632,13 @@ fn main() {
     );
     let _ = writeln!(json, "    \"steps\": {}, \"direction\": \"forward+backward\",", enc.steps);
     let _ = writeln!(json, "    \"tokens_per_sec_main\": {:.1},", enc.tokens_per_sec_main);
-    let _ =
-        writeln!(json, "    \"tokens_per_sec_optimized\": {:.1},", enc.tokens_per_sec_optimized);
-    let _ = writeln!(json, "    \"speedup_vs_main\": {:.3},", enc.speedup);
+    let _ = writeln!(json, "    \"tokens_per_sec_scalar\": {:.1},", enc.tokens_per_sec_scalar);
+    let _ = writeln!(
+        json,
+        "    \"tokens_per_sec_simd\": {},",
+        enc.tokens_per_sec_simd.map_or_else(|| "null".to_string(), |t| format!("{t:.1}"))
+    );
+    let _ = writeln!(json, "    \"speedup_vs_main\": {:.3},", enc.speedup());
     let _ = writeln!(json, "    \"max_loss_diff\": {:.3e}", enc.max_loss_diff);
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
@@ -358,4 +646,8 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
     println!("\n  wrote {path}");
+
+    if write_floors_flag {
+        write_floors(&rows);
+    }
 }

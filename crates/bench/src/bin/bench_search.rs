@@ -61,6 +61,14 @@ fn synth_centers(seed: u64) -> Vec<f32> {
     (0..NUM_CENTERS * DIM).map(|_| 2.0 * (unit(&mut state) - 0.5)).collect()
 }
 
+fn precision_label(p: Precision) -> &'static str {
+    match p {
+        Precision::F32 => "f32",
+        Precision::F16 => "f16",
+        Precision::I8 => "int8",
+    }
+}
+
 struct Point {
     n: usize,
     precision: Precision,
@@ -141,16 +149,74 @@ fn print_point(p: &Point) {
         "  n={:>9} {:>4}  build {:>7.2}s  brute {:>9.1} q/s  hnsw {:>10.1} q/s  \
          speedup {:>7.1}x  recall@{K} {:.4}",
         p.n,
-        match p.precision {
-            Precision::F32 => "f32",
-            Precision::I8 => "int8",
-        },
+        precision_label(p.precision),
         p.hnsw_build_secs,
         p.brute_qps,
         p.hnsw_qps,
         p.speedup(),
         p.recall_at_k,
     );
+}
+
+/// One serving-precision measurement: a reduced-precision brute-force
+/// store vs the exact f32 scan over the same rows and queries.
+struct ServingPoint {
+    precision: Precision,
+    recall_at_k: f64,
+    bytes: usize,
+}
+
+/// The reduced-precision serving path: build brute-force stores (the
+/// `ServeConfig::precision` configuration) at each storage precision over
+/// the same data, take the f32 store's answers as ground truth, and score
+/// the quantized stores' recall@K plus resident embedding bytes.
+fn run_serving_precision(n: usize, centers: &[f32]) -> (usize, Vec<ServingPoint>) {
+    let data = synth_vectors(n, centers, 0x00da_7a00 + n as u64);
+    let queries = synth_vectors(NUM_QUERIES, centers, 0x00c0_ffee + n as u64);
+
+    let build = |precision: Precision| {
+        let mut store = EmbeddingStore::with_precision(DIM, precision);
+        for (i, row) in data.chunks_exact(DIM).enumerate() {
+            store.insert(i as u64, row).expect("serving insert");
+        }
+        store
+    };
+    let exact = build(Precision::F32);
+    let truth: Vec<_> =
+        queries.chunks_exact(DIM).map(|q| exact.knn(q, K).expect("exact knn")).collect();
+
+    let points = [Precision::F16, Precision::I8]
+        .into_iter()
+        .map(|precision| {
+            let store = build(precision);
+            let mut hits = 0usize;
+            let mut want = 0usize;
+            for (t, q) in truth.iter().zip(queries.chunks_exact(DIM)) {
+                let a = store.knn(q, K).expect("quantized knn");
+                want += t.len();
+                hits += a.iter().filter(|x| t.iter().any(|m| m.id == x.id)).count();
+            }
+            ServingPoint {
+                precision,
+                recall_at_k: hits as f64 / want as f64,
+                bytes: store.memory_bytes(),
+            }
+        })
+        .collect();
+    (exact.memory_bytes(), points)
+}
+
+fn print_serving(exact_bytes: usize, points: &[ServingPoint]) {
+    println!("  serving precision (brute force, f32 truth, {exact_bytes} bytes at f32):");
+    for p in points {
+        println!(
+            "    {:>4}  recall@{K} {:.4}  resident {:>10} bytes ({:.2}x smaller)",
+            precision_label(p.precision),
+            p.recall_at_k,
+            p.bytes,
+            exact_bytes as f64 / p.bytes as f64,
+        );
+    }
 }
 
 /// The smoke regression: a malformed vector is a typed error on every
@@ -187,6 +253,17 @@ fn main() {
         print_point(&p);
         assert!(p.recall_at_k >= 0.9, "smoke recall@{K} too low: {:.3}", p.recall_at_k);
         assert!(p.speedup() > 1.0, "HNSW slower than brute force at 2k: {:.2}x", p.speedup());
+        let (exact_bytes, serving) = run_serving_precision(2_000, &centers);
+        print_serving(exact_bytes, &serving);
+        let f16 = serving
+            .iter()
+            .find(|s| s.precision == Precision::F16)
+            .expect("serving sweep includes f16");
+        assert!(
+            f16.recall_at_k >= 0.99,
+            "f16 serving recall@{K} is {:.4} (floor: 0.99)",
+            f16.recall_at_k
+        );
         println!("bench_search --smoke: ok (typed errors held, recall {:.3})", p.recall_at_k);
         return;
     }
@@ -201,8 +278,21 @@ fn main() {
         print_point(sweep.last().expect("just pushed"));
     }
     // One quantized point at the largest size: the memory/recall trade.
-    let int8 = run_point(*sizes.last().expect("non-empty sweep"), &centers, Precision::I8);
+    let largest = *sizes.last().expect("non-empty sweep");
+    let int8 = run_point(largest, &centers, Precision::I8);
     print_point(&int8);
+
+    // The reduced-precision *serving* path (brute-force store, the
+    // `ServeConfig::precision` configuration) at the largest size.
+    let (exact_bytes, serving) = run_serving_precision(largest, &centers);
+    print_serving(exact_bytes, &serving);
+    let f16_serving =
+        serving.iter().find(|s| s.precision == Precision::F16).expect("serving sweep includes f16");
+    assert!(
+        f16_serving.recall_at_k >= 0.99,
+        "f16 serving recall@{K} at {largest} is {:.4} (floor: 0.99)",
+        f16_serving.recall_at_k
+    );
 
     let at_100k = sweep
         .iter()
@@ -240,14 +330,7 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"n\": {},", p.n);
-        let _ = writeln!(
-            json,
-            "      \"precision\": \"{}\",",
-            match p.precision {
-                Precision::F32 => "f32",
-                Precision::I8 => "int8",
-            }
-        );
+        let _ = writeln!(json, "      \"precision\": \"{}\",", precision_label(p.precision));
         let _ = writeln!(json, "      \"brute_build_secs\": {:.4},", p.brute_build_secs);
         let _ = writeln!(json, "      \"hnsw_build_secs\": {:.4},", p.hnsw_build_secs);
         let _ = writeln!(json, "      \"brute_qps\": {:.1},", p.brute_qps);
@@ -258,6 +341,24 @@ fn main() {
         let _ = writeln!(json, "    }}{}", if i + 1 < points.len() { "," } else { "" });
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"serving_precision\": {{");
+    let _ = writeln!(json, "    \"n\": {largest},");
+    let _ = writeln!(json, "    \"index\": \"brute_force\",");
+    let _ = writeln!(json, "    \"f32_bytes\": {exact_bytes},");
+    let _ = writeln!(json, "    \"points\": [");
+    for (i, s) in serving.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"precision\": \"{}\", \"recall_at_10\": {:.4}, \"bytes\": {}}}{}",
+            precision_label(s.precision),
+            s.recall_at_k,
+            s.bytes,
+            if i + 1 < serving.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"floors\": {{\"f16_recall_at_10\": 0.99}}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"acceptance\": {{\"speedup_at_100k\": {:.2}, \"recall_at_10_at_100k\": {:.4}, \

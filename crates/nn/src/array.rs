@@ -328,13 +328,16 @@ pub fn matmul_into(a: &Array, b: &Array, out: &mut Array) {
     assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
     if reference_kernels() {
         reference::matmul_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_rows_impl::<false>(a, b, chunk, row0, k, n);
+            be.matmul_rows(a, b, chunk, row0, k, n, false);
         });
     } else {
-        matmul_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, n);
+        be.matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n, false);
     }
 }
 
@@ -351,13 +354,16 @@ pub fn matmul_into_ow(a: &Array, b: &Array, out: &mut Array) {
         // The reference kernels accumulate; restore their zeroed-out contract.
         out.data.fill(0.0);
         reference::matmul_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_rows_impl::<true>(a, b, chunk, row0, k, n);
+            be.matmul_rows(a, b, chunk, row0, k, n, true);
         });
     } else {
-        matmul_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, n);
+        be.matmul_rows(&a.data, &b.data, &mut out.data, 0, k, n, true);
     }
 }
 
@@ -374,7 +380,7 @@ pub fn matmul(a: &Array, b: &Array) -> Array {
 /// (DESIGN.md §9). With `OW` the first inner block assigns instead of
 /// accumulating, so `out` never has to be zero-filled; the summation order
 /// is unchanged (only the `0 +` seed of each element disappears).
-fn matmul_rows_impl<const OW: bool>(
+pub(crate) fn matmul_rows_impl<const OW: bool>(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -437,13 +443,16 @@ pub fn matmul_bt_into(a: &Array, b: &Array, out: &mut Array) {
     assert_eq!(out.shape(), (m, n), "matmul_bt output shape mismatch");
     if reference_kernels() {
         reference::matmul_bt_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_bt_rows_impl::<false>(a, b, chunk, row0, k, n);
+            be.matmul_bt_rows(a, b, chunk, row0, k, n, false);
         });
     } else {
-        matmul_bt_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, n);
+        be.matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n, false);
     }
 }
 
@@ -456,13 +465,16 @@ pub fn matmul_bt_into_ow(a: &Array, b: &Array, out: &mut Array) {
     if reference_kernels() {
         out.data.fill(0.0);
         reference::matmul_bt_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_bt_rows_impl::<true>(a, b, chunk, row0, k, n);
+            be.matmul_bt_rows(a, b, chunk, row0, k, n, true);
         });
     } else {
-        matmul_bt_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, n);
+        be.matmul_bt_rows(&a.data, &b.data, &mut out.data, 0, k, n, true);
     }
 }
 
@@ -478,7 +490,7 @@ pub fn matmul_bt(a: &Array, b: &Array) -> Array {
 /// `a` row, giving 4 independent accumulator chains. With `OW` the finished
 /// sums are assigned into `out` instead of added, so the buffer's prior
 /// contents are irrelevant.
-fn matmul_bt_rows_impl<const OW: bool>(
+pub(crate) fn matmul_bt_rows_impl<const OW: bool>(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -517,7 +529,7 @@ fn matmul_bt_rows_impl<const OW: bool>(
             j += 4;
         }
         for jj in j..n {
-            let s = dot(arow, &b[jj * k..(jj + 1) * k]);
+            let s = dot_scalar(arow, &b[jj * k..(jj + 1) * k]);
             if OW {
                 orow[jj] = s;
             } else {
@@ -536,13 +548,16 @@ pub fn matmul_at_into(a: &Array, b: &Array, out: &mut Array) {
     assert_eq!(out.shape(), (m, n), "matmul_at output shape mismatch");
     if reference_kernels() {
         reference::matmul_at_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_at_rows_impl::<false>(a, b, chunk, row0, k, m, n);
+            be.matmul_at_rows(a, b, chunk, row0, k, m, n, false);
         });
     } else {
-        matmul_at_rows_impl::<false>(&a.data, &b.data, &mut out.data, 0, k, m, n);
+        be.matmul_at_rows(&a.data, &b.data, &mut out.data, 0, k, m, n, false);
     }
 }
 
@@ -555,13 +570,16 @@ pub fn matmul_at_into_ow(a: &Array, b: &Array, out: &mut Array) {
     if reference_kernels() {
         out.data.fill(0.0);
         reference::matmul_at_into(a, b, out);
-    } else if m * k * n >= PARALLEL_FLOPS && m >= 8 {
+        return;
+    }
+    let be = crate::backend::active();
+    if m * k * n >= PARALLEL_FLOPS && m >= 8 {
         let (a, b) = (&a.data, &b.data);
         parallel_rows(&mut out.data, m, n, |chunk, row0| {
-            matmul_at_rows_impl::<true>(a, b, chunk, row0, k, m, n);
+            be.matmul_at_rows(a, b, chunk, row0, k, m, n, true);
         });
     } else {
-        matmul_at_rows_impl::<true>(&a.data, &b.data, &mut out.data, 0, k, m, n);
+        be.matmul_at_rows(&a.data, &b.data, &mut out.data, 0, k, m, n, true);
     }
 }
 
@@ -576,7 +594,7 @@ pub fn matmul_at(a: &Array, b: &Array) -> Array {
 /// (stride `m`) 4 inner-dim steps at a time, combining 4 rows of `b` per
 /// pass over the output row. `OW` assigns the first block (see
 /// [`matmul_rows_impl`]).
-fn matmul_at_rows_impl<const OW: bool>(
+pub(crate) fn matmul_at_rows_impl<const OW: bool>(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -634,10 +652,17 @@ fn matmul_at_rows_impl<const OW: bool>(
     }
 }
 
-/// Dot product with 4 independent accumulator chains (unrolled over
-/// `chunks_exact(4)`), so the compiler can keep 4 FMA pipes busy.
+/// Dot product through the active [`crate::backend::Backend`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    crate::backend::active().dot(a, b)
+}
+
+/// Dot product with 4 independent accumulator chains (unrolled over
+/// `chunks_exact(4)`), so the compiler can keep 4 FMA pipes busy. The
+/// scalar backend's kernel — never dispatches.
+#[inline]
+pub(crate) fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     let mut ac = a.chunks_exact(4);
@@ -655,10 +680,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     (s0 + s1) + (s2 + s3) + tail
 }
 
-/// `out += alpha * x`, 4-wide unrolled; the axpy core of the fused
-/// attention kernel's context accumulation.
+/// `out += alpha * x`; the axpy core of the fused attention kernel's
+/// context accumulation. The scalar backend's kernel — never dispatches.
 #[inline]
-fn axpy_slice(alpha: f32, x: &[f32], out: &mut [f32]) {
+pub(crate) fn axpy_scalar(alpha: f32, x: &[f32], out: &mut [f32]) {
     debug_assert_eq!(x.len(), out.len());
     for (o, &v) in out.iter_mut().zip(x) {
         *o += alpha * v;
@@ -668,9 +693,9 @@ fn axpy_slice(alpha: f32, x: &[f32], out: &mut [f32]) {
 /// `out += Σ_p alpha[p] * b[p*n .. p*n+n]` — the 1×k×n matmul core shared
 /// by the fused attention kernel's score and `d_attn` passes. Same 4-wide
 /// row-blocking as [`matmul`], so a score row runs at axpy speed instead of
-/// dot-product speed.
+/// dot-product speed. The scalar backend's kernel — never dispatches.
 #[inline]
-fn gemv_rows(alpha: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+pub(crate) fn gemv_rows_scalar(alpha: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
     debug_assert_eq!(out.len(), n);
     debug_assert!(b.len() >= alpha.len() * n);
     let mut p = 0;
@@ -686,16 +711,16 @@ fn gemv_rows(alpha: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
         p += 4;
     }
     for (pp, &a) in alpha.iter().enumerate().skip(p) {
-        axpy_slice(a, &b[pp * n..(pp + 1) * n], out);
+        axpy_scalar(a, &b[pp * n..(pp + 1) * n], out);
     }
 }
 
-/// Strided-row variant of [`gemv_rows`]: `out += Σ_p alpha[p] *
+/// Strided-row variant of [`gemv_rows_scalar`]: `out += Σ_p alpha[p] *
 /// b[p*stride .. p*stride + out.len()]`. This is how the fused attention
 /// kernel runs per-head column-segment products (stride `d`, width `dh`)
 /// without materializing the head slice.
 #[inline]
-fn gemv_rows_strided(alpha: &[f32], b: &[f32], stride: usize, out: &mut [f32]) {
+pub(crate) fn gemv_rows_strided_scalar(alpha: &[f32], b: &[f32], stride: usize, out: &mut [f32]) {
     let w = out.len();
     debug_assert!(alpha.is_empty() || b.len() >= (alpha.len() - 1) * stride + w);
     let mut p = 0;
@@ -711,7 +736,7 @@ fn gemv_rows_strided(alpha: &[f32], b: &[f32], stride: usize, out: &mut [f32]) {
         p += 4;
     }
     for (pp, &a) in alpha.iter().enumerate().skip(p) {
-        axpy_slice(a, &b[pp * stride..pp * stride + w], out);
+        axpy_scalar(a, &b[pp * stride..pp * stride + w], out);
     }
 }
 
@@ -732,10 +757,11 @@ fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
 /// `q`, `k`, `v` are the already-projected `(t, d)` matrices; head `h` reads
 /// column segment `h*dh..(h+1)*dh` where `dh = d / heads`. `k` is first
 /// transposed into `scratch` (one `(d, t)` buffer for the whole call) so the
-/// score pass runs in axpy form over contiguous `kᵀ` rows; each score row is
+/// score pass runs as one dense `Q_head · Kᵀ_head` matmul per head straight
+/// into the head's `attn` block; each score row is
 /// then scaled, biased and exp-normalized in place, and the context is
-/// accumulated via axpy over `v` rows — no per-head `(t, t)` or `(t, dh)`
-/// temporary is ever materialized.
+/// accumulated via axpy over a contiguous per-head copy of `v` (a `(t, dh)`
+/// panel that stays L1-resident instead of striding across all of `v`).
 ///
 /// `mask`, when present, is the `(heads*t, t)` *scaled* dropout keep-mask
 /// (entries `0` or `1/(1-p)`); it weights the context accumulation but
@@ -744,7 +770,8 @@ fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
 ///
 /// `attn` must be `(heads*t, t)` (fully overwritten); `out` must be a
 /// zeroed `(t, d)` buffer (accumulated into); `scratch` is resized to
-/// `d*t + t` internally (the `kᵀ` transpose plus one weight row).
+/// `d*t + t + 2*t*dh` internally (the `kᵀ` transpose, one weight row, and
+/// the per-head `v`/`q` panels).
 #[allow(clippy::too_many_arguments)]
 pub fn mh_attention_forward(
     q: &Array,
@@ -771,47 +798,28 @@ pub fn mh_attention_forward(
     assert_eq!(attn.shape(), (heads * t, t), "mh_attention attn buffer shape");
     assert_eq!(out.shape(), (t, d), "mh_attention out buffer shape");
     let dh = d / heads;
+    let be = crate::backend::active();
     scratch.clear();
-    scratch.resize(d * t + t, 0.0);
-    let (kt, wrow) = scratch.split_at_mut(d * t);
+    scratch.resize(d * t + t + 2 * t * dh, 0.0);
+    let (kt, rest) = scratch.split_at_mut(d * t);
+    let (wrow, rest) = rest.split_at_mut(t);
+    let (vh, qh) = rest.split_at_mut(t * dh);
     // kt[p][j] = k[j][p]; row p of kt is column p of k, contiguous.
     transpose_into(&k.data, t, d, kt);
     for h in 0..heads {
         let lo = h * dh;
         let kt_head = &kt[lo * t..(lo + dh) * t];
+        copy_head_panel(&v.data, d, lo, dh, vh);
+        copy_head_panel(&q.data, d, lo, dh, qh);
+        // Pass 1: raw scores for the whole head at once —
+        // S = Q_head · Kᵀ_head as a dense matmul into the attn block.
+        let ablock = &mut attn.data[h * t * t..(h + 1) * t * t];
+        be.matmul_rows(qh, kt_head, ablock, 0, dh, t, true);
         for i in 0..t {
-            let qrow = &q.data[i * d + lo..i * d + lo + dh];
-            let arow = &mut attn.data[(h * t + i) * t..(h * t + i + 1) * t];
-            // Pass 1: raw scores, axpy form over kᵀ rows.
-            arow.fill(0.0);
-            gemv_rows(qrow, kt_head, t, arow);
-            // Pass 2: scale + bias, tracking the row max.
-            let mut maxv = f32::NEG_INFINITY;
-            match bias.map(|b| b.row(i)) {
-                Some(br) => {
-                    for (val, &bv) in arow.iter_mut().zip(br) {
-                        *val = *val * scale + bv;
-                        maxv = maxv.max(*val);
-                    }
-                }
-                None => {
-                    for val in arow.iter_mut() {
-                        *val *= scale;
-                        maxv = maxv.max(*val);
-                    }
-                }
-            }
-            // Pass 3: exp-normalize in place.
-            let mut sum = 0.0f32;
-            for val in arow.iter_mut() {
-                *val = (*val - maxv).exp();
-                sum += *val;
-            }
-            let inv = 1.0 / sum;
-            for val in arow.iter_mut() {
-                *val *= inv;
-            }
-            // Pass 4: context accumulation over strided v-row segments,
+            let arow = &mut ablock[i * t..(i + 1) * t];
+            // Passes 2+3: scale + bias, then a stable exp-normalize.
+            be.scale_bias_softmax_row(arow, scale, bias.map(|b| b.row(i)));
+            // Pass 4: context accumulation over the contiguous v panel,
             // dropout folded into the weight row.
             let orow = &mut out.data[i * d + lo..i * d + lo + dh];
             match mask.map(|m| m.row(h * t + i)) {
@@ -819,9 +827,9 @@ pub fn mh_attention_forward(
                     for ((w, &a), &mv) in wrow.iter_mut().zip(arow.iter()).zip(m) {
                         *w = a * mv;
                     }
-                    gemv_rows_strided(wrow, &v.data[lo..], d, orow);
+                    be.gemv_rows(wrow, vh, dh, orow);
                 }
-                None => gemv_rows_strided(arow, &v.data[lo..], d, orow),
+                None => be.gemv_rows(arow, vh, dh, orow),
             }
         }
     }
@@ -843,18 +851,25 @@ pub fn mh_attention_forward(
 /// dk_j      += scale * dscore[j] * q_i
 /// ```
 ///
-/// All heavy passes run in 4-wide gemv form: `d_attn` rows against a `vᵀ`
-/// transpose, `dq` rows against strided `k` segments, and the `dk`/`dv`
-/// scatter updates are rewritten as gathers — per head the kernel stores
-/// `scale·dscore` and the dropped attention weights *transposed* (column
-/// `i` written while processing query row `i`), then computes
-/// `dk_j += Σ_i dscoreᵀ[j][i]·q_i` and `dv_j += Σ_i wᵀ[j][i]·g_i` as
-/// contiguous-alpha gemvs over strided rows.
+/// The `d_attn` pass runs in gemv form against a `vᵀ` transpose; everything
+/// downstream is restructured into dense matmuls so the backend's blocked
+/// kernels carry the flops. Per head the kernel materializes the scaled
+/// dscore matrix `S` and the dropped weight matrix `W` *row-major* (all
+/// stores contiguous), copies the head's `k`/`q`/`g` column panels into a
+/// contiguous `(t, dh)` buffer, and computes
+///
+/// ```text
+/// dq_head += S · K_head        dk_head += Sᵀ · Q_head
+/// dv_head += Wᵀ · G_head
+/// ```
+///
+/// with `Sᵀ`/`Wᵀ` produced by cache-blocked in-place transposes — no
+/// column-strided scatter stores survive anywhere on the hot path.
 ///
 /// `dq`/`dk`/`dv` (and `dbias` when present) are accumulated into and must
 /// be zeroed by the caller; `scratch` is a reusable buffer resized to
-/// `d*t + 2*t*t + t` internally (the `vᵀ` transpose, the two per-head
-/// transposed weight matrices, and one score-row buffer).
+/// `d*t + 2*t*t + 2*t*dh` internally (the `vᵀ` transpose, the `S` and `W`
+/// matrices, the head panel, and one matmul output panel).
 #[allow(clippy::too_many_arguments)]
 pub fn mh_attention_backward(
     g_out: &Array,
@@ -881,11 +896,13 @@ pub fn mh_attention_backward(
         assert_eq!(db.shape(), (t, t), "mh_attention_backward dbias shape");
     }
     let dh = d / heads;
+    let be = crate::backend::active();
     scratch.clear();
-    scratch.resize(d * t + 2 * t * t + t, 0.0);
+    scratch.resize(d * t + 2 * t * t + 2 * t * dh, 0.0);
     let (vt, rest) = scratch.split_at_mut(d * t);
-    let (dst, rest) = rest.split_at_mut(t * t);
-    let (wt, darow) = rest.split_at_mut(t * t);
+    let (srows, rest) = rest.split_at_mut(t * t);
+    let (wrows, rest) = rest.split_at_mut(t * t);
+    let (bhead, tmp) = rest.split_at_mut(t * dh);
     // vt[p][j] = v[j][p]; row p of vt is column p of v, contiguous.
     transpose_into(&v.data, t, d, vt);
     for h in 0..heads {
@@ -896,84 +913,136 @@ pub fn mh_attention_backward(
             let arow = attn.row(h * t + i);
             let mrow = mask.map(|m| m.row(h * t + i));
             // d_attn = g_i · vᵀ, gemv form over vᵀ rows, then dropout; the
-            // dropped weights land transposed in wt for the dv gather.
+            // dropped weights land row-major in wrows for the dv matmul.
+            let darow = &mut srows[i * t..(i + 1) * t];
+            let wrow = &mut wrows[i * t..(i + 1) * t];
             darow.fill(0.0);
-            gemv_rows(grow, vt_head, t, darow);
+            be.gemv_rows(grow, vt_head, t, darow);
             match mrow {
                 Some(m) => {
-                    for (j, da_slot) in darow.iter_mut().enumerate() {
-                        *da_slot *= m[j];
-                        wt[j * t + i] = arow[j] * m[j];
+                    for (((da, w), &a), &mv) in
+                        darow.iter_mut().zip(wrow.iter_mut()).zip(arow).zip(m)
+                    {
+                        *da *= mv;
+                        *w = a * mv;
+                    }
+                }
+                None => wrow.copy_from_slice(arow),
+            }
+            let s = be.dot(darow, arow);
+            // dscore = attn ∘ (d_attn − s); dbias takes it raw, the in-place
+            // rewrite keeps the pre-scaled copy as row i of S.
+            match dbias.as_deref_mut() {
+                Some(db) => {
+                    let dbrow = &mut db.data[i * t..(i + 1) * t];
+                    for ((ds, &a), dbv) in darow.iter_mut().zip(arow).zip(dbrow) {
+                        let raw = a * (*ds - s);
+                        *dbv += raw;
+                        *ds = raw * scale;
                     }
                 }
                 None => {
-                    for (j, &a) in arow.iter().enumerate() {
-                        wt[j * t + i] = a;
+                    for (ds, &a) in darow.iter_mut().zip(arow) {
+                        *ds = a * (*ds - s) * scale;
                     }
                 }
             }
-            let s = dot(darow, arow);
-            // dscore = attn ∘ (d_attn − s); dbias takes it raw, dq/dk take
-            // it pre-scaled (dst holds the transposed scaled copy).
-            for (j, (ds, &a)) in darow.iter_mut().zip(arow).enumerate() {
-                *ds = a * (*ds - s);
-                if let Some(db) = dbias.as_deref_mut() {
-                    db.data[i * t + j] += *ds;
-                }
-                *ds *= scale;
-                dst[j * t + i] = *ds;
-            }
-            let qrow_start = i * d + lo;
-            gemv_rows_strided(darow, &k.data[lo..], d, &mut dq.data[qrow_start..qrow_start + dh]);
         }
-        // Gather pass: dk_j += Σ_i dscoreᵀ[j][i]·q_i, dv_j += Σ_i wᵀ[j][i]·g_i.
-        for j in 0..t {
-            let seg = j * d + lo;
-            gemv_rows_strided(
-                &dst[j * t..(j + 1) * t],
-                &q.data[lo..],
-                d,
-                &mut dk.data[seg..seg + dh],
-            );
-            gemv_rows_strided(
-                &wt[j * t..(j + 1) * t],
-                &g_out.data[lo..],
-                d,
-                &mut dv.data[seg..seg + dh],
-            );
+        // dq_head += S · K_head (panel copied contiguous, result added back
+        // through the head's column stride).
+        copy_head_panel(&k.data, d, lo, dh, bhead);
+        be.matmul_rows(srows, bhead, tmp, 0, t, dh, true);
+        add_head_panel(tmp, &mut dq.data, d, lo, dh);
+        // dk_head += Sᵀ · Q_head and dv_head += Wᵀ · G_head, transposing
+        // S/W in place (cache-blocked) so both run as row-major matmuls.
+        transpose_square_inplace(srows, t);
+        copy_head_panel(&q.data, d, lo, dh, bhead);
+        be.matmul_rows(srows, bhead, tmp, 0, t, dh, true);
+        add_head_panel(tmp, &mut dk.data, d, lo, dh);
+        transpose_square_inplace(wrows, t);
+        copy_head_panel(&g_out.data, d, lo, dh, bhead);
+        be.matmul_rows(wrows, bhead, tmp, 0, t, dh, true);
+        add_head_panel(tmp, &mut dv.data, d, lo, dh);
+    }
+}
+
+/// Copy a `(t, dh)` column panel (`src[.., lo..lo+dh]` of a `(t, d)`
+/// row-major matrix) into a contiguous buffer.
+#[inline]
+fn copy_head_panel(src: &[f32], d: usize, lo: usize, dh: usize, dst: &mut [f32]) {
+    for (r, drow) in dst.chunks_exact_mut(dh).enumerate() {
+        drow.copy_from_slice(&src[r * d + lo..r * d + lo + dh]);
+    }
+}
+
+/// Accumulate a contiguous `(t, dh)` panel back into the `lo..lo+dh` column
+/// segment of a `(t, d)` row-major matrix.
+#[inline]
+fn add_head_panel(src: &[f32], dst: &mut [f32], d: usize, lo: usize, dh: usize) {
+    for (r, srow) in src.chunks_exact(dh).enumerate() {
+        for (o, &x) in dst[r * d + lo..r * d + lo + dh].iter_mut().zip(srow) {
+            *o += x;
         }
     }
 }
 
-/// Numerically stable in-place row softmax.
+/// Cache-blocked in-place transpose of a square `(n, n)` row-major matrix:
+/// swaps 32×32 blocks pairwise so each pass touches two small tiles instead
+/// of striding a full column through the cache.
+fn transpose_square_inplace(m: &mut [f32], n: usize) {
+    const B: usize = 32;
+    debug_assert_eq!(m.len(), n * n);
+    let mut i0 = 0;
+    while i0 < n {
+        let iend = (i0 + B).min(n);
+        for i in i0..iend {
+            for j in (i + 1)..iend {
+                m.swap(i * n + j, j * n + i);
+            }
+        }
+        let mut j0 = iend;
+        while j0 < n {
+            let jend = (j0 + B).min(n);
+            for i in i0..iend {
+                for j in j0..jend {
+                    m.swap(i * n + j, j * n + i);
+                }
+            }
+            j0 += B;
+        }
+        i0 += B;
+    }
+}
+
+/// Numerically stable in-place row softmax (active backend).
 pub fn softmax_rows_inplace(x: &mut Array) {
+    let be = crate::backend::active();
     let cols = x.cols;
     for row in x.data.chunks_mut(cols) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+        be.softmax_row(row);
     }
 }
 
-/// Numerically stable row log-softmax.
+/// Numerically stable row log-softmax (active backend).
 pub fn log_softmax_rows(x: &Array) -> Array {
     let mut out = x.clone();
+    let be = crate::backend::active();
     let cols = out.cols;
     for row in out.data.chunks_mut(cols) {
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
-        for v in row.iter_mut() {
-            *v -= lse;
-        }
+        be.log_softmax_row(row);
     }
     out
+}
+
+/// Standardize every row of `x` in place (`(x - mean) / sqrt(var + eps)`),
+/// appending each row's reciprocal standard deviation to `rstds` — the
+/// layernorm forward the graph caches for its backward pass.
+pub fn layer_norm_rows_inplace(x: &mut Array, eps: f32, rstds: &mut Vec<f32>) {
+    let be = crate::backend::active();
+    let cols = x.cols;
+    for row in x.data.chunks_mut(cols) {
+        rstds.push(be.layer_norm_row(row, eps));
+    }
 }
 
 #[cfg(test)]

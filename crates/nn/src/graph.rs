@@ -722,19 +722,10 @@ impl<'s> Graph<'s> {
     /// by the caller with [`Graph::mul_row`] + [`Graph::add_row`].
     pub fn layer_norm_rows(&mut self, x: NodeId) -> NodeId {
         const EPS: f32 = 1e-5;
-        let (n, d) = self.shape(x);
+        let (n, _) = self.shape(x);
         let mut v = self.alloc_copy_of(x);
         let mut rstds = self.pool.take(n);
-        for r in 0..n {
-            let row = v.row_mut(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|t| (t - mean) * (t - mean)).sum::<f32>() / d as f32;
-            let rstd = 1.0 / (var + EPS).sqrt();
-            for t in row {
-                *t = (*t - mean) * rstd;
-            }
-            rstds.push(rstd);
-        }
+        array::layer_norm_rows_inplace(&mut v, EPS, &mut rstds);
         self.push(v, Op::LayerNormRows(x, rstds))
     }
 

@@ -5,6 +5,9 @@
 //!
 //! - [`array::Array`] — dense row-major `f32` matrices with hand-rolled
 //!   kernels (threaded matmul, fused transposed products, stable softmax);
+//! - [`backend`] — the kernel `Backend` seam: blocked-scalar reference
+//!   kernels plus a runtime-detected AVX2+FMA SIMD backend, selected via
+//!   `START_BACKEND` or [`backend::set_backend`];
 //! - [`graph::Graph`] — define-by-run reverse-mode autodiff with sparse
 //!   segment ops for GAT message passing and fused losses;
 //! - [`params::ParamStore`] / [`params::GradStore`] — named weights and
@@ -33,6 +36,7 @@
 
 pub mod array;
 pub mod audit;
+pub mod backend;
 pub mod gradcheck;
 pub mod graph;
 pub mod layers;
@@ -42,10 +46,12 @@ pub mod params;
 pub mod pool;
 pub mod schedule;
 pub mod serialize;
+mod simd;
 pub mod train;
 
 pub use array::Array;
 pub use audit::{AuditReport, Finding, FindingKind, NonFiniteTrace, Severity};
+pub use backend::{set_backend, Backend, BackendKind};
 pub use graph::{Graph, MemoryStats, NodeId, OpKind, Segments};
 pub use liveness::{memory_planning_enabled, sanitize_enabled, MemoryPlan};
 pub use optim::{AdamW, AdamWConfig};

@@ -28,7 +28,7 @@ use start_sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use std::time::{Duration, Instant};
 
-use start_ann::{Hnsw, HnswConfig, VectorIndex};
+use start_ann::{Hnsw, HnswConfig, Precision, VectorIndex};
 use start_core::encoder::{EmbeddingCache, EncodeError, EncodeOptions};
 use start_core::{CacheStats, Embedding, StartModel};
 use start_nn::BufferPool;
@@ -76,6 +76,11 @@ pub struct ServeConfig {
     pub clamp: bool,
     /// kNN backend behind `index`/`knn` (brute force by default).
     pub index: IndexKind,
+    /// Storage precision for brute-force indexed embeddings — the serving
+    /// tier's reduced-precision path ([`Precision::F16`] halves resident
+    /// bytes, [`Precision::I8`] cuts them ~4×, both at near-exact recall).
+    /// HNSW backends carry their own [`HnswConfig::precision`].
+    pub precision: Precision,
     /// Test hook: stall each worker this long before it starts draining,
     /// making queue-full conditions deterministic.
     #[doc(hidden)]
@@ -93,6 +98,7 @@ impl Default for ServeConfig {
             cache_shards: 8,
             clamp: true,
             index: IndexKind::default(),
+            precision: Precision::F32,
             worker_warmup: None,
         }
     }
@@ -203,7 +209,7 @@ impl EmbeddingService {
             .then(|| Arc::new(EmbeddingCache::with_shards(cfg.cache_capacity, cfg.cache_shards)));
         let dim = model.cfg.dim;
         let index: Box<dyn VectorIndex> = match &cfg.index {
-            IndexKind::BruteForce => Box::new(EmbeddingStore::new(dim)),
+            IndexKind::BruteForce => Box::new(EmbeddingStore::with_precision(dim, cfg.precision)),
             IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
         };
         let workers = cfg.workers.max(1);
@@ -312,6 +318,12 @@ impl EmbeddingService {
         self.shared.store.read().unwrap_or_else(PoisonError::into_inner).len()
     }
 
+    /// Approximate resident bytes of the kNN index — what a precision
+    /// sweep reports alongside recall.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.shared.store.read().unwrap_or_else(PoisonError::into_inner).memory_bytes()
+    }
+
     /// Rebuild the kNN index as `kind`, re-inserting every live embedding
     /// in stable (insertion) order — how a service migrates from the exact
     /// scan to HNSW (or between HNSW tunings) without re-encoding anything.
@@ -319,7 +331,9 @@ impl EmbeddingService {
         let mut store = self.shared.store.write().unwrap_or_else(PoisonError::into_inner);
         let dim = store.dim();
         let mut fresh: Box<dyn VectorIndex> = match &kind {
-            IndexKind::BruteForce => Box::new(EmbeddingStore::new(dim)),
+            IndexKind::BruteForce => {
+                Box::new(EmbeddingStore::with_precision(dim, self.shared.cfg.precision))
+            }
             IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
         };
         store.for_each(&mut |id, vector| {

@@ -6,34 +6,46 @@
 
 use std::collections::HashMap;
 
-use start_ann::{AnnError, TopK, VectorIndex};
-use start_core::euclidean;
+use start_ann::{AnnError, Precision, TopK, VectorIndex, VectorStore};
 
 pub use start_ann::Neighbor;
 
-/// A flat-matrix embedding index with brute-force kNN.
+/// An arena-backed embedding index with brute-force kNN.
 ///
-/// Row-major storage keeps the scan cache-friendly; `id → row` lives in a
-/// side map so ids can be sparse. Re-inserting an id overwrites its row in
-/// place; removal swap-fills the hole with the last row. Brute force is the
-/// exact baseline — the distance kernel is the same [`euclidean`] used by
-/// the offline similarity evaluation, and selection goes through the shared
-/// [`TopK`] bound (O(N log k), not a full sort) with the workspace
-/// tie-break: ascending distance, then ascending id.
+/// Rows live in a [`VectorStore`] arena (row-major, chunked, optionally
+/// reduced-precision), so the scan stays cache-friendly and a serving
+/// configuration can hold embeddings at [`Precision::F16`] or
+/// [`Precision::I8`] for a 2×/~4× memory cut. `id → row` lives in a side
+/// map so ids can be sparse. Re-inserting an id overwrites its row in
+/// place; removal swap-fills the hole with the last row (re-encoding is
+/// value-preserving: a dequantized row re-quantizes to the same bits).
+///
+/// Brute force is the exact baseline — the f32 arena path accumulates in
+/// the same order as the workspace `euclidean` kernel, so at
+/// [`Precision::F32`] the distances are bit-for-bit the legacy scan's, and
+/// selection goes through the shared [`TopK`] bound (O(N log k), not a
+/// full sort) with the workspace tie-break: ascending distance, then
+/// ascending id.
 ///
 /// Malformed vectors are refused with a typed [`AnnError`], never a panic:
 /// the store must survive a bad request with its state intact, because a
 /// panic here would poison the whole service for every later caller.
 pub struct EmbeddingStore {
-    dim: usize,
-    data: Vec<f32>,
+    store: VectorStore,
     ids: Vec<u64>,
     rows: HashMap<u64, usize>,
 }
 
 impl EmbeddingStore {
+    /// A full-precision (f32) store — the exactness reference.
     pub fn new(dim: usize) -> Self {
-        Self { dim, data: Vec::new(), ids: Vec::new(), rows: HashMap::new() }
+        Self::with_precision(dim, Precision::F32)
+    }
+
+    /// A store holding rows at the given arena precision (the serving
+    /// tier's reduced-precision path).
+    pub fn with_precision(dim: usize, precision: Precision) -> Self {
+        Self { store: VectorStore::new(dim, precision), ids: Vec::new(), rows: HashMap::new() }
     }
 
     pub fn len(&self) -> usize {
@@ -45,14 +57,24 @@ impl EmbeddingStore {
     }
 
     pub fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
+    }
+
+    /// The arena precision rows are stored at.
+    pub fn precision(&self) -> Precision {
+        self.store.precision()
+    }
+
+    /// Approximate resident bytes of the embedding payload.
+    pub fn memory_bytes(&self) -> usize {
+        self.store.data_bytes() + self.ids.len() * 8 + self.rows.len() * 16
     }
 
     fn check_dim(&self, got: usize) -> Result<(), AnnError> {
-        if got == self.dim {
+        if got == self.store.dim() {
             Ok(())
         } else {
-            Err(AnnError::DimensionMismatch { expected: self.dim, got })
+            Err(AnnError::DimensionMismatch { expected: self.store.dim(), got })
         }
     }
 
@@ -63,14 +85,11 @@ impl EmbeddingStore {
     pub fn insert(&mut self, id: u64, emb: &[f32]) -> Result<(), AnnError> {
         self.check_dim(emb.len())?;
         match self.rows.get(&id) {
-            Some(&row) => {
-                self.data[row * self.dim..(row + 1) * self.dim].copy_from_slice(emb);
-            }
+            Some(&row) => self.store.overwrite(row as u32, emb),
             None => {
-                let row = self.ids.len();
+                let row = self.store.push(emb);
                 self.ids.push(id);
-                self.data.extend_from_slice(emb);
-                self.rows.insert(id, row);
+                self.rows.insert(id, row as usize);
             }
         }
         Ok(())
@@ -86,18 +105,25 @@ impl EmbeddingStore {
         if row != last {
             let moved_id = self.ids[last];
             self.ids.swap(row, last);
-            let (head, tail) = self.data.split_at_mut(last * self.dim);
-            head[row * self.dim..(row + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            // Moving a row through dequantize → re-encode is lossless:
+            // f16 values round-trip exactly, and an i8 row's max|x| is
+            // 127·scale, so it re-quantizes to the same bytes.
+            let mut moved = Vec::with_capacity(self.store.dim());
+            self.store.copy_row(last as u32, &mut moved);
+            self.store.overwrite(row as u32, &moved);
             self.rows.insert(moved_id, row);
         }
         self.ids.pop();
-        self.data.truncate(last * self.dim);
+        self.store.truncate(last);
         true
     }
 
-    /// The stored embedding for `id`, if indexed.
-    pub fn get(&self, id: u64) -> Option<&[f32]> {
-        self.rows.get(&id).map(|&row| &self.data[row * self.dim..(row + 1) * self.dim])
+    /// The stored embedding for `id` (dequantized copy), if indexed.
+    pub fn get(&self, id: u64) -> Option<Vec<f32>> {
+        let &row = self.rows.get(&id)?;
+        let mut out = Vec::with_capacity(self.store.dim());
+        self.store.copy_row(row as u32, &mut out);
+        Some(out)
     }
 
     /// The `k` nearest stored embeddings to `query`, closest first; ties
@@ -109,8 +135,7 @@ impl EmbeddingStore {
         self.check_dim(query.len())?;
         let mut top = TopK::new(k);
         for (row, &id) in self.ids.iter().enumerate() {
-            let distance = euclidean(query, &self.data[row * self.dim..(row + 1) * self.dim]);
-            top.push(id, distance);
+            top.push(id, self.store.dist2(row as u32, query).sqrt());
         }
         Ok(top.into_sorted())
     }
@@ -118,7 +143,7 @@ impl EmbeddingStore {
 
 impl VectorIndex for EmbeddingStore {
     fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
     }
 
     fn len(&self) -> usize {
@@ -138,13 +163,19 @@ impl VectorIndex for EmbeddingStore {
     }
 
     fn get(&self, id: u64) -> Option<Vec<f32>> {
-        EmbeddingStore::get(self, id).map(<[f32]>::to_vec)
+        EmbeddingStore::get(self, id)
     }
 
     fn for_each(&self, f: &mut dyn FnMut(u64, &[f32])) {
-        for (row, &id) in self.ids.iter().enumerate() {
-            f(id, &self.data[row * self.dim..(row + 1) * self.dim]);
+        let mut row = Vec::with_capacity(self.store.dim());
+        for (r, &id) in self.ids.iter().enumerate() {
+            self.store.copy_row(r as u32, &mut row);
+            f(id, &row);
         }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        EmbeddingStore::memory_bytes(self)
     }
 }
 
@@ -152,6 +183,7 @@ impl VectorIndex for EmbeddingStore {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use start_core::euclidean;
 
     #[test]
     fn knn_returns_sorted_exact_neighbors() {
@@ -173,7 +205,7 @@ mod tests {
         store.insert(7, &[1.0, 1.0]).unwrap();
         store.insert(7, &[2.0, 2.0]).unwrap();
         assert_eq!(store.len(), 1);
-        assert_eq!(store.get(7), Some(&[2.0, 2.0][..]));
+        assert_eq!(store.get(7), Some(vec![2.0, 2.0]));
     }
 
     #[test]
@@ -221,10 +253,69 @@ mod tests {
         assert!(!store.remove(1), "double remove reports absence");
         assert_eq!(store.len(), 4);
         assert_eq!(store.get(1), None);
-        assert_eq!(store.get(4), Some(&[4.0][..]), "swapped row still resolves");
+        assert_eq!(store.get(4), Some(vec![4.0]), "swapped row still resolves");
         let hits = store.knn(&[1.1], 2).unwrap();
         assert_eq!(hits[0].id, 2);
         assert_eq!(hits[1].id, 0);
+    }
+
+    #[test]
+    fn reduced_precision_store_shrinks_and_survives_churn() {
+        for precision in [Precision::F16, Precision::I8] {
+            let dim = 16;
+            let mut full = EmbeddingStore::new(dim);
+            let mut small = EmbeddingStore::with_precision(dim, precision);
+            assert_eq!(small.precision(), precision);
+            for id in 0..40u64 {
+                let v: Vec<f32> = (0..dim).map(|c| ((id * 31 + c as u64) as f32).sin()).collect();
+                full.insert(id, &v).unwrap();
+                small.insert(id, &v).unwrap();
+            }
+            // Churn: removals swap-fill through the quantized arena.
+            for id in [3u64, 17, 39, 0] {
+                assert!(full.remove(id));
+                assert!(small.remove(id));
+            }
+            // Quantized answers stay near-exact on well-separated data.
+            let q: Vec<f32> = (0..dim).map(|c| ((5 * 31 + c) as f32).sin()).collect();
+            let exact = full.knn(&q, 5).unwrap();
+            let approx = small.knn(&q, 5).unwrap();
+            let exact_ids: Vec<u64> = exact.iter().map(|n| n.id).collect();
+            let approx_ids: Vec<u64> = approx.iter().map(|n| n.id).collect();
+            assert_eq!(exact_ids[0], approx_ids[0], "{precision:?}: nearest id must match");
+            // Swap-filled rows round-trip through dequantize → re-encode:
+            // what `get` returns is what `knn` ranked.
+            let got = small.get(38).unwrap();
+            assert_eq!(got.len(), dim);
+        }
+    }
+
+    #[test]
+    fn reduced_precision_cuts_resident_bytes_at_scale() {
+        // The arena commits ~1 MiB chunks, so the precision cut only shows
+        // once the store outgrows a single chunk — fill well past it.
+        let dim = 64;
+        let mut f32s = EmbeddingStore::new(dim);
+        let mut f16s = EmbeddingStore::with_precision(dim, Precision::F16);
+        let mut i8s = EmbeddingStore::with_precision(dim, Precision::I8);
+        let v = vec![0.25f32; dim];
+        for id in 0..40_000u64 {
+            f32s.insert(id, &v).unwrap();
+            f16s.insert(id, &v).unwrap();
+            i8s.insert(id, &v).unwrap();
+        }
+        assert!(
+            f16s.memory_bytes() < f32s.memory_bytes(),
+            "f16 {} vs f32 {}",
+            f16s.memory_bytes(),
+            f32s.memory_bytes()
+        );
+        assert!(
+            i8s.memory_bytes() < f16s.memory_bytes(),
+            "i8 {} vs f16 {}",
+            i8s.memory_bytes(),
+            f16s.memory_bytes()
+        );
     }
 
     proptest! {
