@@ -1,6 +1,6 @@
 //! Syntactic workspace lints — repo invariants clippy cannot express.
 //!
-//! Nine rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//! Ten rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
 //!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`,
@@ -17,14 +17,17 @@
 //!    `EXPERIMENTS.md`, so no figure/table can silently drop out of the
 //!    report.
 //! 4. **op-table-coverage**: every `OpKind` declared in graph.rs's
-//!    `op_kinds!` block must have an entry in all three per-op tables — the
+//!    `op_kinds!` block must have an entry in all five per-op tables — the
 //!    auditor's shape rules (`Op::<Kind>` in audit.rs), the liveness operand
-//!    table (`Op::<Kind>` inside `backward_value_reads`), and the gradcheck
+//!    table (`Op::<Kind>` inside `backward_value_reads`), the gradcheck
 //!    registry (whose own `OpKind::ALL` exhaustiveness guard must be
-//!    present). The in-crate exhaustive matches already fail the *build*
-//!    when a variant is missing; this rule fails the *lint* with a message
-//!    naming the table, so the contract survives refactors of those matches
-//!    into wildcard arms.
+//!    present), and the symbolic verifier's two tables in symbolic.rs (the
+//!    shape rules in `sym_shape` and the abstract transfer functions in
+//!    `abs_transfer`, delimited by the `TRANSFER_TABLES_END` sentinel). The
+//!    in-crate exhaustive matches already fail the *build* when a variant is
+//!    missing; this rule fails the *lint* with a message naming the table,
+//!    so the contract survives refactors of those matches into wildcard
+//!    arms.
 //! 5. **no-config-literal**: no `StartConfig { ... }` struct literals
 //!    outside `crates/core/src/config.rs` and test code — every other
 //!    construction goes through `StartConfig::builder()` (or a preset), so
@@ -50,6 +53,13 @@
 //!    code that assumes it. `unsafe fn`/`impl`/`trait` declarations are
 //!    exempt (they state the contract; the block is where it is assumed),
 //!    and the `start_sync` shim is *not* exempt from this rule.
+//! 10. **stale-escape**: every escape-marker justification (a comment whose
+//!     text begins with one of the `f64-ok:` / `sync-ok:` / `wait-ok:` /
+//!     `relaxed-ok:` / `unsafe-ok:` markers) must still sit next to a site
+//!     of the kind it excuses — same line, or the nearest code line above
+//!     or below across a contiguous comment run. A justification orphaned
+//!     by a refactor stops meaning anything; this rule makes it an error
+//!     instead of fossil documentation.
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -87,15 +97,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &["nn", "core", "baselines", "serve", "an
 // ---------------------------------------------------------------------------
 
 /// Split one source line into its code part and its comment part, tracking
-/// block-comment state across lines. String/char-literal contents are
-/// blanked in the code part (the quotes remain), so rule patterns never
-/// match inside literals. Lifetimes (`'a`, `'static`) are left intact.
-fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
+/// block-comment and string-literal state across lines. String/char-literal
+/// contents are blanked in the code part (the quotes remain), so rule
+/// patterns never match inside literals — including `//` sequences on the
+/// continuation lines of a multi-line string. Lifetimes (`'a`, `'static`)
+/// are left intact.
+fn split_code_comment(line: &str, block_depth: &mut usize, in_str: &mut bool) -> (String, String) {
     let mut code = String::with_capacity(line.len());
     let mut comment = String::new();
     let bytes: Vec<char> = line.chars().collect();
     let mut i = 0;
-    let mut in_str = false;
     while i < bytes.len() {
         let c = bytes[i];
         let next = bytes.get(i + 1).copied();
@@ -111,11 +122,11 @@ fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
             }
             continue;
         }
-        if in_str {
+        if *in_str {
             match c {
                 '\\' => i += 2, // skip escaped char
                 '"' => {
-                    in_str = false;
+                    *in_str = false;
                     code.push('"');
                     i += 1;
                 }
@@ -128,7 +139,9 @@ fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
         }
         match c {
             '/' if next == Some('/') => {
-                comment = line[line.len() - (bytes.len() - i)..].to_string();
+                // Collect chars rather than byte-slicing: the tail offset is
+                // a char count, not a byte count (comments may hold non-ASCII).
+                comment = bytes[i..].iter().collect();
                 break;
             }
             '/' if next == Some('*') => {
@@ -136,7 +149,7 @@ fn split_code_comment(line: &str, block_depth: &mut usize) -> (String, String) {
                 i += 2;
             }
             '"' => {
-                in_str = true;
+                *in_str = true;
                 code.push('"');
                 i += 1;
             }
@@ -236,10 +249,11 @@ impl TestModTracker {
 pub fn lint_no_panics(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut tracker = TestModTracker::default();
 
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
         if !in_test
             && (code.contains(".unwrap()") || code.contains(".expect("))
@@ -302,10 +316,11 @@ fn has_config_literal(code: &str) -> bool {
 pub fn lint_config_literal(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut tracker = TestModTracker::default();
 
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
         if !in_test && has_config_literal(&code) && !comment.contains("lint-ok:") {
             lints.push(Lint {
@@ -331,9 +346,10 @@ pub fn lint_config_literal(file: &str, source: &str) -> Vec<Lint> {
 pub fn lint_f64_kernels(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut prev_comment = String::new();
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         if has_token(&code, "f64")
             && !comment.contains("f64-ok:")
             && !prev_comment.contains("f64-ok:")
@@ -390,8 +406,14 @@ pub fn parse_op_kinds(graph_rs: &str) -> Vec<String> {
 }
 
 /// Every `OpKind` must appear in the audit shape table, the liveness
-/// operand table, and be covered by the gradcheck exhaustiveness guard.
-pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str) -> Vec<Lint> {
+/// operand table, the symbolic verifier's shape and abstract-transfer
+/// tables, and be covered by the gradcheck exhaustiveness guard.
+pub fn lint_op_table_coverage(
+    graph_rs: &str,
+    audit_rs: &str,
+    gradcheck_rs: &str,
+    symbolic_rs: &str,
+) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut file_lint = |file: &str, message: String| {
         lints.push(Lint { file: file.to_string(), line: 0, rule: "op-table-coverage", message });
@@ -422,6 +444,26 @@ pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str
             }
         };
 
+    // The symbolic verifier's two tables: the shape rules are the body of
+    // `sym_shape` (ending where `abs_transfer` begins) and the abstract
+    // transfer functions run from `abs_transfer` to the
+    // `TRANSFER_TABLES_END` sentinel comment.
+    let shape_start = symbolic_rs.find("fn sym_shape");
+    let transfer_start = symbolic_rs.find("fn abs_transfer");
+    let transfer_end = symbolic_rs.find("TRANSFER_TABLES_END");
+    let (sym_shape_table, transfer_table) = match (shape_start, transfer_start, transfer_end) {
+        (Some(s), Some(t), Some(e)) if s < t && t < e => (&symbolic_rs[s..t], &symbolic_rs[t..e]),
+        _ => {
+            file_lint(
+                "crates/nn/src/symbolic.rs",
+                "could not locate the symbolic tables (`fn sym_shape` .. `fn abs_transfer` .. \
+                 the `TRANSFER_TABLES_END` sentinel)"
+                    .into(),
+            );
+            ("", "")
+        }
+    };
+
     for kind in &kinds {
         let pat = format!("Op::{kind}");
         if !operand_table.is_empty() && !has_token(operand_table, &pat) {
@@ -437,6 +479,24 @@ pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str
             file_lint(
                 "crates/nn/src/audit.rs",
                 format!("OpKind::{kind} has no audit shape rule (`Op::{kind}` never matched)"),
+            );
+        }
+        if !sym_shape_table.is_empty() && !has_token(sym_shape_table, &pat) {
+            file_lint(
+                "crates/nn/src/symbolic.rs",
+                format!(
+                    "OpKind::{kind} has no symbolic shape rule (`Op::{kind}` never matched \
+                     in `sym_shape`); the verifier cannot derive its output dims"
+                ),
+            );
+        }
+        if !transfer_table.is_empty() && !has_token(transfer_table, &pat) {
+            file_lint(
+                "crates/nn/src/symbolic.rs",
+                format!(
+                    "OpKind::{kind} has no abstract transfer function (`Op::{kind}` never \
+                     matched in `abs_transfer`); the verifier cannot bound its values"
+                ),
             );
         }
     }
@@ -462,9 +522,10 @@ pub fn lint_op_table_coverage(graph_rs: &str, audit_rs: &str, gradcheck_rs: &str
 pub fn lint_std_sync(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut tracker = TestModTracker::default();
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
         if !in_test && code.contains("std::sync") && !comment.contains("sync-ok:") {
             lints.push(Lint {
@@ -533,10 +594,11 @@ fn in_loop(stack: &[Frame]) -> bool {
 pub fn lint_wait_predicate(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut stack: Vec<Frame> = Vec::new();
     let mut header = String::new();
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let chars: Vec<char> = code.chars().collect();
         let mut i = 0;
         while i < chars.len() {
@@ -588,12 +650,13 @@ pub fn lint_wait_predicate(file: &str, source: &str) -> Vec<Lint> {
 pub fn lint_relaxed_ordering(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut tracker = TestModTracker::default();
     // True while the contiguous run of comment-only lines directly above
     // the current line contains the marker.
     let mut run_ok = false;
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
         if code.trim().is_empty() {
             // Comment-only (or blank) line: extend or reset the run.
@@ -658,12 +721,13 @@ fn has_unsafe_block(code: &str) -> bool {
 pub fn lint_unsafe_blocks(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
+    let mut in_str = false;
     let mut tracker = TestModTracker::default();
     // True while the contiguous run of comment-only lines directly above
     // the current line contains the marker.
     let mut run_ok = false;
     for (n, raw) in source.lines().enumerate() {
-        let (code, comment) = split_code_comment(raw, &mut block_depth);
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
         if code.trim().is_empty() {
             // Comment-only (or blank) line: extend or reset the run.
@@ -685,6 +749,91 @@ pub fn lint_unsafe_blocks(file: &str, source: &str) -> Vec<Lint> {
             });
         }
         run_ok = false;
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 10: escape markers must still sit next to a matching site
+// ---------------------------------------------------------------------------
+
+/// One rule-10 entry: the marker text, the predicate a covered code line
+/// must satisfy for the justification to still be anchored to a real site,
+/// and a human name for the finding message.
+type EscapeMarker = (&'static str, fn(&str) -> bool, &'static str);
+
+/// The escape markers rule 10 audits.
+const ESCAPE_MARKERS: &[EscapeMarker] = &[
+    ("f64-ok:", |code| has_token(code, "f64"), "f64 use"),
+    ("sync-ok:", |code| code.contains("std::sync"), "std::sync path"),
+    ("wait-ok:", |code| code.contains(".wait(") || code.contains(".wait_timeout("), "condvar wait"),
+    ("relaxed-ok:", |code| has_token(code, "Relaxed"), "Relaxed ordering"),
+    ("unsafe-ok:", has_unsafe_block, "unsafe block"),
+];
+
+/// The marker a comment *begins* with, if any. Prose that merely mentions a
+/// marker (rule documentation, backticked examples) never starts the
+/// comment text with it, so it does not register.
+fn leading_escape_marker(comment: &str) -> Option<EscapeMarker> {
+    let text = comment.trim_start_matches('/').trim_start_matches('!').trim_start();
+    ESCAPE_MARKERS.iter().copied().find(|(marker, _, _)| text.starts_with(marker))
+}
+
+/// Flag escape-marker justifications that no longer sit next to a site of
+/// the kind they excuse. A marker is anchored when its predicate matches
+/// the same line's code, or the nearest code line above or below, searching
+/// across a contiguous run of comment-only lines (a blank line breaks the
+/// run — the same adjacency the per-rule escapes honour). Markers listed in
+/// `skip` are ignored — the driver uses this to exempt rule-6/7/8 markers
+/// inside `crates/sync`, the tree those rules do not cover.
+pub fn lint_stale_escapes(file: &str, source: &str, skip: &[&str]) -> Vec<Lint> {
+    let mut block_depth = 0usize;
+    let mut in_str = false;
+    let parts: Vec<(String, String)> =
+        source.lines().map(|raw| split_code_comment(raw, &mut block_depth, &mut in_str)).collect();
+
+    let is_blank = |idx: usize| {
+        let (code, comment) = &parts[idx];
+        code.trim().is_empty() && comment.trim().is_empty()
+    };
+    // Nearest non-empty code line from `from` in direction `step`, skipping
+    // comment-only lines; a blank line (or file edge) ends the search.
+    let nearest_code = |from: usize, step: isize| -> Option<&str> {
+        let mut j = from as isize + step;
+        while j >= 0 && (j as usize) < parts.len() {
+            let idx = j as usize;
+            if is_blank(idx) {
+                return None;
+            }
+            if !parts[idx].0.trim().is_empty() {
+                return Some(parts[idx].0.as_str());
+            }
+            j += step;
+        }
+        None
+    };
+
+    let mut lints = Vec::new();
+    for (i, (code, comment)) in parts.iter().enumerate() {
+        let Some((marker, pred, what)) = leading_escape_marker(comment) else { continue };
+        if skip.contains(&marker) {
+            continue;
+        }
+        let same_line = !code.trim().is_empty() && pred(code);
+        let above = nearest_code(i, -1).is_some_and(pred);
+        let below = nearest_code(i, 1).is_some_and(pred);
+        if !(same_line || above || below) {
+            lints.push(Lint {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "stale-escape",
+                message: format!(
+                    "`// {marker}` justification with no {what} on this or an adjacent \
+                     line — the refactor that moved the site must move (or delete) its \
+                     justification too"
+                ),
+            });
+        }
     }
     lints
 }
@@ -741,7 +890,8 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
     let graph_rs = std::fs::read_to_string(root.join("crates/nn/src/graph.rs"))?;
     let audit_rs = std::fs::read_to_string(root.join("crates/nn/src/audit.rs"))?;
     let gradcheck_rs = std::fs::read_to_string(root.join("crates/nn/tests/gradcheck.rs"))?;
-    lints.extend(lint_op_table_coverage(&graph_rs, &audit_rs, &gradcheck_rs));
+    let symbolic_rs = std::fs::read_to_string(root.join("crates/nn/src/symbolic.rs"))?;
+    lints.extend(lint_op_table_coverage(&graph_rs, &audit_rs, &gradcheck_rs, &symbolic_rs));
 
     // Rule 5 covers every tree that could construct a config and ship it
     // into a model: all crate libraries, the root facade, and the examples.
@@ -807,6 +957,35 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
             let label = rel(root, &file);
             lints.extend(lint_unsafe_blocks(&label, &std::fs::read_to_string(&file)?));
         }
+    }
+
+    // Rule 10 covers every library tree, including the shim and this crate:
+    // a justification stranded by a refactor is wrong wherever it lives.
+    // Inside crates/sync the rule-6/7/8 markers are skipped — those rules
+    // exempt the shim wholesale, so its `sync-ok:`-style comments document
+    // the wrapping rather than excuse a lintable site (and the shim refers
+    // to std types through `Std*` aliases the predicates cannot see).
+    let mut escape_files = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut escape_files)?;
+        }
+    }
+    for tree in ["src", "examples"] {
+        let dir = root.join(tree);
+        if dir.is_dir() {
+            rust_files(&dir, &mut escape_files)?;
+        }
+    }
+    for file in escape_files {
+        let label = rel(root, &file);
+        let skip: &[&str] = if label.starts_with("crates/sync/") {
+            &["sync-ok:", "wait-ok:", "relaxed-ok:"]
+        } else {
+            &[]
+        };
+        lints.extend(lint_stale_escapes(&label, &std::fs::read_to_string(&file)?, skip));
     }
 
     Ok(lints)
@@ -932,6 +1111,12 @@ mod tests {
         "}\n",
     );
 
+    const FAKE_SYMBOLIC: &str = concat!(
+        "fn sym_shape() { match op { Op::Foo(..) => {} Op::Bar(..) => {} } }\n",
+        "fn abs_transfer() { match op { Op::Foo(..) => {} Op::Bar(..) => {} } }\n",
+        "// TRANSFER_TABLES_END\n",
+    );
+
     #[test]
     fn op_kinds_are_parsed_from_the_macro_block() {
         assert_eq!(parse_op_kinds(FAKE_GRAPH), ["Foo", "Bar"]);
@@ -943,7 +1128,7 @@ mod tests {
         // Bar is absent from the operand table; Foo is absent from audit.
         let audit = "match op { Op::Bar(..) => {} }";
         let gradcheck = "OpKind::ALL guard lives here";
-        let lints = lint_op_table_coverage(FAKE_GRAPH, audit, gradcheck);
+        let lints = lint_op_table_coverage(FAKE_GRAPH, audit, gradcheck, FAKE_SYMBOLIC);
         assert_eq!(lints.len(), 2, "{lints:?}");
         assert!(lints
             .iter()
@@ -961,7 +1146,7 @@ mod tests {
             "op_kinds! {\n    Foo,\n    Bar,\n}\n",
             "fn backward_value_reads() { Op::Foo Op::Bar }\nfn payload_elems() {}\n",
         );
-        let lints = lint_op_table_coverage(graph, audit, "no guard");
+        let lints = lint_op_table_coverage(graph, audit, "no guard", FAKE_SYMBOLIC);
         assert_eq!(lints.len(), 1, "{lints:?}");
         assert!(lints[0].message.contains("OpKind::ALL"));
     }
@@ -973,9 +1158,49 @@ mod tests {
             "op_kinds! {\n    Add,\n}\n",
             "fn backward_value_reads() { Op::AddScalar }\nfn payload_elems() {}\n",
         );
-        let lints = lint_op_table_coverage(graph, "Op::Add", "OpKind::ALL");
+        let symbolic = concat!(
+            "fn sym_shape() { Op::Add }\n",
+            "fn abs_transfer() { Op::Add }\n",
+            "// TRANSFER_TABLES_END\n",
+        );
+        let lints = lint_op_table_coverage(graph, "Op::Add", "OpKind::ALL", symbolic);
         assert_eq!(lints.len(), 1, "{lints:?}");
         assert!(lints[0].message.contains("liveness operand table"));
+    }
+
+    #[test]
+    fn missing_symbolic_table_entries_are_flagged_per_table() {
+        // Bar has a shape rule but no transfer function; Foo the reverse.
+        let symbolic = concat!(
+            "fn sym_shape() { match op { Op::Bar(..) => {} } }\n",
+            "fn abs_transfer() { match op { Op::Foo(..) => {} } }\n",
+            "// TRANSFER_TABLES_END\n",
+        );
+        let audit = "Op::Foo Op::Bar";
+        let graph = concat!(
+            "op_kinds! {\n    Foo,\n    Bar,\n}\n",
+            "fn backward_value_reads() { Op::Foo Op::Bar }\nfn payload_elems() {}\n",
+        );
+        let lints = lint_op_table_coverage(graph, audit, "OpKind::ALL", symbolic);
+        assert_eq!(lints.len(), 2, "{lints:?}");
+        assert!(lints
+            .iter()
+            .any(|l| l.message.contains("Foo") && l.message.contains("symbolic shape rule")));
+        assert!(lints
+            .iter()
+            .any(|l| l.message.contains("Bar") && l.message.contains("abstract transfer")));
+        assert!(lints.iter().all(|l| l.file == "crates/nn/src/symbolic.rs"));
+    }
+
+    #[test]
+    fn missing_symbolic_sentinel_is_flagged() {
+        let graph = concat!(
+            "op_kinds! {\n    Foo,\n}\n",
+            "fn backward_value_reads() { Op::Foo }\nfn payload_elems() {}\n",
+        );
+        let lints = lint_op_table_coverage(graph, "Op::Foo", "OpKind::ALL", "fn sym_shape() {}");
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert!(lints[0].message.contains("TRANSFER_TABLES_END"));
     }
 
     #[test]
@@ -1201,6 +1426,64 @@ mod tests {
         // Mentions inside strings and comments never fire.
         let quoted = "fn f() { log(\"unsafe { }\"); } // unsafe { } in prose\n";
         assert!(lint_unsafe_blocks("lib.rs", quoted).is_empty());
+    }
+
+    #[test]
+    fn stale_escape_markers_are_flagged() {
+        // Marker with no matching site anywhere adjacent.
+        let orphan = "// relaxed-ok: a reason that outlived its code\nlet x = plain();\n";
+        let lints = lint_stale_escapes("lib.rs", orphan, &[]);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].rule, "stale-escape");
+        assert!(lints[0].message.contains("relaxed-ok:"));
+
+        // Same-line, code-above, and code-below anchors all pass.
+        let anchored = concat!(
+            "c.load(Ordering::Relaxed); // relaxed-ok: advisory tally\n",
+            "g = cv.wait(g).unwrap_or_else(PoisonError::into_inner);\n",
+            "// wait-ok: woken exactly once by drop\n",
+            "// unsafe-ok: AVX2 availability checked by the dispatch gate\n",
+            "let x = unsafe { kernel(a) };\n",
+        );
+        assert!(
+            lint_stale_escapes("lib.rs", anchored, &[]).is_empty(),
+            "{:?}",
+            lint_stale_escapes("lib.rs", anchored, &[])
+        );
+    }
+
+    #[test]
+    fn stale_escape_runs_break_at_blank_lines_and_skip_prose() {
+        // A blank line between the marker and the site breaks adjacency.
+        let broken = "// f64-ok: long reduction needs the headroom\n\nlet acc: f64 = 0.0;\n";
+        assert_eq!(lint_stale_escapes("lib.rs", broken, &[]).len(), 1);
+
+        // A contiguous comment run is searched through.
+        let run = concat!(
+            "// sync-ok: the shim wraps std, and this continuation\n",
+            "// line keeps the run contiguous\n",
+            "use std::sync::Arc;\n",
+        );
+        assert!(lint_stale_escapes("lib.rs", run, &[]).is_empty());
+
+        // Prose mentioning a marker mid-comment does not register.
+        let prose = "// a deliberate site can carry a `// f64-ok: <reason>` marker\nfn f() {}\n";
+        assert!(lint_stale_escapes("lib.rs", prose, &[]).is_empty());
+
+        // Markers inside string literals never register.
+        let quoted = "let s = \"// relaxed-ok: not a comment\";\n";
+        assert!(lint_stale_escapes("lib.rs", quoted, &[]).is_empty());
+
+        // ...including on the continuation lines of a multi-line string.
+        let multi =
+            concat!("let msg = \"justify with \\\n", "           `// relaxed-ok: <reason>`\";\n",);
+        assert!(lint_stale_escapes("lib.rs", multi, &[]).is_empty());
+
+        // Markers in the skip list are exempt — how the driver scopes the
+        // rule-6/7/8 markers out of crates/sync.
+        let shim = "}; // sync-ok: the shim wraps std\n";
+        assert_eq!(lint_stale_escapes("lib.rs", shim, &[]).len(), 1);
+        assert!(lint_stale_escapes("lib.rs", shim, &["sync-ok:"]).is_empty());
     }
 
     #[test]

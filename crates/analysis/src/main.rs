@@ -1,14 +1,28 @@
-//! `start-analysis` — the workspace lint driver and memory-plan inspector.
+//! `start-analysis` — the workspace lint driver, symbolic tape verifier,
+//! and memory-plan inspector.
 //!
 //! Usage:
 //!   `cargo run -p start-analysis -- lint`
+//!   `cargo run -p start-analysis -- verify`
 //!   `cargo run -p start-analysis -- plan [--check]`
 //!
-//! `lint` runs the syntactic workspace rules (see lib.rs). `plan` records
-//! the standard pretrain shard (`start_core::StandardShard`), runs the
-//! static liveness pass over its tape, and prints the resulting
-//! `MemoryPlan` — node count, release schedule size, and the three peak
-//! figures. With `--check` it additionally lints for regressions:
+//! `lint` runs the syntactic workspace rules (see lib.rs).
+//!
+//! `verify` runs the symbolic abstract interpreter (`start_nn::symbolic`,
+//! DESIGN.md §15) over every registered model family — the START pretrain
+//! shard, the eta/classify fine-tuning heads, the serve-path encode graph,
+//! and all eight baseline trainers — tracing each tape at several symbolic
+//! batch/sequence sizes and reporting shape mismatches, gradient-flow
+//! defects (disconnected losses, stop-gradient leaks, unreachable
+//! parameters) and statically reachable numerical hazards. Any Error
+//! finding exits non-zero; Warnings and Infos are printed but do not fail
+//! the run.
+//!
+//! `plan` records the standard pretrain shard
+//! (`start_core::StandardShard`), runs the static liveness pass over its
+//! tape, and prints the resulting `MemoryPlan` — node count, release
+//! schedule size, and the three peak figures. With `--check` it
+//! additionally lints for regressions:
 //!
 //! - figures must order `planned ≤ runtime ≤ baseline`;
 //! - the planned peak must stay ≥ 30% below the no-plan baseline (the PR's
@@ -20,26 +34,32 @@
 //!   must not exceed the recorded one by more than 10% (catches planner or
 //!   model changes that silently regress memory).
 //!
-//! Exits non-zero when any rule or check fires; CI runs both subcommands on
-//! every push.
+//! Exits non-zero when any rule or check fires; CI runs all three
+//! subcommands on every push.
 
 use start_analysis::{lint_workspace, workspace_root};
 use start_core::StandardShard;
+use start_nn::audit::Severity;
 use start_nn::graph::Graph;
 use start_nn::liveness::MemoryPlan;
 use start_nn::params::GradStore;
+use start_nn::symbolic::{verify_family, DEFAULT_ANCHORS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("verify") => run_verify(),
         Some("plan") => run_plan(args.iter().any(|a| a == "--check")),
         Some(other) => {
-            eprintln!("unknown subcommand `{other}`; usage: start-analysis <lint|plan [--check]>");
+            eprintln!(
+                "unknown subcommand `{other}`; usage: start-analysis \
+                 <lint|verify|plan [--check]>"
+            );
             std::process::exit(2);
         }
         None => {
-            eprintln!("usage: start-analysis <lint|plan [--check]>");
+            eprintln!("usage: start-analysis <lint|verify|plan [--check]>");
             std::process::exit(2);
         }
     }
@@ -56,7 +76,7 @@ fn run_lint() {
     };
 
     if lints.is_empty() {
-        println!("start-analysis: workspace clean ({} rules)", 9);
+        println!("start-analysis: workspace clean ({} rules)", 10);
         return;
     }
     for lint in &lints {
@@ -64,6 +84,47 @@ fn run_lint() {
     }
     eprintln!("start-analysis: {} issue(s) found", lints.len());
     std::process::exit(1);
+}
+
+/// Symbolically verify every registered model family's tape: START
+/// (pretrain, eta, classify, serve-path encode) plus all eight baseline
+/// trainers. Errors fail the run; warnings and infos are advisory.
+fn run_verify() {
+    let mut families = start_core::symbolic_families();
+    families.extend(start_baselines::symbolic_families());
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for fam in &families {
+        let report = verify_family(fam.as_ref(), DEFAULT_ANCHORS);
+        errors += report.errors().count();
+        warnings += report.warnings().count();
+        let status = if report.has_errors() { "FAIL" } else { "ok" };
+        println!(
+            "{status:4} {} — {} node(s), {} trained parameter(s), {} finding(s)",
+            report.family,
+            report.num_nodes,
+            report.trained_params,
+            report.findings.len()
+        );
+        for finding in &report.findings {
+            let line = format!("  {finding}");
+            if finding.kind.severity() == Severity::Error {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        }
+    }
+    println!(
+        "start-analysis verify: {} family(ies), {} error(s), {} warning(s)",
+        families.len(),
+        errors,
+        warnings
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn run_plan(check: bool) {

@@ -89,6 +89,18 @@ impl GruSeq2Seq {
         self.kind
     }
 
+    /// Record one trajectory's pre-training loss on `g` without touching the
+    /// optimizer — the no-data tracing hook the `start_nn::symbolic` tape
+    /// families drive.
+    pub fn record_pretrain_loss(
+        &self,
+        g: &mut Graph,
+        traj: &Trajectory,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        self.reconstruction_loss(g, traj, rng)
+    }
+
     /// Reconstruction loss of one trajectory (plus Trembr's time loss).
     fn reconstruction_loss(&self, g: &mut Graph, traj: &Trajectory, rng: &mut StdRng) -> NodeId {
         let full = clamp_view(TrajView::identity(traj), self.max_len);

@@ -19,6 +19,7 @@ pub mod gru_seq2seq;
 pub mod heads;
 pub mod pim;
 pub mod transformer_family;
+pub mod verify;
 
 pub use encoder::{
     clamp_view, departure_only_view, BaselineEncoder, BaselineTrainConfig, SeqEmbedder,
@@ -30,3 +31,4 @@ pub use heads::{
 };
 pub use pim::Pim;
 pub use transformer_family::{TfKind, TransformerBaseline};
+pub use verify::symbolic_families;

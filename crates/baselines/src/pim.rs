@@ -47,6 +47,19 @@ impl Pim {
         Self { store, emb, encoder, dim, max_len }
     }
 
+    /// Record one anchor/negative pair's objective on `g` without touching
+    /// the optimizer — the no-data tracing hook the `start_nn::symbolic`
+    /// tape families drive.
+    pub fn record_pretrain_loss(
+        &self,
+        g: &mut Graph,
+        anchor: &Trajectory,
+        negative: &Trajectory,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        self.mi_loss(g, anchor, negative, rng)
+    }
+
     /// Hidden sequence and mean-pooled global vector.
     fn encode_in_graph(
         &self,

@@ -81,6 +81,33 @@ impl TransformerBaseline {
         self.kind
     }
 
+    /// Record one trajectory's objective mix on `g` without touching the
+    /// optimizer — the no-data tracing hook the `start_nn::symbolic` tape
+    /// families drive. `other` supplies PIM-TF's in-batch negative and is
+    /// ignored by the other kinds.
+    pub fn record_pretrain_loss(
+        &self,
+        g: &mut Graph,
+        traj: &Trajectory,
+        other: &Trajectory,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        match self.kind {
+            TfKind::TransformerMlm => self.mlm_loss(g, traj, rng),
+            TfKind::Bert => {
+                let mlm = self.mlm_loss(g, traj, rng);
+                let order = self.bert_order_loss(g, traj, rng);
+                g.add(mlm, order)
+            }
+            TfKind::Toast => {
+                let mlm = self.mlm_loss(g, traj, rng);
+                let disc = self.toast_discrimination_loss(g, traj, rng);
+                g.add(mlm, disc)
+            }
+            TfKind::PimTf => self.pim_mi_loss(g, traj, other, rng),
+        }
+    }
+
     /// Encode a view; returns `(hidden (T+1, d), pooled (1, d))`.
     fn encode_in_graph(
         &self,

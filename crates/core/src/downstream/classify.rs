@@ -54,6 +54,12 @@ pub fn fine_tune_classifier(
     let mut trainer = BatchTrainer::new(cfg.workers, cfg.seed);
     let mut optimizer = AdamW::new(&model.store, AdamWConfig { lr: cfg.lr, ..Default::default() });
 
+    // Static tape verification (debug builds, or START_AUDIT=1): the first
+    // shard graph of the run is audited and every shard's loss is checked
+    // finite, mirroring the pretrain loop. See `start_nn::audit`.
+    let audit_on = start_nn::audit::audit_enabled();
+    let audit_pending = start_sync::atomic::AtomicBool::new(audit_on);
+
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut step = 0u64;
     for _ in 0..cfg.epochs {
@@ -72,6 +78,30 @@ pub fn fine_tune_classifier(
                 let stacked = g.concat_rows(&pooled);
                 let logits = fc.forward(g, stacked);
                 let loss = g.cross_entropy_rows(logits, Arc::new(targets));
+                if audit_on {
+                    use start_sync::atomic::Ordering;
+                    // relaxed-ok: one-shot latch, no data published through it
+                    if audit_pending.swap(false, Ordering::Relaxed) {
+                        let audit = g.audit(loss);
+                        assert!(
+                            !audit.has_errors(),
+                            "classifier fine-tuning tape failed its static audit:\n{audit}"
+                        );
+                        for finding in audit.warnings() {
+                            eprintln!("classify audit: {finding}");
+                        }
+                    }
+                    let lv = g.value(loss).item();
+                    if !lv.is_finite() {
+                        match g.trace_nonfinite() {
+                            Some(trace) => panic!("non-finite classification loss ({lv}); {trace}"),
+                            None => panic!(
+                                "non-finite classification loss ({lv}) but every tape value is \
+                                 finite — loss readback is inconsistent"
+                            ),
+                        }
+                    }
+                }
                 Some(ShardResult { loss, weight: shard.len() as f32, components: Vec::new() })
             };
             let mut grads = GradStore::new(&model.store);

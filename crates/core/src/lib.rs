@@ -28,6 +28,7 @@ pub mod interval;
 pub mod model;
 pub mod pretrain;
 pub mod tpe_gat;
+pub mod verify;
 
 pub use config::{ConfigError, IntervalMode, RoadEncoder, StartConfig, StartConfigBuilder};
 #[allow(deprecated)]
@@ -43,3 +44,4 @@ pub use encoder::{
 pub use model::{clamp_view, EncodedView, StartModel};
 pub use pretrain::{build_shard_loss, pretrain, PretrainConfig, PretrainReport, StandardShard};
 pub use tpe_gat::TpeGat;
+pub use verify::{broken_families, symbolic_families, VerifyFixture};

@@ -60,7 +60,7 @@ impl Segments {
         self.offsets[self.offsets.len() - 1] as usize
     }
 
-    fn range(&self, s: usize) -> std::ops::Range<usize> {
+    pub(crate) fn range(&self, s: usize) -> std::ops::Range<usize> {
         self.offsets[s] as usize..self.offsets[s + 1] as usize
     }
 }
@@ -398,6 +398,11 @@ pub struct Graph<'s> {
     /// sanitizer's read barriers consult this before every backward value
     /// read.
     pub(crate) released: Vec<Option<u32>>,
+    /// `(source, detached)` pairs recorded by [`Graph::stop_gradient`]. The
+    /// detached node is a plain `Op::Input` (so backward/gradcheck/liveness
+    /// need no new rule); this side log is what lets the symbolic verifier
+    /// audit stop-gradient intent against actual gradient flow.
+    pub(crate) sg_log: Vec<(NodeId, NodeId)>,
     /// Live value+payload bytes on the tape right now.
     live_bytes: usize,
     /// High-water mark of tape + gradient bytes since the last `reset`.
@@ -420,6 +425,7 @@ impl<'s> Graph<'s> {
             train,
             pool,
             released: Vec::with_capacity(256),
+            sg_log: Vec::new(),
             live_bytes: 0,
             peak_bytes: 0,
         }
@@ -446,6 +452,7 @@ impl<'s> Graph<'s> {
             }
         }
         released.clear();
+        self.sg_log.clear();
         self.live_bytes = 0;
         self.peak_bytes = 0;
     }
@@ -575,6 +582,26 @@ impl<'s> Graph<'s> {
             pool.array_copy(store.get(id))
         };
         self.push(value, Op::Param(id))
+    }
+
+    /// Detach `x` from the gradient flow: the returned node carries the same
+    /// value but is recorded as a fresh [`Op::Input`] leaf, so no gradient
+    /// flows back into `x`'s subgraph through it (the stop-gradient of
+    /// EMA/target-tower objectives). The `(source, detached)` pair is logged
+    /// on the tape so [`crate::symbolic`]'s gradient-flow audit can check the
+    /// detachment intent — e.g. flag a target tower that is *also* reachable
+    /// through a non-detached path, or a loss left with no trainable leaf.
+    pub fn stop_gradient(&mut self, x: NodeId) -> NodeId {
+        let value = self.alloc_copy_of(x);
+        let detached = self.push(value, Op::Input);
+        self.sg_log.push((x, detached));
+        detached
+    }
+
+    /// `(source, detached)` pairs recorded by [`Graph::stop_gradient`], in
+    /// recording order.
+    pub fn stop_gradient_pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.sg_log
     }
 
     // ---- linear algebra ---------------------------------------------

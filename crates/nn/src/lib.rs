@@ -47,6 +47,7 @@ pub mod pool;
 pub mod schedule;
 pub mod serialize;
 mod simd;
+pub mod symbolic;
 pub mod train;
 
 pub use array::Array;
@@ -58,4 +59,8 @@ pub use optim::{AdamW, AdamWConfig};
 pub use params::{GradStore, Init, ParamId, ParamStore};
 pub use pool::{BufferPool, PoolStats};
 pub use schedule::WarmupCosine;
+pub use symbolic::{
+    verify_family, AbsVal, Dim, DimFit, HazardClass, SymFinding, SymFindingKind, SymShape,
+    TapeFamily, VerifyReport, DEFAULT_ANCHORS, NUM_ANCHORS,
+};
 pub use train::{BatchTrainer, MemoryReport, ShardResult, StepStats};
