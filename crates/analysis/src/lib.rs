@@ -1,6 +1,6 @@
 //! Syntactic workspace lints — repo invariants clippy cannot express.
 //!
-//! Ten rules, run by `cargo run -p start-analysis -- lint` (and CI):
+//! Eleven rules, run by `cargo run -p start-analysis -- lint` (and CI):
 //!
 //! 1. **no-panic-lib**: no `.unwrap()` / `.expect(` in non-test library code
 //!    of `crates/nn`, `crates/core`, `crates/baselines`, `crates/serve`,
@@ -28,11 +28,12 @@
 //!    missing; this rule fails the *lint* with a message naming the table,
 //!    so the contract survives refactors of those matches into wildcard
 //!    arms.
-//! 5. **no-config-literal**: no `StartConfig { ... }` struct literals
-//!    outside `crates/core/src/config.rs` and test code — every other
-//!    construction goes through `StartConfig::builder()` (or a preset), so
-//!    it cannot skip validation. `// lint-ok: <reason>` escapes a
-//!    deliberate site.
+//! 5. **no-config-literal**: no struct literals of the validated config
+//!    types — `StartConfig`, `ServeConfig`, `RouterConfig`, `HnswConfig`
+//!    (the [`CONFIG_LITERAL_TYPES`] table) — outside each type's own
+//!    defining module and test code. Every other construction goes through
+//!    the type's `builder()` (or a preset), so it cannot skip validation.
+//!    `// lint-ok: <reason>` escapes a deliberate site.
 //! 6. **no-std-sync**: library code uses the `start_sync` shim layer, not
 //!    `std::sync` — otherwise the code is invisible to the deterministic
 //!    model checker and the lock-order sanitizer. The shim crate itself
@@ -55,11 +56,16 @@
 //!    and the `start_sync` shim is *not* exempt from this rule.
 //! 10. **stale-escape**: every escape-marker justification (a comment whose
 //!     text begins with one of the `f64-ok:` / `sync-ok:` / `wait-ok:` /
-//!     `relaxed-ok:` / `unsafe-ok:` markers) must still sit next to a site
-//!     of the kind it excuses — same line, or the nearest code line above
-//!     or below across a contiguous comment run. A justification orphaned
-//!     by a refactor stops meaning anything; this rule makes it an error
-//!     instead of fossil documentation.
+//!     `relaxed-ok:` / `unsafe-ok:` / `deprecated-ok:` markers) must still
+//!     sit next to a site of the kind it excuses — same line, or the
+//!     nearest code line above or below across a contiguous comment run. A
+//!     justification orphaned by a refactor stops meaning anything; this
+//!     rule makes it an error instead of fossil documentation.
+//! 11. **no-stale-deprecated**: no `#[deprecated]` attributes in non-test
+//!     library code — a deprecation shim rides exactly one release and is
+//!     then deleted, and this rule is what forces the deletion. A site that
+//!     must outlive a release carries `// deprecated-ok: <reason>` (which
+//!     rule 10 then keeps anchored).
 //!
 //! The scanner is line-based with a small state machine that strips string
 //! literals and comments before matching, so occurrences inside strings,
@@ -278,14 +284,24 @@ pub fn lint_no_panics(file: &str, source: &str) -> Vec<Lint> {
 // Rule 5: StartConfig struct literals only in config.rs and tests
 // ---------------------------------------------------------------------------
 
-/// Is there a `StartConfig { ...` struct-literal expression in `code`?
+/// The validated-config types rule 5 protects, paired with the one file
+/// allowed to write their struct literals: the defining module, where the
+/// builder itself (and `Default`) must construct the raw struct. Matching
+/// is by workspace-relative path suffix.
+pub const CONFIG_LITERAL_TYPES: &[(&str, &str)] = &[
+    ("StartConfig", "crates/core/src/config.rs"),
+    ("ServeConfig", "crates/serve/src/config.rs"),
+    ("RouterConfig", "crates/serve/src/config.rs"),
+    ("HnswConfig", "crates/ann/src/hnsw.rs"),
+];
+
+/// Is there a `<needle> { ...` struct-literal expression in `code`?
 ///
 /// Declarations (`struct StartConfig {`) and impl headers
 /// (`impl StartConfig {`) are not literals and are skipped; update syntax
 /// (`..StartConfig::default()`) never has `{` after the path, so it passes
 /// on its own.
-fn has_config_literal(code: &str) -> bool {
-    let needle = "StartConfig";
+fn has_config_literal(code: &str, needle: &str) -> bool {
     let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
     let mut start = 0;
     while let Some(pos) = code[start..].find(needle) {
@@ -310,9 +326,11 @@ fn has_config_literal(code: &str) -> bool {
     false
 }
 
-/// Scan one source file for `StartConfig { ... }` literals outside
-/// `#[cfg(test)]` code. The definition site (`crates/core/src/config.rs`)
-/// is exempted by the driver, not here.
+/// Scan one source file for struct literals of any [`CONFIG_LITERAL_TYPES`]
+/// entry outside `#[cfg(test)]` code. Each type's own defining file (where
+/// the builder must write the raw struct) is exempt for that type only —
+/// e.g. `crates/serve/src/config.rs` may write `ServeConfig { .. }` but not
+/// `HnswConfig { .. }`.
 pub fn lint_config_literal(file: &str, source: &str) -> Vec<Lint> {
     let mut lints = Vec::new();
     let mut block_depth = 0usize;
@@ -322,17 +340,79 @@ pub fn lint_config_literal(file: &str, source: &str) -> Vec<Lint> {
     for (n, raw) in source.lines().enumerate() {
         let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
         let in_test = tracker.line_is_test(&code);
-        if !in_test && has_config_literal(&code) && !comment.contains("lint-ok:") {
+        if in_test || comment.contains("lint-ok:") {
+            continue;
+        }
+        for (ty, defining_file) in CONFIG_LITERAL_TYPES {
+            if file.ends_with(defining_file) {
+                continue;
+            }
+            if has_config_literal(&code, ty) {
+                lints.push(Lint {
+                    file: file.to_string(),
+                    line: n + 1,
+                    rule: "no-config-literal",
+                    message: format!(
+                        "`{ty} {{ .. }}` literal skips validation; build it with \
+                         `{ty}::builder()` or a preset (or justify with \
+                         `// lint-ok: <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    lints
+}
+
+// ---------------------------------------------------------------------------
+// Rule 11: no stale #[deprecated] entry points
+// ---------------------------------------------------------------------------
+
+/// Flag `#[deprecated]` attributes in non-test library code unless the same
+/// line or the contiguous comment block directly above carries
+/// `// deprecated-ok: <reason>`.
+///
+/// Deprecation here is a one-release migration aid, not a parking lot: a
+/// shim rides exactly one deprecation release and is then deleted. Without
+/// this rule nothing ever forces the deletion — the attribute silences the
+/// compiler for callers and the shim fossilizes. A site that genuinely must
+/// outlive a release says why with the marker, and rule 10 then keeps that
+/// justification anchored to the attribute.
+pub fn lint_stale_deprecated(file: &str, source: &str) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut block_depth = 0usize;
+    let mut in_str = false;
+    let mut tracker = TestModTracker::default();
+    // True while the contiguous run of comment-only lines directly above
+    // the current line contains the marker.
+    let mut run_ok = false;
+    for (n, raw) in source.lines().enumerate() {
+        let (code, comment) = split_code_comment(raw, &mut block_depth, &mut in_str);
+        let in_test = tracker.line_is_test(&code);
+        if code.trim().is_empty() {
+            if comment.contains("deprecated-ok:") {
+                run_ok = true;
+            } else if comment.is_empty() {
+                run_ok = false; // blank line breaks the comment block
+            }
+            continue;
+        }
+        if !in_test
+            && code.contains("#[deprecated")
+            && !comment.contains("deprecated-ok:")
+            && !run_ok
+        {
             lints.push(Lint {
                 file: file.to_string(),
                 line: n + 1,
-                rule: "no-config-literal",
-                message: "`StartConfig { .. }` literal skips validation; build it with \
-                          `StartConfig::builder()` or a preset (or justify with \
-                          `// lint-ok: <reason>`)"
+                rule: "no-stale-deprecated",
+                message: "`#[deprecated]` entry point left in the tree — shims ride one \
+                          deprecation release and are then deleted; delete it (and migrate \
+                          callers) or justify with `// deprecated-ok: <reason>`"
                     .to_string(),
             });
         }
+        run_ok = false;
     }
     lints
 }
@@ -769,6 +849,7 @@ const ESCAPE_MARKERS: &[EscapeMarker] = &[
     ("wait-ok:", |code| code.contains(".wait(") || code.contains(".wait_timeout("), "condvar wait"),
     ("relaxed-ok:", |code| has_token(code, "Relaxed"), "Relaxed ordering"),
     ("unsafe-ok:", has_unsafe_block, "unsafe block"),
+    ("deprecated-ok:", |code| code.contains("#[deprecated"), "deprecated attribute"),
 ];
 
 /// The marker a comment *begins* with, if any. Prose that merely mentions a
@@ -893,10 +974,12 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
     let symbolic_rs = std::fs::read_to_string(root.join("crates/nn/src/symbolic.rs"))?;
     lints.extend(lint_op_table_coverage(&graph_rs, &audit_rs, &gradcheck_rs, &symbolic_rs));
 
-    // Rule 5 covers every tree that could construct a config and ship it
-    // into a model: all crate libraries, the root facade, and the examples.
-    // `tests/` trees are exempt wholesale (like rule 1); the definition
-    // site in config.rs is the one legitimate literal producer.
+    // Rules 5 and 11 cover every tree that could construct a config and
+    // ship it into a model, or export a deprecated entry point: all crate
+    // libraries, the root facade, and the examples. `tests/` trees are
+    // exempt wholesale (like rule 1); each config type's own defining file
+    // is the one legitimate literal producer for that type, exempted
+    // per-type inside `lint_config_literal`.
     let mut cfg_files = Vec::new();
     for entry in std::fs::read_dir(root.join("crates"))? {
         let src = entry?.path().join("src");
@@ -912,10 +995,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Lint>> {
     }
     for file in cfg_files {
         let label = rel(root, &file);
-        if label.ends_with("crates/core/src/config.rs") || label == "crates/core/src/config.rs" {
-            continue;
-        }
-        lints.extend(lint_config_literal(&label, &std::fs::read_to_string(&file)?));
+        let source = std::fs::read_to_string(&file)?;
+        lints.extend(lint_config_literal(&label, &source));
+        lints.extend(lint_stale_deprecated(&label, &source));
     }
 
     // Rules 6–8 cover every library tree that could take a concurrency
@@ -1249,6 +1331,80 @@ mod tests {
     fn config_literal_lint_ok_escape_is_honoured() {
         let src = "let c = StartConfig { dim: 1 }; // lint-ok: serde round-trip fixture\n";
         assert!(lint_config_literal("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn every_registered_config_type_is_flagged_and_named() {
+        for (ty, _) in CONFIG_LITERAL_TYPES {
+            let src = format!("fn f() {{\n    let c = {ty} {{ x: 1 }};\n}}\n");
+            let lints = lint_config_literal("zoo.rs", &src);
+            assert_eq!(lints.len(), 1, "{ty}: {lints:?}");
+            assert_eq!(lints[0].rule, "no-config-literal");
+            assert!(lints[0].message.contains(ty), "{ty}: {}", lints[0].message);
+        }
+    }
+
+    #[test]
+    fn config_literal_defining_file_is_exempt_per_type_only() {
+        // serve's config.rs defines ServeConfig and RouterConfig — their
+        // literals are the builder's job there — but an HnswConfig literal
+        // in the same file still skips start-ann's validation and is
+        // flagged.
+        let src = concat!(
+            "fn b() -> ServeConfig { ServeConfig { workers: 1 } }\n",
+            "fn r() -> RouterConfig { RouterConfig { replicas: 2 } }\n",
+            "fn h() { let c = HnswConfig { m: 4 }; }\n",
+        );
+        let lints = lint_config_literal("crates/serve/src/config.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert!(lints[0].message.contains("HnswConfig"), "{}", lints[0].message);
+        assert!(lint_config_literal("crates/ann/src/hnsw.rs", "let c = HnswConfig { m: 4 };\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_deprecated_attribute_is_flagged() {
+        let src = concat!(
+            "#[deprecated(since = \"0.9\", note = \"use Encoder\")]\n",
+            "pub fn encode_views() {}\n",
+        );
+        let lints = lint_stale_deprecated("lib.rs", src);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].line, 1);
+        assert_eq!(lints[0].rule, "no-stale-deprecated");
+    }
+
+    #[test]
+    fn deprecated_ok_escape_and_test_code_are_exempt() {
+        let src = concat!(
+            "// deprecated-ok: serde field kept for on-disk v1 checkpoints\n",
+            "#[deprecated]\n",
+            "pub fn old_field() {}\n",
+            "\n",
+            "#[deprecated] // deprecated-ok: external callers pinned until 1.0\n",
+            "pub fn old_entry() {}\n",
+            "\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[deprecated]\n",
+            "    fn fixture() {}\n",
+            "}\n",
+        );
+        assert!(lint_stale_deprecated("lib.rs", src).is_empty());
+        // Prose mentions never trip the rule — only the attribute token.
+        assert!(lint_stale_deprecated("lib.rs", "// the #[deprecated] era is over\n").is_empty());
+    }
+
+    #[test]
+    fn orphaned_deprecated_ok_marker_is_a_stale_escape() {
+        let src = concat!(
+            "// deprecated-ok: the shim this excused was deleted\n",
+            "pub fn current_entry() {}\n",
+        );
+        let lints = lint_stale_escapes("lib.rs", src, &[]);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].rule, "stale-escape");
+        assert!(lints[0].message.contains("deprecated-ok:"));
     }
 
     #[test]

@@ -61,6 +61,106 @@ impl Default for HnswConfig {
     }
 }
 
+impl HnswConfig {
+    /// Builder seeded from [`HnswConfig::default`]; `build()` validates.
+    pub fn builder() -> HnswConfigBuilder {
+        HnswConfigBuilder { cfg: Self::default() }
+    }
+
+    /// Builder seeded from this config (tweak-and-revalidate).
+    pub fn to_builder(&self) -> HnswConfigBuilder {
+        HnswConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Check the invariants [`Hnsw::new`] would otherwise silently clamp
+    /// into range: `2 ≤ m ≤ 128`, `ef_construction ≥ m`, `ef_search ≥ 1`.
+    pub fn validate(&self) -> Result<(), HnswConfigError> {
+        if !(2..=128).contains(&self.m) {
+            return Err(HnswConfigError::MOutOfRange { got: self.m });
+        }
+        if self.ef_construction < self.m {
+            return Err(HnswConfigError::EfConstructionBelowM {
+                ef_construction: self.ef_construction,
+                m: self.m,
+            });
+        }
+        if self.ef_search == 0 {
+            return Err(HnswConfigError::ZeroEfSearch);
+        }
+        Ok(())
+    }
+}
+
+/// Why an [`HnswConfigBuilder::build`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HnswConfigError {
+    /// `m` outside `2..=128` — below, the graph degenerates to a chain;
+    /// above, link lists dominate memory for no recall gain.
+    MOutOfRange { got: usize },
+    /// Insertion beam narrower than the link budget it must fill.
+    EfConstructionBelowM { ef_construction: usize, m: usize },
+    /// A zero-width query beam can never surface a neighbour.
+    ZeroEfSearch,
+}
+
+impl std::fmt::Display for HnswConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MOutOfRange { got } => {
+                write!(f, "hnsw config: m = {got} outside the supported range 2..=128")
+            }
+            Self::EfConstructionBelowM { ef_construction, m } => write!(
+                f,
+                "hnsw config: ef_construction = {ef_construction} is below m = {m}; \
+                 the insertion beam must cover the link budget"
+            ),
+            Self::ZeroEfSearch => write!(f, "hnsw config: ef_search must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for HnswConfigError {}
+
+/// Chainable builder for [`HnswConfig`] — the only construction path the
+/// workspace lint accepts outside this file (rule 5 `no-config-literal`).
+#[derive(Debug, Clone)]
+pub struct HnswConfigBuilder {
+    cfg: HnswConfig,
+}
+
+impl HnswConfigBuilder {
+    pub fn m(mut self, m: usize) -> Self {
+        self.cfg.m = m;
+        self
+    }
+
+    pub fn ef_construction(mut self, ef: usize) -> Self {
+        self.cfg.ef_construction = ef;
+        self
+    }
+
+    pub fn ef_search(mut self, ef: usize) -> Self {
+        self.cfg.ef_search = ef;
+        self
+    }
+
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.cfg.precision = precision;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<HnswConfig, HnswConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// One graph node: link lists for layers `0..=level`.
 struct Node {
     links: Vec<Vec<u32>>,
@@ -509,7 +609,7 @@ mod tests {
     fn exhaustive_search_is_exact_on_a_small_store() {
         let dim = 8;
         let data = vecs(200, dim);
-        let cfg = HnswConfig { ef_search: 400, ..HnswConfig::default() };
+        let cfg = HnswConfig::builder().ef_search(400).build().unwrap();
         let mut index = Hnsw::new(dim, cfg);
         for (i, v) in data.iter().enumerate() {
             index.insert(i as u64, v).expect("insert");
@@ -547,7 +647,7 @@ mod tests {
     fn quantized_index_still_finds_close_neighbours() {
         let dim = 8;
         let data = vecs(100, dim);
-        let cfg = HnswConfig { precision: Precision::I8, ef_search: 200, ..HnswConfig::default() };
+        let cfg = HnswConfig::builder().precision(Precision::I8).ef_search(200).build().unwrap();
         let mut index = Hnsw::new(dim, cfg);
         for (i, v) in data.iter().enumerate() {
             index.insert(i as u64, v).expect("insert");

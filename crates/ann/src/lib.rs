@@ -28,7 +28,7 @@ use std::collections::BinaryHeap;
 pub mod hnsw;
 pub mod store;
 
-pub use hnsw::{Hnsw, HnswConfig};
+pub use hnsw::{Hnsw, HnswConfig, HnswConfigBuilder, HnswConfigError};
 pub use store::{Precision, VectorStore};
 
 /// One kNN answer: an indexed id and its (Euclidean) distance to the query.

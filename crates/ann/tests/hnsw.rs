@@ -28,7 +28,7 @@ fn exact_knn(rows: &[(u64, Vec<f32>)], query: &[f32], k: usize) -> Vec<Neighbor>
 
 /// Build an index whose beam is exhaustive for stores of up to 10k rows.
 fn exhaustive_index(dim: usize) -> Hnsw {
-    Hnsw::new(dim, HnswConfig { ef_search: 10_000, ..HnswConfig::default() })
+    Hnsw::new(dim, HnswConfig::builder().ef_search(10_000).build().unwrap())
 }
 
 const DIM: usize = 4;

@@ -99,7 +99,7 @@ fn run_point(n: usize, centers: &[f32], precision: Precision) -> Point {
         }
         store
     });
-    let hnsw_cfg = HnswConfig { precision, ..HnswConfig::default() };
+    let hnsw_cfg = HnswConfig::builder().precision(precision).build().expect("valid hnsw config");
     let (hnsw, hnsw_build) = timed(|| {
         let mut index = Hnsw::new(DIM, hnsw_cfg);
         for (i, row) in data.chunks_exact(DIM).enumerate() {

@@ -7,8 +7,6 @@ pub mod similarity;
 
 pub use classify::{fine_tune_classifier, predict_classes, ClassifierHead};
 pub use eta::{fine_tune_eta, predict_eta, EtaHead};
-#[allow(deprecated)]
-pub use similarity::encode_parallel;
 pub use similarity::euclidean;
 
 /// Shared fine-tuning loop parameters (both heads use AdamW, §IV-C2).

@@ -1,12 +1,7 @@
 //! Zero-shot trajectory similarity (§III-D3): pre-trained representations
 //! are compared with Euclidean distance, no fine-tuning. Batch encoding
-//! fans out across threads — the [`crate::model::StartModel`] parameter
-//! store is immutable during inference, so workers share it by reference.
-
-use start_traj::Trajectory;
-
-use crate::encoder::EncodeOptions;
-use crate::model::StartModel;
+//! goes through the unified [`crate::encoder::Encoder`] facade, which owns
+//! chunking and threading.
 
 /// Euclidean distance between two representation vectors.
 ///
@@ -22,30 +17,9 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
 }
 
-/// Encode trajectories in parallel across `threads` workers.
-///
-/// Deprecated shim: one release of compatibility over the unified
-/// [`crate::encoder::Encoder`] facade, which owns chunking and threading
-/// (and, unlike this entry point, produces thread-count-invariant bits).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `model.encoder().encode(trajs, &EncodeOptions { threads, ..Default::default() })`"
-)]
-pub fn encode_parallel(
-    model: &StartModel,
-    trajectories: &[Trajectory],
-    threads: usize,
-) -> Vec<Vec<f32>> {
-    let opts = EncodeOptions { threads: threads.max(1), ..EncodeOptions::default() };
-    model.encoder().encode(trajectories, &opts).unwrap_or_else(|e| panic!("encode_parallel: {e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::StartConfig;
-    use start_roadnet::synth::{generate_city, CityConfig};
-    use start_traj::{SimConfig, Simulator};
 
     #[test]
     fn euclidean_basics() {
@@ -59,25 +33,5 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn euclidean_rejects_length_mismatch_in_release_too() {
         euclidean(&[0.0, 0.0, 0.0], &[1.0]);
-    }
-
-    #[test]
-    fn deprecated_parallel_shim_matches_the_facade_bitwise() {
-        let city = generate_city("t", &CityConfig::tiny());
-        let sim = Simulator::new(
-            &city.net,
-            SimConfig { num_trajectories: 40, num_drivers: 4, ..Default::default() },
-        );
-        let data = sim.generate();
-        let model = StartModel::new(StartConfig::test_scale(), &city.net, None, None, 23);
-        let serial = model.encoder().encode(&data, &EncodeOptions::default()).unwrap();
-        #[allow(deprecated)]
-        let parallel = encode_parallel(&model, &data, 4);
-        assert_eq!(serial.len(), parallel.len());
-        for (a, b) in serial.iter().zip(&parallel) {
-            for (x, y) in a.iter().zip(b) {
-                assert_eq!(x.to_bits(), y.to_bits(), "parallel encoding diverged");
-            }
-        }
     }
 }

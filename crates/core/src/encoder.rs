@@ -3,8 +3,8 @@
 //! Historically inference had three overlapping entry points —
 //! `StartModel::encode_trajectories`, `StartModel::encode_views`, and
 //! `downstream::similarity::encode_parallel` — each with its own hard-coded
-//! chunking and threading. They are now `#[deprecated]` shims over this one
-//! API:
+//! chunking and threading. Those shims rode one deprecation release and are
+//! now deleted; this is the only encode API:
 //!
 //! ```ignore
 //! let embs = model.encoder().encode(&trajectories, &EncodeOptions::default())?;
@@ -187,6 +187,8 @@ pub struct CacheStats {
     pub misses: u64,
     pub entries: usize,
     pub capacity: usize,
+    /// Model-version epoch of the cache instance these counters describe.
+    pub epoch: u64,
 }
 
 impl CacheStats {
@@ -290,9 +292,16 @@ impl Shard {
 /// intrusive-list LRU behind its own mutex, so concurrent encode workers
 /// only contend when they touch the same shard. A cached vector is returned
 /// by clone and is bit-for-bit the vector that was inserted.
+///
+/// A cache instance is pinned to one model-version **epoch** at
+/// construction. The serving tier never mutates a cache across a weight
+/// swap — invalidation is a fresh cache at the new epoch, so an in-flight
+/// encode racing the swap can only insert into the retiring instance and
+/// stale bits are unreachable from the new version by construction.
 pub struct EmbeddingCache {
     shards: Vec<Mutex<Shard>>,
     mask: usize,
+    epoch: u64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -311,22 +320,35 @@ impl std::fmt::Debug for EmbeddingCache {
 }
 
 impl EmbeddingCache {
-    /// Cache with `capacity` total entries across 8 shards.
+    /// Cache with `capacity` total entries across 8 shards, at epoch 0.
     pub fn new(capacity: usize) -> Self {
         Self::with_shards(capacity, 8)
     }
 
     /// Cache with `capacity` total entries across `shards` shards (rounded
-    /// up to a power of two; each shard gets an equal slice, at least 1).
+    /// up to a power of two; each shard gets an equal slice, at least 1),
+    /// at epoch 0.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        Self::with_shards_at_epoch(capacity, shards, 0)
+    }
+
+    /// [`EmbeddingCache::with_shards`] pinned to a model-version `epoch` —
+    /// the serving tier constructs one cache per published model version.
+    pub fn with_shards_at_epoch(capacity: usize, shards: usize, epoch: u64) -> Self {
         let shards = shards.max(1).next_power_of_two();
         let per_shard = capacity.div_ceil(shards).max(1);
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
             mask: shards - 1,
+            epoch,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The model-version epoch this cache was built for (immutable).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn shard(&self, fp: Fingerprint) -> &Mutex<Shard> {
@@ -366,6 +388,7 @@ impl EmbeddingCache {
             misses: self.misses.load(Ordering::Relaxed), // relaxed-ok: approximate snapshot
             entries: self.len(),
             capacity: self.shards.iter().map(|s| lock(s).capacity).sum(),
+            epoch: self.epoch,
         }
     }
 }
@@ -605,14 +628,31 @@ mod tests {
         v.iter().map(|e| e.iter().map(|x| x.to_bits()).collect()).collect()
     }
 
+    /// The facade is the only encode entry point (the deprecated shims are
+    /// deleted); pin that a batch encode is bitwise the concatenation of
+    /// one-trajectory encodes, so callers migrating off any old path can
+    /// compare against per-call results.
     #[test]
-    fn encode_matches_legacy_entry_points_bitwise() {
+    fn encode_matches_per_trajectory_calls_bitwise() {
         let (city, data, tm) = setup(30);
         let model = StartModel::new(StartConfig::test_scale(), &city.net, Some(&tm), None, 7);
-        #[allow(deprecated)]
-        let legacy = model.encode_trajectories(&data);
-        let new = model.encoder().encode(&data, &EncodeOptions::default()).unwrap();
-        assert_eq!(bits(&legacy), bits(&new));
+        let batched = model.encoder().encode(&data, &EncodeOptions::default()).unwrap();
+        let single: Vec<Embedding> = data
+            .iter()
+            .map(|t| {
+                let one = std::slice::from_ref(t);
+                model.encoder().encode(one, &EncodeOptions::default()).unwrap().remove(0)
+            })
+            .collect();
+        assert_eq!(bits(&batched), bits(&single));
+    }
+
+    #[test]
+    fn cache_epoch_is_pinned_at_construction_and_reported() {
+        let cache = EmbeddingCache::with_shards_at_epoch(16, 4, 7);
+        assert_eq!(cache.epoch(), 7);
+        assert_eq!(cache.stats().epoch, 7);
+        assert_eq!(EmbeddingCache::new(16).epoch(), 0);
     }
 
     #[test]

@@ -31,8 +31,6 @@ pub mod tpe_gat;
 pub mod verify;
 
 pub use config::{ConfigError, IntervalMode, RoadEncoder, StartConfig, StartConfigBuilder};
-#[allow(deprecated)]
-pub use downstream::encode_parallel;
 pub use downstream::{
     euclidean, fine_tune_classifier, fine_tune_eta, predict_classes, predict_eta, ClassifierHead,
     EtaHead, FineTuneConfig,
@@ -42,6 +40,9 @@ pub use encoder::{
     Fingerprint,
 };
 pub use model::{clamp_view, EncodedView, StartModel};
-pub use pretrain::{build_shard_loss, pretrain, PretrainConfig, PretrainReport, StandardShard};
+pub use pretrain::{
+    build_shard_loss, pretrain, pretrain_with_publish, PretrainConfig, PretrainReport,
+    StandardShard,
+};
 pub use tpe_gat::TpeGat;
 pub use verify::{broken_families, symbolic_families, VerifyFixture};

@@ -278,35 +278,18 @@ impl StartModel {
         self.mask_head.forward(g, rows)
     }
 
-    /// Embed a batch of trajectories into representation vectors (inference,
-    /// no gradient, dropout off).
+    /// Copy every parameter tensor whose name and shape match from `src`
+    /// into this model's store, returning the number of tensors adopted.
     ///
-    /// Deprecated shim: one release of compatibility over the unified
-    /// [`crate::encoder::Encoder`] facade. Unlike the legacy code it clamps
-    /// over-long trajectories instead of panicking.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `model.encoder().encode(trajs, &EncodeOptions::default())`"
-    )]
-    pub fn encode_trajectories(&self, trajectories: &[Trajectory]) -> Vec<Vec<f32>> {
-        self.encoder()
-            .encode(trajectories, &crate::encoder::EncodeOptions::default())
-            .unwrap_or_else(|e| panic!("encode_trajectories: {e}"))
-    }
-
-    /// Embed pre-built views (inference).
-    ///
-    /// Deprecated shim: one release of compatibility over the unified
-    /// [`crate::encoder::Encoder`] facade. Unlike the legacy code it clamps
-    /// over-long views instead of panicking.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `model.encoder().encode_views(views, &EncodeOptions::default())`"
-    )]
-    pub fn encode_views(&self, views: &[TrajView]) -> Vec<Vec<f32>> {
-        self.encoder()
-            .encode_views(views, &crate::encoder::EncodeOptions::default())
-            .unwrap_or_else(|e| panic!("encode_views: {e}"))
+    /// This is the checkpoint hot-swap path: a training loop snapshots its
+    /// live weights into a freshly constructed model (same config, same
+    /// road network) and hands the snapshot to `Router::publish` / the
+    /// serving tier, leaving the trainer's own model free to keep
+    /// stepping. When the two architectures genuinely match, the return
+    /// value equals the store's tensor count — callers that want a hard
+    /// guarantee compare against `self.store.len()`.
+    pub fn adopt_weights(&mut self, src: &StartModel) -> usize {
+        self.store.load_matching(&src.store)
     }
 
     /// A view that reveals only the *departure time* (all roads stamped with

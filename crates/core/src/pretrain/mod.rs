@@ -11,7 +11,7 @@ use rand::SeedableRng;
 
 use start_nn::graph::Graph;
 use start_nn::params::GradStore;
-use start_nn::train::{BatchTrainer, ShardResult};
+use start_nn::train::{BatchTrainer, PublishCadence, ShardResult};
 use start_nn::{AdamW, AdamWConfig, WarmupCosine};
 use start_traj::{TrajView, Trajectory};
 
@@ -221,6 +221,27 @@ pub fn pretrain(
     historical: &[f32],
     cfg: &PretrainConfig,
 ) -> PretrainReport {
+    pretrain_with_publish(model, train, historical, cfg, PublishCadence::never(), &mut |_, _| {})
+}
+
+/// [`pretrain`] with a checkpoint-publish hook for live serving tiers.
+///
+/// After every optimizer step where `cadence.due(step)` fires — and once
+/// more after the final step, so the last weights always ship — `publish`
+/// is called with the model (weights as of that step) and the completed
+/// step count. The callback typically snapshots the weights into a fresh
+/// model via [`StartModel::adopt_weights`] and hands the snapshot to
+/// `start_serve::Router::publish`; training itself never blocks on the
+/// serving tier beyond the callback's own cost. A `never()` cadence makes
+/// this exactly [`pretrain`].
+pub fn pretrain_with_publish(
+    model: &mut StartModel,
+    train: &[Trajectory],
+    historical: &[f32],
+    cfg: &PretrainConfig,
+    cadence: PublishCadence,
+    publish: &mut dyn FnMut(&StartModel, u64),
+) -> PretrainReport {
     assert!(train.len() >= cfg.batch_size.max(2), "training split too small");
     assert!(
         model.cfg.use_mask_loss || model.cfg.use_contrastive_loss,
@@ -251,6 +272,7 @@ pub fn pretrain(
     let mut report = PretrainReport::default();
     let mut indices: Vec<usize> = (0..train.len()).collect();
     let mut step: u64 = 0;
+    let mut published_at: Option<u64> = None;
 
     // Static tape verification (debug builds, or START_AUDIT=1): the first
     // shard graph of the run is audited — shapes re-derived op-by-op,
@@ -330,6 +352,10 @@ pub fn pretrain(
             optimizer.step(&mut model.store, &grads, lr);
             step += 1;
             executed += 1;
+            if cadence.due(step) {
+                published_at = Some(step);
+                publish(model, step);
+            }
         }
         // Mean over batches actually executed; dividing by the planned step
         // count used to deflate the reported losses whenever a batch was
@@ -338,6 +364,11 @@ pub fn pretrain(
         report.epoch_losses.push((epoch_loss / denom) as f32);
         report.final_mask_loss = (epoch_mask / denom) as f32;
         report.final_contrastive_loss = (epoch_con / denom) as f32;
+    }
+    // Final-weights publish: the run's last checkpoint always reaches the
+    // serving tier even when the step count is not a cadence multiple.
+    if cadence.is_enabled() && published_at != Some(step) {
+        publish(model, step);
     }
     report.steps = step;
     report

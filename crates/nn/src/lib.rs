@@ -63,4 +63,4 @@ pub use symbolic::{
     verify_family, AbsVal, Dim, DimFit, HazardClass, SymFinding, SymFindingKind, SymShape,
     TapeFamily, VerifyReport, DEFAULT_ANCHORS, NUM_ANCHORS,
 };
-pub use train::{BatchTrainer, MemoryReport, ShardResult, StepStats};
+pub use train::{BatchTrainer, MemoryReport, PublishCadence, ShardResult, StepStats};

@@ -98,6 +98,41 @@ pub struct BatchTrainer {
     pools: Vec<BufferPool>,
 }
 
+/// When a training loop snapshots its weights for a live serving tier.
+///
+/// The trainer side of checkpoint hot-swap: a loop built on
+/// [`BatchTrainer`] checks `due(step)` after each optimizer step and, when
+/// it fires, clones the current parameters and hands the snapshot to a
+/// publish callback (ultimately `Router::publish`). A disabled cadence
+/// (`never()`) keeps single-process training loops zero-cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishCadence {
+    /// Publish after every `n`-th optimizer step; `0` disables publishing.
+    pub every_steps: u64,
+}
+
+impl PublishCadence {
+    /// Publish after every `n`-th optimizer step (`n = 0` disables).
+    pub fn every(n: u64) -> Self {
+        Self { every_steps: n }
+    }
+
+    /// Never publish.
+    pub fn never() -> Self {
+        Self { every_steps: 0 }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.every_steps > 0
+    }
+
+    /// Whether a publish is due once `completed_steps` optimizer steps have
+    /// finished (fires at `every_steps`, `2·every_steps`, ...).
+    pub fn due(&self, completed_steps: u64) -> bool {
+        self.is_enabled() && completed_steps > 0 && completed_steps.is_multiple_of(self.every_steps)
+    }
+}
+
 /// SplitMix64 finalizer; decorrelates the per-worker seed lanes.
 fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -1,5 +1,6 @@
 //! The embedding inference service: a long-lived pool of encode workers
-//! behind a bounded micro-batching queue.
+//! behind a bounded micro-batching queue, serving one **versioned** model
+//! slot that can be hot-swapped while requests are in flight.
 //!
 //! Requests enter through [`EmbeddingService::submit`] (blocking
 //! backpressure) or [`EmbeddingService::try_submit`] (fail-fast
@@ -8,10 +9,36 @@
 //! `max_wait` budget expires, then encodes the whole batch on its privately
 //! owned tape [`BufferPool`] through the unified
 //! [`Encoder`](start_core::encoder::Encoder) facade — which deduplicates
-//! identical views, consults the shared [`EmbeddingCache`], and produces the
+//! identical views, consults the slot's [`EmbeddingCache`], and produces the
 //! same bits as a single-threaded `encode` call. Each request is answered
 //! over its own channel, so batch composition never changes what a caller
 //! observes, only when.
+//!
+//! ## Checkpoint hot-swap
+//!
+//! The model lives in a [`ModelSlot`]: `(version, Arc<StartModel>, cache,
+//! in-flight counter)` behind an `RwLock`. Every micro-batch pins the slot
+//! once — it clones the `Arc`s, registers with the slot's in-flight
+//! counter *while still holding the read lock*, then encodes without any
+//! lock held. [`EmbeddingService::publish`] double-buffers: it write-locks
+//! the slot, installs the new model under `version + 1` with a **fresh**
+//! cache pinned to the new epoch, releases the lock, and then drains —
+//! waits until the old slot's in-flight count reaches zero, at which point
+//! every reply produced from the old weights has already been sent. Two
+//! consequences callers can rely on:
+//!
+//! - every reply is tagged with the version of the model that produced it
+//!   ([`EmbeddingHandle::wait_versioned`]), and is exactly the bits of a
+//!   pre- or post-swap model — never a blend, never a drop;
+//! - cache invalidation is structural: a cache instance is pinned to one
+//!   version epoch at construction, so an encode racing the swap can only
+//!   insert into the retiring instance. Stale bits are unreachable from
+//!   the new version.
+//!
+//! kNN entries are tagged with the model version current at indexing time;
+//! [`ServiceStats::stale_index_entries`] counts entries whose version no
+//! longer matches, and [`EmbeddingService::stale_indexed_ids`] names them
+//! for re-indexing.
 //!
 //! Workers never leak panics: a panic inside the model is caught at the
 //! batch boundary, the in-flight batch is answered with
@@ -19,7 +46,7 @@
 //! future requests get [`ServeError::ModelPoisoned`]. `resume_unwind` stays
 //! internal to the encoder's own thread scope.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
@@ -28,87 +55,22 @@ use start_sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 
 use std::time::{Duration, Instant};
 
-use start_ann::{Hnsw, HnswConfig, Precision, VectorIndex};
+use start_ann::{Hnsw, VectorIndex};
 use start_core::encoder::{EmbeddingCache, EncodeError, EncodeOptions};
 use start_core::{CacheStats, Embedding, StartModel};
 use start_nn::BufferPool;
 use start_traj::{TrajView, Trajectory};
 
+use crate::config::{IndexKind, ServeConfig};
 use crate::error::ServeError;
 use crate::stats::{Histogram, ServiceStats};
 use crate::store::{EmbeddingStore, Neighbor};
 
-/// Which kNN backend the service builds behind its `index`/`knn`
-/// endpoints. Swapping kinds changes latency/recall economics only — the
-/// endpoint API and the deterministic tie-break stay identical.
-#[derive(Debug, Clone, Default)]
-pub enum IndexKind {
-    /// Exact brute-force scan ([`EmbeddingStore`]) — the recall ground
-    /// truth; right up to ~10⁵ embeddings.
-    #[default]
-    BruteForce,
-    /// Approximate HNSW graph ([`Hnsw`]) — the scaling path for
-    /// million-embedding stores; recall governed by
-    /// [`HnswConfig::ef_search`].
-    Hnsw(HnswConfig),
-}
-
-/// Tunables for [`EmbeddingService::start`].
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Encode worker threads (minimum 1).
-    pub workers: usize,
-    /// Flush a micro-batch at this many requests.
-    pub max_batch: usize,
-    /// Flush a micro-batch this long after its first request is picked up,
-    /// even if it is not full. Zero disables batching-by-wait.
-    pub max_wait: Duration,
-    /// Bounded submission-queue capacity; `submit` blocks and `try_submit`
-    /// fails once this many requests are pending.
-    pub queue_cap: usize,
-    /// Total entries across the shared embedding cache; 0 disables caching.
-    pub cache_capacity: usize,
-    /// Cache shard count (rounded up to a power of two).
-    pub cache_shards: usize,
-    /// Clamp over-length trajectories to the model's `max_len` (the
-    /// offline default). When false, over-length submissions are rejected
-    /// with a typed error instead.
-    pub clamp: bool,
-    /// kNN backend behind `index`/`knn` (brute force by default).
-    pub index: IndexKind,
-    /// Storage precision for brute-force indexed embeddings — the serving
-    /// tier's reduced-precision path ([`Precision::F16`] halves resident
-    /// bytes, [`Precision::I8`] cuts them ~4×, both at near-exact recall).
-    /// HNSW backends carry their own [`HnswConfig::precision`].
-    pub precision: Precision,
-    /// Test hook: stall each worker this long before it starts draining,
-    /// making queue-full conditions deterministic.
-    #[doc(hidden)]
-    pub worker_warmup: Option<Duration>,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        Self {
-            workers: 2,
-            max_batch: 16,
-            max_wait: Duration::from_millis(2),
-            queue_cap: 256,
-            cache_capacity: 4096,
-            cache_shards: 8,
-            clamp: true,
-            index: IndexKind::default(),
-            precision: Precision::F32,
-            worker_warmup: None,
-        }
-    }
-}
-
 /// One queued unit of work: the view to encode and the channel that will
-/// carry exactly one answer back to the submitting caller.
+/// carry exactly one version-tagged answer back to the submitting caller.
 struct Request {
     view: TrajView,
-    tx: mpsc::Sender<Result<Embedding, ServeError>>,
+    tx: mpsc::Sender<Result<(Embedding, u64), ServeError>>,
     submitted_at: Instant,
 }
 
@@ -118,15 +80,88 @@ struct QueueState {
     poisoned: bool,
 }
 
+/// In-flight micro-batch counter of one model version — the drain barrier
+/// of [`EmbeddingService::publish`].
+struct InFlight {
+    active: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self { active: Mutex::new(0), zero: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, u64> {
+        // Poison ride-through: the count is a plain integer, updated in one
+        // instruction; a panicking peer cannot leave it torn. The RAII
+        // guard below decrements even during unwinding, so a worker panic
+        // can never wedge a publish drain.
+        self.active.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register one micro-batch. Called while the slot read lock is held,
+    /// so a publish that swapped the slot afterwards is guaranteed to
+    /// observe this batch in its drain.
+    fn enter(self: &Arc<Self>) -> InFlightGuard {
+        *self.lock() += 1;
+        InFlightGuard { inner: Arc::clone(self) }
+    }
+
+    /// Block until every registered micro-batch has finished (replies
+    /// sent). Returns the count observed at entry — how many old-version
+    /// batches the publish had to wait out.
+    fn drain(&self) -> u64 {
+        let mut n = self.lock();
+        let at_swap = *n;
+        while *n > 0 {
+            n = self.zero.wait(n).unwrap_or_else(PoisonError::into_inner);
+        }
+        at_swap
+    }
+}
+
+/// RAII registration with an [`InFlight`] counter; decrements on drop, so
+/// a panicking encode still releases its slot and cannot deadlock
+/// [`EmbeddingService::publish`].
+struct InFlightGuard {
+    inner: Arc<InFlight>,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        let mut n = self.inner.lock();
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.inner.zero.notify_all();
+        }
+    }
+}
+
+/// One published model version: the weights, the cache pinned to this
+/// version's epoch, and the in-flight counter that gates its retirement.
+struct ModelSlot {
+    version: u64,
+    model: Arc<StartModel>,
+    cache: Option<Arc<EmbeddingCache>>,
+    in_flight: Arc<InFlight>,
+}
+
+/// What the kNN endpoints guard together: the index itself plus the model
+/// version each id was indexed under (the hot-swap staleness tags).
+struct IndexState {
+    index: Box<dyn VectorIndex>,
+    versions: HashMap<u64, u64>,
+}
+
 /// Everything the workers and the front-end share.
 struct Shared {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     cfg: ServeConfig,
-    model: Arc<StartModel>,
-    cache: Option<Arc<EmbeddingCache>>,
-    store: RwLock<Box<dyn VectorIndex>>,
+    slot: RwLock<ModelSlot>,
+    store: RwLock<IndexState>,
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -144,6 +179,21 @@ impl Shared {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Slot read lock, riding through poisoning for the same reason: the
+    /// slot is replaced wholesale under the write lock, never mutated in
+    /// place, so readers always see one coherent version.
+    fn slot(&self) -> start_sync::RwLockReadGuard<'_, ModelSlot> {
+        self.slot.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn store_read(&self) -> start_sync::RwLockReadGuard<'_, IndexState> {
+        self.store.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn store_write(&self) -> start_sync::RwLockWriteGuard<'_, IndexState> {
+        self.store.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn stats(&self) -> ServiceStats {
         let queue_depth = self.lock().queue.len();
         // Snapshot ordering: read the outcome counters (completed/failed)
@@ -156,6 +206,21 @@ impl Shared {
         let completed = self.completed.load(Ordering::Acquire);
         let failed = self.failed.load(Ordering::Acquire);
         let submitted = self.submitted.load(Ordering::Acquire);
+        let (model_version, cache) = {
+            let slot = self.slot();
+            let cache = slot.cache.as_ref().map(|c| c.stats()).unwrap_or(CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                capacity: 0,
+                epoch: slot.version,
+            });
+            (slot.version, cache)
+        };
+        let stale_index_entries = {
+            let store = self.store_read();
+            store.versions.values().filter(|&&v| v != model_version).count()
+        };
         ServiceStats {
             submitted,
             completed,
@@ -165,12 +230,9 @@ impl Shared {
             queue_depth,
             queue_wait: self.queue_wait.snapshot(),
             encode: self.encode.snapshot(),
-            cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or(CacheStats {
-                hits: 0,
-                misses: 0,
-                entries: 0,
-                capacity: 0,
-            }),
+            cache,
+            model_version,
+            stale_index_entries,
         }
     }
 }
@@ -180,7 +242,7 @@ impl Shared {
 /// Dropping the handle abandons the answer (the worker still encodes and
 /// caches it); [`EmbeddingHandle::wait`] blocks until the worker responds.
 pub struct EmbeddingHandle {
-    rx: mpsc::Receiver<Result<Embedding, ServeError>>,
+    rx: mpsc::Receiver<Result<(Embedding, u64), ServeError>>,
 }
 
 impl std::fmt::Debug for EmbeddingHandle {
@@ -192,8 +254,28 @@ impl std::fmt::Debug for EmbeddingHandle {
 impl EmbeddingHandle {
     /// Block until the service answers this request.
     pub fn wait(self) -> Result<Embedding, ServeError> {
+        self.wait_versioned().map(|(emb, _)| emb)
+    }
+
+    /// Block until the service answers, returning the embedding together
+    /// with the version of the model that produced it — the hot-swap
+    /// audit hook: across a [`EmbeddingService::publish`], every reply is
+    /// tagged with exactly the pre- or post-swap version.
+    pub fn wait_versioned(self) -> Result<(Embedding, u64), ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ResponseDropped))
     }
+}
+
+/// Receipt of one [`EmbeddingService::publish`] (or `Router::publish`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// The version that was serving before the swap.
+    pub previous_version: u64,
+    /// The version now serving (always `previous_version + 1`).
+    pub version: u64,
+    /// Old-version micro-batches that were still in flight at the swap and
+    /// were drained before `publish` returned.
+    pub drained_batches: u64,
 }
 
 /// A running embedding service. See the module docs for the data path.
@@ -203,16 +285,21 @@ pub struct EmbeddingService {
 }
 
 impl EmbeddingService {
-    /// Spawn the worker pool and return the running service.
+    /// Spawn the worker pool and return the running service (model
+    /// version 0).
     pub fn start(model: Arc<StartModel>, cfg: ServeConfig) -> Self {
-        let cache = (cfg.cache_capacity > 0)
-            .then(|| Arc::new(EmbeddingCache::with_shards(cfg.cache_capacity, cfg.cache_shards)));
         let dim = model.cfg.dim;
         let index: Box<dyn VectorIndex> = match &cfg.index {
             IndexKind::BruteForce => Box::new(EmbeddingStore::with_precision(dim, cfg.precision)),
             IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
         };
         let workers = cfg.workers.max(1);
+        let slot = ModelSlot {
+            version: 0,
+            model,
+            cache: cache_for_version(&cfg, 0),
+            in_flight: Arc::new(InFlight::new()),
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -222,9 +309,8 @@ impl EmbeddingService {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cfg,
-            model,
-            cache,
-            store: RwLock::new(index),
+            slot: RwLock::new(slot),
+            store: RwLock::new(IndexState { index, versions: HashMap::new() }),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -269,8 +355,57 @@ impl EmbeddingService {
         handles.into_iter().map(EmbeddingHandle::wait).collect()
     }
 
+    /// Swap in a new model checkpoint with zero dropped or stale replies.
+    ///
+    /// Double-buffered: the new model is installed under `version + 1`
+    /// with a fresh cache pinned to the new epoch; requests picked up
+    /// after the swap (including ones already queued) encode with the new
+    /// weights, while micro-batches already pinned to the old slot finish
+    /// on the old weights and are **drained** — `publish` returns only
+    /// after every old-version reply has been sent. The kNN index is
+    /// untouched; entries indexed under prior versions are version-tagged
+    /// and reported as [`ServiceStats::stale_index_entries`].
+    ///
+    /// A model whose dimension does not match the index is refused with
+    /// [`ServeError::DimensionMismatch`] — kNN distances across mixed
+    /// dimensions are meaningless.
+    pub fn publish(&self, model: Arc<StartModel>) -> Result<PublishReport, ServeError> {
+        let expected = self.store_dim();
+        if model.cfg.dim != expected {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
+            return Err(ServeError::DimensionMismatch { expected, got: model.cfg.dim });
+        }
+        let old = {
+            let mut slot = self.shared.slot.write().unwrap_or_else(PoisonError::into_inner);
+            let version = slot.version + 1;
+            let fresh = ModelSlot {
+                version,
+                model,
+                cache: cache_for_version(&self.shared.cfg, version),
+                in_flight: Arc::new(InFlight::new()),
+            };
+            std::mem::replace(&mut *slot, fresh)
+        };
+        // The write lock is released before draining: workers pin the new
+        // slot immediately while the old version's in-flight batches run
+        // to completion.
+        let drained_batches = old.in_flight.drain();
+        Ok(PublishReport {
+            previous_version: old.version,
+            version: old.version + 1,
+            drained_batches,
+        })
+    }
+
+    /// The model version currently serving (0 until the first
+    /// [`EmbeddingService::publish`]).
+    pub fn model_version(&self) -> u64 {
+        self.shared.slot().version
+    }
+
     /// Encode `trajectory` and index the embedding under `id` for
-    /// [`EmbeddingService::knn`] queries. Re-indexing an id overwrites it.
+    /// [`EmbeddingService::knn`] queries. Re-indexing an id overwrites it
+    /// (and refreshes its version tag).
     pub fn index(&self, id: u64, trajectory: &Trajectory) -> Result<(), ServeError> {
         let emb = self.submit(trajectory)?.wait()?;
         self.index_embedding(id, &emb)
@@ -281,10 +416,16 @@ impl EmbeddingService {
     /// refused with [`ServeError::DimensionMismatch`]; the service and its
     /// index stay fully usable afterwards.
     pub fn index_embedding(&self, id: u64, embedding: &[f32]) -> Result<(), ServeError> {
-        let result =
-            self.shared.store.write().unwrap_or_else(PoisonError::into_inner).insert(id, embedding);
-        if result.is_err() {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
+        let version = self.model_version();
+        let mut store = self.shared.store_write();
+        let result = store.index.insert(id, embedding);
+        match result {
+            Ok(()) => {
+                store.versions.insert(id, version);
+            }
+            Err(_) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
+            }
         }
         Ok(result?)
     }
@@ -299,7 +440,7 @@ impl EmbeddingService {
     /// kNN over a pre-computed query embedding. A wrong-dimension query is
     /// refused with [`ServeError::DimensionMismatch`], never a panic.
     pub fn knn_embedding(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, ServeError> {
-        let result = self.shared.store.read().unwrap_or_else(PoisonError::into_inner).knn(query, k);
+        let result = self.shared.store_read().index.knn(query, k);
         if result.is_err() {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: standalone reject tally
         }
@@ -310,37 +451,56 @@ impl EmbeddingService {
     /// (HNSW backends tombstone: the id is never returned again, the graph
     /// node keeps routing until a rebuild.)
     pub fn remove_index(&self, id: u64) -> bool {
-        self.shared.store.write().unwrap_or_else(PoisonError::into_inner).remove(id)
+        let mut store = self.shared.store_write();
+        let removed = store.index.remove(id);
+        if removed {
+            store.versions.remove(&id);
+        }
+        removed
     }
 
     /// Number of embeddings currently indexed for kNN.
     pub fn indexed_len(&self) -> usize {
-        self.shared.store.read().unwrap_or_else(PoisonError::into_inner).len()
+        self.shared.store_read().index.len()
+    }
+
+    /// Ids whose indexed embedding was produced by a model version other
+    /// than the one currently serving — the re-indexing worklist after a
+    /// [`EmbeddingService::publish`]. Sorted for determinism.
+    pub fn stale_indexed_ids(&self) -> Vec<u64> {
+        let current = self.model_version();
+        let store = self.shared.store_read();
+        let mut ids: Vec<u64> =
+            store.versions.iter().filter(|&(_, &v)| v != current).map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Approximate resident bytes of the kNN index — what a precision
     /// sweep reports alongside recall.
     pub fn index_memory_bytes(&self) -> usize {
-        self.shared.store.read().unwrap_or_else(PoisonError::into_inner).memory_bytes()
+        self.shared.store_read().index.memory_bytes()
     }
 
     /// Rebuild the kNN index as `kind`, re-inserting every live embedding
     /// in stable (insertion) order — how a service migrates from the exact
     /// scan to HNSW (or between HNSW tunings) without re-encoding anything.
+    /// Version tags survive: rebuilding changes the backend, not the
+    /// staleness of the embeddings in it.
     pub fn rebuild_index(&self, kind: IndexKind) {
-        let mut store = self.shared.store.write().unwrap_or_else(PoisonError::into_inner);
-        let dim = store.dim();
+        let mut store = self.shared.store_write();
+        let dim = store.index.dim();
         let mut fresh: Box<dyn VectorIndex> = match &kind {
             IndexKind::BruteForce => {
                 Box::new(EmbeddingStore::with_precision(dim, self.shared.cfg.precision))
             }
             IndexKind::Hnsw(hnsw_cfg) => Box::new(Hnsw::new(dim, hnsw_cfg.clone())),
         };
-        store.for_each(&mut |id, vector| {
+        store.index.for_each(&mut |id, vector| {
             // Dimensions match by construction: both indexes share `dim`.
             let _ = fresh.insert(id, vector);
         });
-        *store = fresh;
+        store.index = fresh;
     }
 
     /// A point-in-time counter snapshot.
@@ -366,6 +526,10 @@ impl EmbeddingService {
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
+    }
+
+    fn store_dim(&self) -> usize {
+        self.shared.store_read().index.dim()
     }
 
     fn stop(&mut self) {
@@ -422,7 +586,7 @@ impl EmbeddingService {
         if view.is_empty() {
             return Err(EncodeError::EmptyView { index: 0 });
         }
-        let max_len = self.shared.model.cfg.max_len;
+        let max_len = self.shared.slot().model.cfg.max_len;
         if view.len() > max_len && !self.shared.cfg.clamp {
             return Err(EncodeError::TooLong { index: 0, len: view.len(), max_len });
         }
@@ -434,6 +598,18 @@ impl Drop for EmbeddingService {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// The cache instance for one model version: fresh storage pinned to the
+/// version's epoch (see the module docs on structural invalidation).
+fn cache_for_version(cfg: &ServeConfig, version: u64) -> Option<Arc<EmbeddingCache>> {
+    (cfg.cache_capacity > 0).then(|| {
+        Arc::new(EmbeddingCache::with_shards_at_epoch(
+            cfg.cache_capacity,
+            cfg.cache_shards,
+            version,
+        ))
+    })
 }
 
 /// Pull one micro-batch off the queue, or `None` when the worker should
@@ -506,9 +682,10 @@ fn log_interval() -> Option<Duration> {
 fn log_stats_line(shared: &Shared) {
     let s = shared.stats();
     eprintln!(
-        "[start-serve] submitted={} completed={} failed={} rejected={} batches={} \
+        "[start-serve] v{} submitted={} completed={} failed={} rejected={} batches={} \
          mean_batch={:.1} depth={} wait_p50_us={} wait_p99_us={} enc_p50_us={} enc_p99_us={} \
-         cache_hit_rate={:.3}",
+         cache_hit_rate={:.3} stale_index={}",
+        s.model_version,
         s.submitted,
         s.completed,
         s.failed,
@@ -521,6 +698,7 @@ fn log_stats_line(shared: &Shared) {
         s.encode.p50_us,
         s.encode.p99_us,
         s.cache.hit_rate(),
+        s.stale_index_entries,
     );
 }
 
@@ -540,15 +718,25 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             shared.queue_wait.record_us(wait.as_micros() as u64);
         }
         let views: Vec<TrajView> = batch.iter().map(|r| r.view.clone()).collect();
+        // Pin the slot once per micro-batch: version, weights and cache are
+        // cloned — and the batch registered in-flight — under one read
+        // lock, so a concurrent publish either sees this batch in its
+        // drain or this batch already runs on the new version. The guard
+        // decrements on drop (even through a panic), after the replies
+        // below have been sent.
+        let (version, model, cache, _in_flight) = {
+            let slot = shared.slot();
+            (slot.version, Arc::clone(&slot.model), slot.cache.clone(), slot.in_flight.enter())
+        };
         let opts = EncodeOptions {
             threads: 1,
             chunk: shared.cfg.max_batch.max(1),
             clamp: shared.cfg.clamp,
-            cache: shared.cache.clone(),
+            cache,
         };
         let taken = std::mem::take(&mut pool);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            shared.model.encoder().encode_views_pooled(&views, &opts, taken)
+            model.encoder().encode_views_pooled(&views, &opts, taken)
         }));
         shared.encode.record_us(picked_up.elapsed().as_micros() as u64);
         shared.batches.fetch_add(1, Ordering::Relaxed); // relaxed-ok: monotone batch tally
@@ -557,7 +745,7 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
                 pool = returned;
                 for (req, emb) in batch.into_iter().zip(embeddings) {
                     // A dropped handle is a caller choice, not a failure.
-                    let _ = req.tx.send(Ok(emb));
+                    let _ = req.tx.send(Ok((emb, version)));
                     // Release pairs with the Acquire snapshot in `stats`.
                     shared.completed.fetch_add(1, Ordering::Release);
                 }

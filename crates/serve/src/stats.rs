@@ -132,8 +132,15 @@ pub struct ServiceStats {
     pub queue_wait: HistogramSnapshot,
     /// Time a worker spent encoding each batch.
     pub encode: HistogramSnapshot,
-    /// Embedding-cache counters (hits/misses/occupancy).
+    /// Embedding-cache counters (hits/misses/occupancy) of the **current
+    /// model version's** cache instance; a hot-swap starts these from zero
+    /// (`cache.epoch` names the version they describe).
     pub cache: CacheStats,
+    /// The model version currently serving (0 until the first publish).
+    pub model_version: u64,
+    /// kNN entries indexed under a model version other than the current
+    /// one — the re-indexing backlog left behind by checkpoint hot-swaps.
+    pub stale_index_entries: usize,
 }
 
 impl ServiceStats {

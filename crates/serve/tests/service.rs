@@ -50,13 +50,13 @@ fn service_output_bitwise_matches_the_encoder_for_any_worker_count() {
     for workers in [1usize, 4] {
         let service = EmbeddingService::start(
             Arc::clone(&fix.model),
-            ServeConfig {
-                workers,
-                max_batch: 5,
-                max_wait: Duration::from_millis(1),
-                cache_capacity: 0, // cache off: every request really encodes
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .workers(workers)
+                .max_batch(5)
+                .max_wait(Duration::from_millis(1))
+                .cache_capacity(0) // cache off: every request really encodes
+                .build()
+                .unwrap(),
         );
         let served = service.encode(&fix.data).unwrap();
         let stats = service.shutdown();
@@ -76,7 +76,7 @@ fn cache_hit_returns_the_identical_vector() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { workers: 1, ..ServeConfig::default() },
+        ServeConfig::builder().workers(1).build().unwrap(),
     );
     let first = service.submit(&fix.data[0]).unwrap().wait().unwrap();
     let second = service.submit(&fix.data[0]).unwrap().wait().unwrap();
@@ -92,14 +92,14 @@ fn graceful_shutdown_drains_every_queued_request() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig {
-            workers: 2,
-            cache_capacity: 0,
+        ServeConfig::builder()
+            .workers(2)
+            .cache_capacity(0)
             // Workers wake only after everything is queued and shutdown has
             // been requested, so the drain path is what answers.
-            worker_warmup: Some(Duration::from_millis(150)),
-            ..ServeConfig::default()
-        },
+            .worker_warmup(Duration::from_millis(150))
+            .build()
+            .unwrap(),
     );
     let handles: Vec<_> = (0..8).map(|i| service.submit(&fix.data[i]).unwrap()).collect();
     let stats = service.shutdown();
@@ -116,11 +116,11 @@ fn submitting_after_shutdown_is_a_typed_error() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig {
-            workers: 1,
-            worker_warmup: Some(Duration::from_millis(150)),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .worker_warmup(Duration::from_millis(150))
+            .build()
+            .unwrap(),
     );
     let h = service.submit(&fix.data[0]).unwrap();
     service.begin_shutdown();
@@ -139,12 +139,12 @@ fn try_submit_reports_queue_full() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig {
-            workers: 1,
-            queue_cap: 2,
-            worker_warmup: Some(Duration::from_millis(300)),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .queue_cap(2)
+            .worker_warmup(Duration::from_millis(300))
+            .build()
+            .unwrap(),
     );
     let h1 = service.try_submit(&fix.data[0]).unwrap();
     let h2 = service.try_submit(&fix.data[1]).unwrap();
@@ -172,7 +172,7 @@ fn overlong_submission_is_rejected_when_clamping_is_off() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { clamp: false, ..ServeConfig::default() },
+        ServeConfig::builder().clamp(false).build().unwrap(),
     );
     let max_len = fix.model.cfg.max_len;
     let mut view = TrajView::identity(&fix.data[0]);
@@ -191,7 +191,7 @@ fn worker_panic_is_typed_and_poisons_the_service() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { workers: 1, cache_capacity: 0, ..ServeConfig::default() },
+        ServeConfig::builder().workers(1).cache_capacity(0).build().unwrap(),
     );
     // A road id far outside the network: passes length validation, then
     // blows up inside the model's embedding gather — a genuine worker panic.
@@ -214,7 +214,7 @@ fn knn_finds_the_indexed_trajectory_itself() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { workers: 2, ..ServeConfig::default() },
+        ServeConfig::builder().workers(2).build().unwrap(),
     );
     for (i, t) in fix.data.iter().enumerate() {
         service.index(i as u64, t).unwrap();
@@ -247,12 +247,12 @@ proptest! {
         let fix = fixture();
         let service = EmbeddingService::start(
             Arc::clone(&fix.model),
-            ServeConfig {
-                workers,
-                max_batch,
-                max_wait: Duration::from_micros(500),
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder()
+                .workers(workers)
+                .max_batch(max_batch)
+                .max_wait(Duration::from_micros(500))
+                .build()
+                .unwrap(),
         );
         let handles: Vec<_> = idxs
             .iter()
@@ -287,7 +287,7 @@ fn dimension_mismatch_is_typed_and_the_service_stays_healthy() {
     for kind in [IndexKind::BruteForce, IndexKind::Hnsw(HnswConfig::default())] {
         let service = EmbeddingService::start(
             Arc::clone(&fix.model),
-            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+            ServeConfig::builder().workers(1).index(kind.clone()).build().unwrap(),
         );
         service.index(0, &fix.data[0]).unwrap();
 
@@ -323,18 +323,18 @@ fn hnsw_backed_service_matches_brute_force_exactly_on_small_stores() {
     let fix = fixture();
     let brute = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { workers: 1, ..ServeConfig::default() },
+        ServeConfig::builder().workers(1).build().unwrap(),
     );
     let hnsw = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig {
-            workers: 1,
-            index: IndexKind::Hnsw(HnswConfig {
-                ef_search: 10_000, // exhaustive at this scale: exact answers
-                ..HnswConfig::default()
-            }),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .index(IndexKind::Hnsw(
+                // Exhaustive beam at this scale: exact answers.
+                HnswConfig::builder().ef_search(10_000).build().unwrap(),
+            ))
+            .build()
+            .unwrap(),
     );
     for (i, t) in fix.data.iter().enumerate() {
         brute.index(i as u64, t).unwrap();
@@ -363,11 +363,11 @@ fn both_backends_break_ties_toward_smaller_ids() {
     let far: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.1).sin() + 10.0).collect();
     for kind in [
         IndexKind::BruteForce,
-        IndexKind::Hnsw(HnswConfig { ef_search: 1000, ..HnswConfig::default() }),
+        IndexKind::Hnsw(HnswConfig::builder().ef_search(1000).build().unwrap()),
     ] {
         let service = EmbeddingService::start(
             Arc::clone(&fix.model),
-            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+            ServeConfig::builder().workers(1).index(kind.clone()).build().unwrap(),
         );
         for id in [9u64, 2, 5] {
             service.index_embedding(id, &tied).unwrap();
@@ -388,7 +388,7 @@ fn removed_ids_are_never_returned_by_either_backend() {
     for kind in [IndexKind::BruteForce, IndexKind::Hnsw(HnswConfig::default())] {
         let service = EmbeddingService::start(
             Arc::clone(&fix.model),
-            ServeConfig { workers: 1, index: kind.clone(), ..ServeConfig::default() },
+            ServeConfig::builder().workers(1).index(kind.clone()).build().unwrap(),
         );
         for (i, t) in fix.data.iter().enumerate() {
             service.index(i as u64, t).unwrap();
@@ -410,14 +410,14 @@ fn rebuilding_from_brute_force_to_hnsw_preserves_answers() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig { workers: 1, ..ServeConfig::default() },
+        ServeConfig::builder().workers(1).build().unwrap(),
     );
     for (i, t) in fix.data.iter().enumerate() {
         service.index(i as u64, t).unwrap();
     }
     let before: Vec<_> = fix.data.iter().take(4).map(|t| service.knn(t, 3).unwrap()).collect();
     service
-        .rebuild_index(IndexKind::Hnsw(HnswConfig { ef_search: 10_000, ..HnswConfig::default() }));
+        .rebuild_index(IndexKind::Hnsw(HnswConfig::builder().ef_search(10_000).build().unwrap()));
     assert_eq!(service.indexed_len(), fix.data.len());
     for (t, expected) in fix.data.iter().take(4).zip(&before) {
         let got = service.knn(t, 3).unwrap();
@@ -439,12 +439,12 @@ fn drained_shutdown_reports_submitted_equals_completed_plus_failed() {
     let fix = fixture();
     let service = EmbeddingService::start(
         Arc::clone(&fix.model),
-        ServeConfig {
-            workers: 3,
-            max_batch: 4,
-            max_wait: Duration::from_micros(200),
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(3)
+            .max_batch(4)
+            .max_wait(Duration::from_micros(200))
+            .build()
+            .unwrap(),
     );
     let handles: Vec<_> = fix.data.iter().map(|t| service.submit(t).unwrap()).collect();
     // Mid-flight snapshots may lag but can never over-report outcomes.

@@ -14,7 +14,7 @@ use start_core::{
 };
 use start_eval::metrics::{hit_ratio, mean_rank, regression_report, truth_ranks};
 use start_roadnet::synth::{generate_city, CityConfig};
-use start_serve::{EmbeddingService, ServeConfig};
+use start_serve::{Router, RouterConfig};
 use start_traj::{
     build_benchmark, DetourConfig, PreprocessConfig, SimConfig, TrajDataset, Trajectory,
 };
@@ -93,24 +93,26 @@ fn main() {
     t.row(vec![f3(reg.mae), f3(reg.mape), f3(reg.rmse)]);
     t.print();
 
-    // 6. Serve the trained model: micro-batched workers, embedding cache,
-    //    and an online kNN endpoint over indexed trajectories.
+    // 6. Serve the trained model behind the sharded router: two replicas
+    //    partitioned by trajectory fingerprint, each with micro-batched
+    //    workers, a version-pinned embedding cache, and an online kNN
+    //    endpoint over indexed trajectories. (`Router::publish` hot-swaps
+    //    checkpoints into all replicas without dropping a reply.)
     println!("[6/6] serving embeddings online...");
-    let service = EmbeddingService::start(
-        Arc::new(model),
-        ServeConfig { workers: 2, ..ServeConfig::default() },
-    );
+    let router_cfg =
+        RouterConfig::builder().replicas(2).build().expect("quickstart router config is valid");
+    let router = Router::start(Arc::new(model), router_cfg);
     for (i, t) in ds.test().iter().take(50).enumerate() {
-        service.index(i as u64, t).expect("index trajectory");
+        router.index(i as u64, t).expect("index trajectory");
     }
-    let neighbors = service.knn(&ds.test()[0], 3).expect("knn query");
+    let neighbors = router.knn(&ds.test()[0], 3).expect("knn query");
     println!("      3-NN of test[0]: {neighbors:?}");
-    let stats = service.shutdown();
+    let stats = router.shutdown();
     println!(
-        "      served {} requests in {} micro-batches (cache hit rate {:.2})",
-        stats.completed,
-        stats.batches,
-        stats.cache.hit_rate()
+        "      served {} requests across {} replicas (cache hit rate {:.2})",
+        stats.completed(),
+        stats.replicas.len(),
+        stats.cache_hit_rate()
     );
     println!("Done. See crates/bench/src/bin/ for the full per-table/per-figure harness.");
 }

@@ -186,21 +186,25 @@ fn serving_matches_offline_encoding_end_to_end() {
     let queries: Vec<Trajectory> = ds.test().iter().take(10).cloned().collect();
     let offline = model.encoder().encode(&queries, &EncodeOptions::default()).unwrap();
 
-    let service = start_serve::EmbeddingService::start(
+    let router = start_serve::Router::start(
         Arc::new(model),
-        start_serve::ServeConfig { workers: 2, ..Default::default() },
+        start_serve::RouterConfig::builder()
+            .replicas(2)
+            .serve(start_serve::ServeConfig::builder().workers(2).build().unwrap())
+            .build()
+            .unwrap(),
     );
-    let served = service.encode(&queries).unwrap();
+    let served = router.encode(&queries).unwrap();
     for (s, o) in served.iter().zip(&offline) {
         let same = s.iter().zip(o).all(|(a, b)| a.to_bits() == b.to_bits());
         assert!(same, "served embedding diverged from the offline encoder");
     }
     for (i, q) in queries.iter().enumerate() {
-        service.index(i as u64, q).unwrap();
+        router.index(i as u64, q).unwrap();
     }
-    let hits = service.knn(&queries[2], 1).unwrap();
+    let hits = router.knn(&queries[2], 1).unwrap();
     assert_eq!(hits[0].id, 2, "self-query must be its own nearest neighbour");
     assert_eq!(hits[0].distance, 0.0);
-    let stats = service.shutdown();
-    assert!(stats.completed >= 21, "10 encodes + 10 index + 1 knn");
+    let stats = router.shutdown();
+    assert!(stats.completed() >= 21, "10 encodes + 10 index + 1 knn");
 }
